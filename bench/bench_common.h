@@ -1,0 +1,70 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary accepts:
+//   --scale=<f>   dataset size multiplier (default per bench; smaller =
+//                 faster); datasets are synthetic stand-ins, see DESIGN.md
+//   --runs=<n>    runs per non-deterministic sparsifier (paper: 10)
+//   --csv         emit CSV rows instead of pivot tables
+#ifndef SPARSIFY_BENCH_BENCH_COMMON_H_
+#define SPARSIFY_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/eval/experiment.h"
+#include "src/graph/datasets.h"
+
+namespace sparsify::bench {
+
+struct BenchOptions {
+  double scale = 0.5;
+  int runs = 3;
+  bool csv = false;
+};
+
+inline BenchOptions ParseOptions(int argc, char** argv,
+                                 double default_scale = 0.5,
+                                 int default_runs = 3) {
+  BenchOptions opt;
+  opt.scale = default_scale;
+  opt.runs = default_runs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      opt.runs = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: bench [--scale=f] [--runs=n] [--csv]\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+/// Runs one figure's sweep and prints it in the requested format.
+inline void RunFigure(const std::string& title, const std::string& value_name,
+                      const Graph& g, const std::vector<std::string>& sparsifiers,
+                      const BenchOptions& opt, const MetricFn& metric,
+                      std::optional<double> reference = std::nullopt,
+                      std::vector<double> rates = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                                   0.6, 0.7, 0.8, 0.9}) {
+  SweepConfig config;
+  config.sparsifiers = sparsifiers;
+  config.prune_rates = std::move(rates);
+  config.runs_nondeterministic = opt.runs;
+  auto series = RunSweep(g, config, metric);
+  if (opt.csv) {
+    PrintSeriesCsv(std::cout, title, series);
+  } else {
+    PrintSeriesTable(std::cout, title, value_name, series, reference);
+  }
+}
+
+}  // namespace sparsify::bench
+
+#endif  // SPARSIFY_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,36 @@
+// Regenerates paper Figure 12: min-cut/max-flow mean stretch factor on the
+// ca-HepPh stand-in (closer to 1 is better), sampling s-t pairs connected
+// in the original graph.
+//
+// Expected shape (paper section 4.5): ER-weighted is the clear winner (it
+// preserves the Laplacian spectrum, and min-cuts are spectral objects);
+// KN and FF are decent; ER-unweighted loses to ER-weighted because removed
+// capacity is not compensated; GS and SCAN under-perform.
+#include "bench/bench_common.h"
+#include "src/metrics/maxflow.h"
+
+namespace sparsify {
+namespace {
+
+void Run(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.35, 3);
+  Dataset d = LoadDatasetScaled("ca-HepPh", opt.scale);
+  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
+            << ")\n\n";
+
+  bench::RunFigure(
+      "Figure 12: Min-cut/Max-flow Mean Stretch Factor on ca-HepPh",
+      "ratio", d.graph, {"RN", "KN", "FF", "ER-w", "ER-uw"}, opt,
+      [](const Graph& original, const Graph& sparsified, Rng& rng) {
+        return MaxFlowStretch(original, sparsified, 60, rng).mean_ratio;
+      },
+      1.0);
+}
+
+}  // namespace
+}  // namespace sparsify
+
+int main(int argc, char** argv) {
+  sparsify::Run(argc, argv);
+  return 0;
+}

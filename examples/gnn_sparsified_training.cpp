@@ -1,0 +1,65 @@
+// Scenario: accelerating GNN training by sparsifying the training graph
+// (the paper's GNN use case, sections 3.3.4/4.5).
+//
+// Training dominates GNN cost; we train GraphSAGE on sparsified graphs and
+// evaluate on the FULL graph, exactly the paper's protocol. Edge count
+// drives per-epoch cost, so the prune rate is the speedup knob; the
+// question is how much accuracy each sparsifier gives up.
+#include <cstdio>
+#include <iostream>
+
+#include "src/gnn/data.h"
+#include "src/gnn/models.h"
+#include "src/graph/datasets.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace sparsify;
+
+  Dataset d = LoadDatasetScaled("Reddit", 0.4);
+  const Graph& g = d.graph;
+  std::cout << "GNN dataset: " << g.Summary() << "\n";
+
+  Rng data_rng(21);
+  NodeClassificationData data =
+      MakeNodeClassificationData(d.communities, 8, 16, 1.8, 0.5, data_rng);
+
+  auto train_and_eval = [&](const Graph& train_graph, double* train_s) {
+    Rng mrng(22);
+    GraphSage model(16, 16, data.num_classes, mrng, 5e-2);
+    Timer t;
+    for (int epoch = 0; epoch < 50; ++epoch) {
+      model.TrainEpoch(train_graph, data.features, data.labels,
+                       data.train_rows);
+    }
+    *train_s = t.Seconds();
+    std::vector<int> pred = ArgmaxRows(model.Forward(g, data.features));
+    return Accuracy(pred, data.labels, data.test_rows);
+  };
+
+  double full_s = 0.0;
+  double full_acc = train_and_eval(g, &full_s);
+  std::printf("Full graph:  accuracy %.3f, train time %.2f s\n\n", full_acc,
+              full_s);
+
+  std::cout << "sparsifier  prune  accuracy  train_s  speedup\n";
+  Rng rng(23);
+  for (const char* name : {"RN", "LSim", "LD"}) {
+    auto sparsifier = CreateSparsifier(name);
+    for (double rate : {0.5, 0.9}) {
+      Rng run_rng = rng.Fork();
+      Graph h = sparsifier->Sparsify(g, rate, run_rng);
+      double train_s = 0.0;
+      double acc = train_and_eval(h, &train_s);
+      std::printf("%-11s %5.1f %9.3f %8.2f %8.2fx\n", name, rate,
+                  acc, train_s, full_s / train_s);
+    }
+  }
+  std::cout << "\nRandom and Local Similarity keep GNN accuracy close to "
+               "the full graph even\nat prune rate 0.9 (paper Fig. 13a); "
+               "Local Degree's hub bias costs accuracy -\nthe edges GNN "
+               "message passing needs are not the hub edges.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Scenario: capacity planning on a weighted infrastructure network (the
+// paper's min-cut/max-flow use case, sections 2.2.5/4.5).
+//
+// A water/road/electricity planner needs s-t max-flow values between many
+// terminal pairs. We sparsify the network and compare flow fidelity:
+// ER-weighted compensates removed capacity by reweighting, so flows stay
+// close; unweighted sparsifiers lose capacity roughly proportionally.
+#include <cstdio>
+#include <iostream>
+
+#include "src/graph/generators.h"
+#include "src/metrics/maxflow.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+
+int main() {
+  using namespace sparsify;
+
+  // Weighted infrastructure-like network: power-law with Zipf capacities.
+  Rng gen(11);
+  Graph base = BarabasiAlbert(800, 6, gen);
+  Graph g = WithRandomWeights(base, 50.0, gen);
+  std::cout << "Capacity network: " << g.Summary() << "\n\n";
+
+  std::cout << "sparsifier                         prune  mean_flow_ratio  "
+               "zero_flow_pairs\n";
+  Rng rng(12);
+  for (const char* name : {"ER-w", "ER-uw", "RN", "KN"}) {
+    auto sparsifier = CreateSparsifier(name);
+    for (double rate : {0.3, 0.6}) {
+      Rng run_rng = rng.Fork();
+      Graph h = sparsifier->Sparsify(g, rate, run_rng);
+      Rng m_rng = rng.Fork();
+      FlowStretchResult r = MaxFlowStretch(g, h, 40, m_rng);
+      std::printf("%-34s %5.1f %16.3f %16.3f\n",
+                  sparsifier->Info().name.c_str(), rate, r.mean_ratio,
+                  r.zero_flow_fraction);
+    }
+  }
+  std::cout << "\nEffective Resistance (weighted) is the only sparsifier "
+               "that reweights kept\nedges, making the sparsified Laplacian "
+               "an unbiased estimate of the original -\nmax-flow values "
+               "follow (paper Fig. 12).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: generate (or load) a graph, sparsify it with a few
+// algorithms, and measure what each one preserved.
+//
+//   $ ./quickstart [path/to/edgelist.txt]
+//
+// Without an argument a Barabasi-Albert social-network-like graph is
+// generated; with one, the file is read as a SNAP-style "u v" edge list.
+#include <iostream>
+
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/metrics/basic.h"
+#include "src/metrics/centrality.h"
+#include "src/metrics/components.h"
+#include "src/metrics/distance.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace sparsify;
+
+  // 1. Get a graph.
+  Rng rng(42);
+  Graph g = argc > 1 ? ReadEdgeList(argv[1], /*directed=*/false,
+                                    /*weighted=*/false)
+                     : BarabasiAlbert(2000, 8, rng);
+  g = RemoveIsolatedVertices(g);
+  std::cout << "Input: " << g.Summary() << "\n\n";
+
+  // Reference metrics on the full graph.
+  std::vector<double> pagerank_full = PageRank(g);
+
+  // 2. Sparsify at prune rate 0.6 with three very different algorithms and
+  //    compare what survives.
+  std::cout << "prune rate 0.6:\n";
+  std::cout << "sparsifier      kept_edges  unreachable  spsp_stretch  "
+               "pagerank_top100\n";
+  for (const char* name : {"RN", "LD", "GS"}) {
+    auto sparsifier = CreateSparsifier(name);
+    Rng run_rng = rng.Fork();
+    Graph h = sparsifier->Sparsify(g, 0.6, run_rng);
+
+    Rng metric_rng = rng.Fork();
+    StretchResult spsp = SpspStretch(g, h, 1000, metric_rng);
+    double precision = TopKPrecision(pagerank_full, PageRank(h), 100);
+
+    std::printf("%-15s %9u %12.3f %13.3f %16.2f\n",
+                sparsifier->Info().name.c_str(), h.NumEdges(),
+                UnreachableRatio(h), spsp.mean_stretch, precision);
+  }
+
+  std::cout << "\nTakeaway (the paper's core finding): no single sparsifier "
+               "wins everywhere -\n"
+               "Local Degree keeps distances and rankings, Random keeps "
+               "distributions,\n"
+               "G-Spar keeps local similarity but shatters connectivity.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Scenario: influencer detection on a social network, accelerated by
+// sparsification (the paper's centrality use case, sections 2.2.3/4.3).
+//
+// We must find the top-100 most central users. Computing exact centrality
+// on the full graph is expensive; we sparsify first and quantify how much
+// of the true top-100 each algorithm retains at increasing prune rates.
+#include <cstdio>
+#include <iostream>
+
+#include "src/graph/datasets.h"
+#include "src/metrics/centrality.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace sparsify;
+
+  Dataset d = LoadDatasetScaled("ego-Facebook", 0.5);
+  const Graph& g = d.graph;
+  std::cout << "Social network: " << g.Summary() << "\n\n";
+
+  // Ground truth on the full graph.
+  Timer full_timer;
+  Rng bt_rng(7);
+  std::vector<double> betweenness_full =
+      ApproxBetweennessCentrality(g, 500, bt_rng);
+  std::vector<double> eigen_full = EigenvectorCentrality(g);
+  double full_seconds = full_timer.Seconds();
+  std::cout << "Full-graph centrality time: " << full_seconds << " s\n\n";
+
+  std::cout << "sparsifier  prune  sparsify_s  centrality_s  btw_top100  "
+               "eig_top100\n";
+  Rng rng(13);
+  for (const char* name : {"RN", "RD", "LD", "FF"}) {
+    for (double rate : {0.5, 0.8}) {
+      auto sparsifier = CreateSparsifier(name);
+      Timer sparsify_timer;
+      Rng run_rng = rng.Fork();
+      Graph h = sparsifier->Sparsify(g, rate, run_rng);
+      double sparsify_s = sparsify_timer.Seconds();
+
+      Timer metric_timer;
+      Rng m_rng = rng.Fork();
+      std::vector<double> btw = ApproxBetweennessCentrality(h, 500, m_rng);
+      std::vector<double> eig = EigenvectorCentrality(h);
+      double metric_s = metric_timer.Seconds();
+
+      std::printf("%-11s %5.1f %11.3f %13.3f %11.2f %11.2f\n", name,
+                  rate, sparsify_s, metric_s,
+                  TopKPrecision(betweenness_full, btw, 100),
+                  TopKPrecision(eigen_full, eig, 100));
+    }
+  }
+  std::cout << "\nRank Degree / Local Degree keep hub edges, so the "
+               "influencer ranking survives\naggressive pruning while "
+               "centrality time shrinks with the edge count.\n";
+  return 0;
+}

@@ -1,0 +1,283 @@
+// Command-line front end for the sparsification framework — the tool a
+// downstream user actually runs. Subcommands:
+//
+//   list                          enumerate sparsifiers, datasets, metrics
+//   sparsify  --algo LD --rate 0.5 --input g.txt --output h.txt
+//             [--directed] [--weighted] [--seed 42]
+//   evaluate  --metric pagerank --input g.txt --sparsified h.txt
+//             [--directed] [--weighted] [--seed 42]
+//   sweep     --dataset ca-AstroPh --algos RN,LD,GS --metric connectivity
+//             [--runs 3] [--scale 0.5] [--csv]
+//
+// Example session:
+//   $ sparsify_cli sparsify --algo LD --rate 0.6
+//         --input facebook.txt --output facebook_ld.txt
+//   $ sparsify_cli evaluate --metric spsp
+//         --input facebook.txt --sparsified facebook_ld.txt
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/eval/experiment.h"
+#include "src/graph/datasets.h"
+#include "src/graph/io.h"
+#include "src/metrics/basic.h"
+#include "src/metrics/centrality.h"
+#include "src/metrics/clustering.h"
+#include "src/metrics/components.h"
+#include "src/metrics/distance.h"
+#include "src/metrics/louvain.h"
+#include "src/metrics/maxflow.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace sparsify {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool Has(const std::string& key) const { return named.contains(key); }
+  std::string Get(const std::string& key, const std::string& fallback = "")
+      const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : std::atoi(it->second.c_str());
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.named[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.named[key] = argv[++i];
+    } else {
+      args.named[key] = "true";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::istringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+// Named metric registry for `evaluate` and `sweep`.
+const std::map<std::string, MetricFn>& MetricRegistry() {
+  static const std::map<std::string, MetricFn> registry = {
+      {"connectivity",
+       [](const Graph&, const Graph& h, Rng&) {
+         return UnreachableRatio(h);
+       }},
+      {"isolated",
+       [](const Graph&, const Graph& h, Rng&) { return IsolatedRatio(h); }},
+      {"degree",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return DegreeDistributionDistance(g, h);
+       }},
+      {"quadratic",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return QuadraticFormSimilarity(g, h, 50, rng);
+       }},
+      {"spsp",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return SpspStretch(g, h, 2000, rng).mean_stretch;
+       }},
+      {"eccentricity",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return EccentricityStretch(g, h, 50, rng).mean_stretch;
+       }},
+      {"diameter",
+       [](const Graph&, const Graph& h, Rng& rng) {
+         return ApproxDiameter(h, 4, rng);
+       }},
+      {"betweenness",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         Rng ref_rng = rng.Fork();
+         auto ref = ApproxBetweennessCentrality(g, 300, ref_rng);
+         return TopKPrecision(ref, ApproxBetweennessCentrality(h, 300, rng),
+                              100);
+       }},
+      {"closeness",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(ClosenessCentrality(g), ClosenessCentrality(h),
+                              100);
+       }},
+      {"eigenvector",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(EigenvectorCentrality(g),
+                              EigenvectorCentrality(h), 100);
+       }},
+      {"katz",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(KatzCentrality(g), KatzCentrality(h), 100);
+       }},
+      {"pagerank",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(PageRank(g), PageRank(h), 100);
+       }},
+      {"communities",
+       [](const Graph&, const Graph& h, Rng& rng) {
+         return static_cast<double>(
+             LouvainCommunities(h, rng).num_clusters);
+       }},
+      {"mcc",
+       [](const Graph&, const Graph& h, Rng&) {
+         return MeanClusteringCoefficient(h);
+       }},
+      {"gcc",
+       [](const Graph&, const Graph& h, Rng&) {
+         return GlobalClusteringCoefficient(h);
+       }},
+      {"f1",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         Rng ref_rng = rng.Fork();
+         Clustering ref = LouvainCommunities(g, ref_rng);
+         return ClusteringF1(LouvainCommunities(h, rng).label, ref.label);
+       }},
+      {"maxflow",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return MaxFlowStretch(g, h, 50, rng).mean_ratio;
+       }},
+  };
+  return registry;
+}
+
+int CmdList() {
+  std::cout << "Sparsifiers (paper Table 2 + extensions):\n";
+  for (const SparsifierInfo& info : AllSparsifierInfos()) {
+    std::cout << "  " << info.short_name << "\t" << info.name
+              << (info.extension ? "  [extension]" : "") << "\n";
+  }
+  std::cout << "\nDatasets (synthetic stand-ins for paper Table 3):\n";
+  for (const std::string& name : DatasetNames()) {
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "\nMetrics:\n";
+  for (const auto& [name, fn] : MetricRegistry()) {
+    std::cout << "  " << name << "\n";
+  }
+  return 0;
+}
+
+Graph LoadInput(const Args& args, const std::string& key) {
+  return ReadEdgeList(args.Get(key), args.Has("directed"),
+                      args.Has("weighted"));
+}
+
+int CmdSparsify(const Args& args) {
+  if (!args.Has("algo") || !args.Has("input") || !args.Has("output")) {
+    std::cerr << "sparsify requires --algo, --input, --output\n";
+    return 1;
+  }
+  Graph g = LoadInput(args, "input");
+  auto sparsifier = CreateSparsifier(args.Get("algo"));
+  const SparsifierInfo& info = sparsifier->Info();
+  if (g.IsDirected() && !info.supports_directed) {
+    std::cerr << "note: " << info.name
+              << " needs undirected input; symmetrizing (paper sec 3.1)\n";
+    g = g.Symmetrized();
+  }
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  Timer timer;
+  Graph h = sparsifier->Sparsify(g, args.GetDouble("rate", 0.5), rng);
+  std::cout << "sparsified in " << timer.Seconds() << " s: " << h.Summary()
+            << " (achieved prune rate "
+            << Sparsifier::AchievedPruneRate(g, h) << ")\n";
+  WriteEdgeList(h, args.Get("output"));
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  if (!args.Has("metric") || !args.Has("input") || !args.Has("sparsified")) {
+    std::cerr << "evaluate requires --metric, --input, --sparsified\n";
+    return 1;
+  }
+  auto it = MetricRegistry().find(args.Get("metric"));
+  if (it == MetricRegistry().end()) {
+    std::cerr << "unknown metric " << args.Get("metric")
+              << " (see `sparsify_cli list`)\n";
+    return 1;
+  }
+  Graph g = LoadInput(args, "input");
+  Graph h = LoadInput(args, "sparsified");
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  double value = it->second(g, h, rng);
+  std::cout << args.Get("metric") << " = " << value << "\n";
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  if (!args.Has("dataset") || !args.Has("metric")) {
+    std::cerr << "sweep requires --dataset, --metric\n";
+    return 1;
+  }
+  auto it = MetricRegistry().find(args.Get("metric"));
+  if (it == MetricRegistry().end()) {
+    std::cerr << "unknown metric " << args.Get("metric") << "\n";
+    return 1;
+  }
+  Dataset d = LoadDatasetScaled(args.Get("dataset"),
+                                args.GetDouble("scale", 0.5));
+  SweepConfig config;
+  if (args.Has("algos")) config.sparsifiers = SplitCsv(args.Get("algos"));
+  config.runs_nondeterministic = args.GetInt("runs", 3);
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  auto series = RunSweep(d.graph, config, it->second);
+  std::string title = args.Get("metric") + " on " + d.info.name;
+  if (args.Has("csv")) {
+    PrintSeriesCsv(std::cout, title, series);
+  } else {
+    PrintSeriesTable(std::cout, title, args.Get("metric"), series);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::cout << "usage: sparsify_cli <list|sparsify|evaluate|sweep> "
+               "[--key value ...]\n"
+               "run `sparsify_cli list` to see algorithms, datasets, and "
+               "metrics\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace sparsify
+
+int main(int argc, char** argv) {
+  using namespace sparsify;
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  try {
+    if (cmd == "list") return CmdList();
+    if (cmd == "sparsify") return CmdSparsify(args);
+    if (cmd == "evaluate") return CmdEvaluate(args);
+    if (cmd == "sweep") return CmdSweep(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,124 @@
+#include "src/eval/experiment.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "src/util/stats.h"
+
+namespace sparsify {
+
+std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
+                                  const MetricFn& metric) {
+  std::vector<std::string> names =
+      config.sparsifiers.empty() ? SparsifierNames() : config.sparsifiers;
+  Rng master(config.seed);
+
+  Graph sym_holder;
+  const Graph* symmetrized = nullptr;
+  auto graph_for = [&](const SparsifierInfo& info) -> const Graph* {
+    if (!g.IsDirected() || info.supports_directed) return &g;
+    if (symmetrized == nullptr) {
+      sym_holder = g.Symmetrized();
+      symmetrized = &sym_holder;
+    }
+    return symmetrized;
+  };
+
+  std::vector<SweepSeries> all_series;
+  for (const std::string& name : names) {
+    std::unique_ptr<Sparsifier> sparsifier = CreateSparsifier(name);
+    const SparsifierInfo& info = sparsifier->Info();
+    const Graph* input = graph_for(info);
+    SweepSeries series;
+    series.sparsifier = name;
+
+    bool fixed_output = info.prune_rate_control == PruneRateControl::kNone;
+    std::vector<double> rates =
+        fixed_output ? std::vector<double>{0.0} : config.prune_rates;
+    int runs = info.deterministic ? 1 : config.runs_nondeterministic;
+
+    for (double rate : rates) {
+      SweepPoint point;
+      point.requested_prune_rate = rate;
+      std::vector<double> values;
+      std::vector<double> achieved;
+      for (int run = 0; run < runs; ++run) {
+        Rng run_rng = master.Fork();
+        Graph sparsified = sparsifier->Sparsify(*input, rate, run_rng);
+        achieved.push_back(
+            Sparsifier::AchievedPruneRate(*input, sparsified));
+        Rng metric_rng = master.Fork();
+        values.push_back(metric(*input, sparsified, metric_rng));
+      }
+      point.mean = Mean(values);
+      point.stddev = StdDev(values);
+      point.achieved_prune_rate = Mean(achieved);
+      point.runs = runs;
+      if (fixed_output) point.requested_prune_rate = point.achieved_prune_rate;
+      series.points.push_back(point);
+    }
+    all_series.push_back(std::move(series));
+  }
+  return all_series;
+}
+
+void PrintSeriesCsv(std::ostream& os, const std::string& title,
+                    const std::vector<SweepSeries>& series) {
+  os << "# " << title << "\n";
+  os << "sparsifier,prune_rate,achieved_prune_rate,value,stddev,runs\n";
+  for (const SweepSeries& s : series) {
+    for (const SweepPoint& p : s.points) {
+      os << s.sparsifier << "," << p.requested_prune_rate << ","
+         << p.achieved_prune_rate << "," << p.mean << "," << p.stddev << ","
+         << p.runs << "\n";
+    }
+  }
+}
+
+void PrintSeriesTable(std::ostream& os, const std::string& title,
+                      const std::string& value_name,
+                      const std::vector<SweepSeries>& series,
+                      std::optional<double> reference) {
+  os << "== " << title << " ==\n";
+  if (reference.has_value()) {
+    os << "(reference on full graph: " << *reference << ")\n";
+  }
+  // Column header from the union of requested rates.
+  std::vector<double> rates;
+  for (const SweepSeries& s : series) {
+    for (const SweepPoint& p : s.points) {
+      bool found = false;
+      for (double r : rates) {
+        if (std::abs(r - p.requested_prune_rate) < 1e-9) found = true;
+      }
+      if (!found) rates.push_back(p.requested_prune_rate);
+    }
+  }
+  std::sort(rates.begin(), rates.end());
+  os << std::setw(8) << value_name << " |";
+  for (double r : rates) {
+    os << std::setw(9) << std::fixed << std::setprecision(2) << r;
+  }
+  os << "\n";
+  os << std::string(10 + rates.size() * 9, '-') << "\n";
+  for (const SweepSeries& s : series) {
+    os << std::setw(8) << s.sparsifier << " |";
+    for (double r : rates) {
+      const SweepPoint* found = nullptr;
+      for (const SweepPoint& p : s.points) {
+        if (std::abs(p.requested_prune_rate - r) < 1e-9) found = &p;
+      }
+      if (found != nullptr) {
+        os << std::setw(9) << std::fixed << std::setprecision(3)
+           << found->mean;
+      } else {
+        os << std::setw(9) << "-";
+      }
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+}  // namespace sparsify

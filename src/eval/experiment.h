@@ -1,0 +1,78 @@
+// Experiment harness: the N-to-N sweep machinery of the paper's framework
+// (section 3.2). Runs every requested sparsifier over the prune-rate grid
+// 0.1..0.9, averaging non-deterministic sparsifiers over multiple runs and
+// reporting the standard deviation, exactly as the paper's protocol
+// prescribes (10 graphs per point for non-deterministic sparsifiers; the
+// run count is configurable here because the full paper protocol is
+// laptop-hostile).
+#ifndef SPARSIFY_EVAL_EXPERIMENT_H_
+#define SPARSIFY_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+
+/// Metric evaluated on (original, sparsified). The rng is forked per
+/// evaluation so sampled metrics are reproducible.
+using MetricFn =
+    std::function<double(const Graph& original, const Graph& sparsified,
+                         Rng& rng)>;
+
+/// One (sparsifier, prune rate) cell of a sweep.
+struct SweepPoint {
+  double requested_prune_rate = 0.0;
+  double achieved_prune_rate = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  int runs = 0;
+};
+
+/// All points of one sparsifier across the prune-rate grid.
+struct SweepSeries {
+  std::string sparsifier;
+  std::vector<SweepPoint> points;
+};
+
+/// Sweep configuration.
+struct SweepConfig {
+  std::vector<std::string> sparsifiers;  // short names; empty = all
+  std::vector<double> prune_rates = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9};
+  int runs_nondeterministic = 5;  // paper uses 10
+  uint64_t seed = 42;
+};
+
+/// Runs the sweep of `metric` for every sparsifier in `config` on `g`.
+///
+/// Sparsifiers that require undirected input (SF, SP-t, ER) receive the
+/// symmetrized graph when `g` is directed, mirroring the paper's
+/// preprocessing (sections 3.1 and 4.5); the metric then also compares
+/// against the symmetrized original. Sparsifiers without prune-rate control
+/// (SF, SP-t) contribute a single point at their natural prune rate.
+std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
+                                  const MetricFn& metric);
+
+/// Prints `series` as CSV rows:
+/// sparsifier,prune_rate,achieved_prune_rate,value,stddev,runs.
+void PrintSeriesCsv(std::ostream& os, const std::string& title,
+                    const std::vector<SweepSeries>& series);
+
+/// Prints `series` as a pivot table (rows = sparsifiers, columns = prune
+/// rates) with an optional reference value line (the figures' green
+/// "ground truth on the full graph" dashed line).
+void PrintSeriesTable(std::ostream& os, const std::string& title,
+                      const std::string& value_name,
+                      const std::vector<SweepSeries>& series,
+                      std::optional<double> reference = std::nullopt);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_EVAL_EXPERIMENT_H_

@@ -1,0 +1,46 @@
+#include "src/eval/metric_info.h"
+
+namespace sparsify {
+
+std::vector<MetricInfo> AllMetricInfos() {
+  using A = Applicability;
+  return {
+      {"Degree Dist.", "Basic", A::kYes, A::kIgnored, A::kYes, ""},
+      {"Diameter", "Distance", A::kYes, A::kYes, A::kExcluded,
+       "infinite pairs excluded"},
+      {"Eccentricity", "Distance", A::kYes, A::kYes, A::kExcluded,
+       "infinite pairs excluded"},
+      {"APSP", "Distance", A::kYes, A::kYes, A::kExcluded,
+       "infinite pairs excluded"},
+      {"Betweenness Cent.", "Centrality", A::kYes, A::kYes, A::kYes, ""},
+      {"Closeness Cent.", "Centrality", A::kYes, A::kYes, A::kYes, ""},
+      {"Eigenvector Cent.", "Centrality", A::kYes, A::kYes, A::kYes,
+       "left eigenvector for directed graphs"},
+      {"Katz Cent.", "Centrality", A::kYes, A::kYes, A::kYes, ""},
+      {"#Communities", "Clustering", A::kNo, A::kYes, A::kYes, ""},
+      {"LCC", "Clustering", A::kYes, A::kIgnored, A::kYes, ""},
+      {"MCC", "Clustering", A::kYes, A::kIgnored, A::kYes, ""},
+      {"GCC", "Clustering", A::kYes, A::kIgnored, A::kYes, ""},
+      {"Clustering F1 Sim", "Clustering", A::kNo, A::kYes, A::kYes, ""},
+      {"PageRank", "Application", A::kYes, A::kYes, A::kYes, ""},
+      {"Min-cut/Max-flow", "Application", A::kYes, A::kYes, A::kExcluded,
+       "cross-community terminal pairs excluded"},
+      {"GNN", "Application", A::kYes, A::kYes, A::kYes, ""},
+  };
+}
+
+std::string ApplicabilityToString(Applicability a) {
+  switch (a) {
+    case Applicability::kYes:
+      return "yes";
+    case Applicability::kNo:
+      return "no";
+    case Applicability::kIgnored:
+      return "ignored";
+    case Applicability::kExcluded:
+      return "excluded";
+  }
+  return "?";
+}
+
+}  // namespace sparsify

@@ -1,0 +1,38 @@
+// Static registry of the 16 graph metrics the paper evaluates (Table 1),
+// with their applicability flags to directed / weighted / unconnected
+// graphs. `bench_tables` regenerates Table 1 from this registry.
+#ifndef SPARSIFY_EVAL_METRIC_INFO_H_
+#define SPARSIFY_EVAL_METRIC_INFO_H_
+
+#include <string>
+#include <vector>
+
+namespace sparsify {
+
+/// Tri-state applicability flag for Table 1.
+enum class Applicability {
+  kYes,       // check mark
+  kNo,        // cross
+  kIgnored,   // weight not used, same as unweighted (Table 1 dagger)
+  kExcluded,  // infinite/degenerate pairs excluded (Table 1 double dagger)
+};
+
+/// One row of Table 1.
+struct MetricInfo {
+  std::string name;
+  std::string group;  // Basic / Distance / Centrality / Clustering / App
+  Applicability directed = Applicability::kYes;
+  Applicability weighted = Applicability::kYes;
+  Applicability unconnected = Applicability::kYes;
+  std::string note;
+};
+
+/// All 16 metrics in Table 1 order.
+std::vector<MetricInfo> AllMetricInfos();
+
+/// Rendering helper for the table printer.
+std::string ApplicabilityToString(Applicability a);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_EVAL_METRIC_INFO_H_

@@ -1,0 +1,73 @@
+#include "src/gnn/aggregate.h"
+
+#include <cassert>
+
+namespace sparsify {
+
+Matrix MeanAggregate(const Graph& g, const Matrix& x) {
+  assert(x.rows == g.NumVertices());
+  Matrix out(x.rows, x.cols);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    double inv = 1.0 / static_cast<double>(nbrs.size());
+    double* orow = out.Row(v);
+    for (const AdjEntry& a : nbrs) {
+      const double* xrow = x.Row(a.node);
+      for (size_t j = 0; j < x.cols; ++j) orow[j] += inv * xrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MeanAggregateTranspose(const Graph& g, const Matrix& grad) {
+  assert(grad.rows == g.NumVertices());
+  Matrix out(grad.rows, grad.cols);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    double inv = 1.0 / static_cast<double>(nbrs.size());
+    const double* grow = grad.Row(v);
+    for (const AdjEntry& a : nbrs) {
+      double* orow = out.Row(a.node);
+      for (size_t j = 0; j < grad.cols; ++j) orow[j] += inv * grow[j];
+    }
+  }
+  return out;
+}
+
+Matrix GcnAggregate(const Graph& g, const Matrix& x) {
+  assert(x.rows == g.NumVertices());
+  Matrix out(x.rows, x.cols);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    double inv = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
+    double* orow = out.Row(v);
+    const double* self = x.Row(v);
+    for (size_t j = 0; j < x.cols; ++j) orow[j] += inv * self[j];
+    for (const AdjEntry& a : nbrs) {
+      const double* xrow = x.Row(a.node);
+      for (size_t j = 0; j < x.cols; ++j) orow[j] += inv * xrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix GcnAggregateTranspose(const Graph& g, const Matrix& grad) {
+  assert(grad.rows == g.NumVertices());
+  Matrix out(grad.rows, grad.cols);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    double inv = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
+    const double* grow = grad.Row(v);
+    double* self = out.Row(v);
+    for (size_t j = 0; j < grad.cols; ++j) self[j] += inv * grow[j];
+    for (const AdjEntry& a : nbrs) {
+      double* orow = out.Row(a.node);
+      for (size_t j = 0; j < grad.cols; ++j) orow[j] += inv * grow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace sparsify

@@ -1,0 +1,26 @@
+// Graph message-passing aggregation operators shared by the GNN models.
+#ifndef SPARSIFY_GNN_AGGREGATE_H_
+#define SPARSIFY_GNN_AGGREGATE_H_
+
+#include "src/gnn/nn.h"
+#include "src/graph/graph.h"
+
+namespace sparsify {
+
+/// M = A_mean X where A_mean is the row-normalized adjacency (mean of
+/// neighbor rows; zero row for isolated vertices). GraphSAGE's aggregator.
+Matrix MeanAggregate(const Graph& g, const Matrix& x);
+
+/// G_out = A_mean^T G — the adjoint of MeanAggregate, used in backprop.
+Matrix MeanAggregateTranspose(const Graph& g, const Matrix& grad);
+
+/// M = D^{-1}(A + I) X — GCN-style normalized aggregation with self loops
+/// (ClusterGCN uses this propagation rule).
+Matrix GcnAggregate(const Graph& g, const Matrix& x);
+
+/// Adjoint of GcnAggregate.
+Matrix GcnAggregateTranspose(const Graph& g, const Matrix& grad);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GNN_AGGREGATE_H_

@@ -1,0 +1,96 @@
+#include "src/gnn/data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sparsify {
+
+NodeClassificationData MakeNodeClassificationData(
+    const std::vector<int>& communities, int num_classes, int feature_dim,
+    double noise, double train_fraction, Rng& rng) {
+  const size_t n = communities.size();
+  NodeClassificationData data;
+  data.num_classes = num_classes;
+  data.labels.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    data.labels[v] = communities[v] % num_classes;
+  }
+  // Random unit-ish centroids.
+  Matrix centroids(num_classes, feature_dim);
+  for (double& c : centroids.data) c = rng.NextGaussian();
+  for (int k = 0; k < num_classes; ++k) {
+    double norm = 0.0;
+    for (int j = 0; j < feature_dim; ++j) {
+      norm += centroids.At(k, j) * centroids.At(k, j);
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (int j = 0; j < feature_dim; ++j) centroids.At(k, j) /= norm;
+  }
+  data.features = Matrix(n, feature_dim);
+  for (size_t v = 0; v < n; ++v) {
+    const double* c = centroids.Row(data.labels[v]);
+    double* f = data.features.Row(v);
+    for (int j = 0; j < feature_dim; ++j) {
+      f[j] = c[j] + noise * rng.NextGaussian();
+    }
+  }
+  // Split.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  size_t num_train = static_cast<size_t>(train_fraction * n);
+  data.train_rows.assign(order.begin(), order.begin() + num_train);
+  data.test_rows.assign(order.begin() + num_train, order.end());
+  return data;
+}
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels,
+                const std::vector<int>& rows) {
+  if (rows.empty()) return 0.0;
+  int correct = 0;
+  for (int r : rows) {
+    if (predictions[r] == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+double MacroAuroc(const Matrix& logits, const std::vector<int>& labels,
+                  const std::vector<int>& rows) {
+  if (rows.empty()) return 0.5;
+  double auc_sum = 0.0;
+  int classes_counted = 0;
+  std::vector<std::pair<double, int>> scored;  // (score, is_positive)
+  for (size_t k = 0; k < logits.cols; ++k) {
+    scored.clear();
+    size_t pos = 0;
+    for (int r : rows) {
+      int is_pos = labels[r] == static_cast<int>(k) ? 1 : 0;
+      pos += is_pos;
+      scored.emplace_back(logits.At(r, k), is_pos);
+    }
+    size_t neg = scored.size() - pos;
+    if (pos == 0 || neg == 0) continue;
+    // Rank-sum AUROC with midrank tie handling.
+    std::sort(scored.begin(), scored.end());
+    double rank_sum_pos = 0.0;
+    size_t i = 0;
+    while (i < scored.size()) {
+      size_t j = i;
+      while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+      double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+      for (size_t t = i; t < j; ++t) {
+        if (scored[t].second) rank_sum_pos += midrank;
+      }
+      i = j;
+    }
+    double auc = (rank_sum_pos - 0.5 * pos * (pos + 1.0)) /
+                 (static_cast<double>(pos) * static_cast<double>(neg));
+    auc_sum += auc;
+    ++classes_counted;
+  }
+  return classes_counted > 0 ? auc_sum / classes_counted : 0.5;
+}
+
+}  // namespace sparsify

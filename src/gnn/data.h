@@ -1,0 +1,48 @@
+// Synthetic node-classification data for the GNN experiments.
+//
+// The paper's GNN datasets (Reddit, ogbn-proteins) carry real node features
+// and labels; our stand-ins synthesize both from the generator's planted
+// communities: the label is the community modulo `num_classes`, and the
+// features are a noisy class centroid. The noise level is chosen so that
+// features alone are informative but graph structure adds accuracy — which
+// is exactly the regime the paper's full-graph vs empty-graph band
+// (Fig. 13) depicts.
+#ifndef SPARSIFY_GNN_DATA_H_
+#define SPARSIFY_GNN_DATA_H_
+
+#include <vector>
+
+#include "src/gnn/nn.h"
+#include "src/graph/graph.h"
+
+namespace sparsify {
+
+/// A node-classification task.
+struct NodeClassificationData {
+  Matrix features;          // n x dim
+  std::vector<int> labels;  // n, in [0, num_classes)
+  int num_classes = 0;
+  std::vector<int> train_rows;
+  std::vector<int> test_rows;
+};
+
+/// Builds features/labels from community assignments. `noise` is the
+/// standard deviation of the Gaussian perturbation around each class
+/// centroid (centroids are random Gaussian vectors of norm ~1).
+NodeClassificationData MakeNodeClassificationData(
+    const std::vector<int>& communities, int num_classes, int feature_dim,
+    double noise, double train_fraction, Rng& rng);
+
+/// Accuracy of argmax predictions over `rows`.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels, const std::vector<int>& rows);
+
+/// Macro-averaged one-vs-rest AUROC of the logits over `rows` (the paper
+/// reports AUROC for ogbn-proteins). Classes absent from `rows` are
+/// skipped.
+double MacroAuroc(const Matrix& logits, const std::vector<int>& labels,
+                  const std::vector<int>& rows);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GNN_DATA_H_

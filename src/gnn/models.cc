@@ -1,0 +1,224 @@
+#include "src/gnn/models.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace sparsify {
+
+namespace {
+
+Matrix ColSum(const Matrix& m) {
+  Matrix out(1, m.cols);
+  for (size_t i = 0; i < m.rows; ++i) {
+    const double* row = m.Row(i);
+    for (size_t j = 0; j < m.cols; ++j) out.At(0, j) += row[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GraphSAGE
+
+GraphSage::GraphSage(size_t in_dim, size_t hidden_dim, size_t num_classes,
+                     Rng& rng, double lr)
+    : w1_(2 * in_dim, hidden_dim),
+      b1_(1, hidden_dim),
+      w2_(2 * hidden_dim, num_classes),
+      b2_(1, num_classes),
+      opt_w1_(2 * in_dim, hidden_dim, lr),
+      opt_b1_(1, hidden_dim, lr),
+      opt_w2_(2 * hidden_dim, num_classes, lr),
+      opt_b2_(1, num_classes, lr) {
+  GlorotInit(&w1_, rng);
+  GlorotInit(&w2_, rng);
+}
+
+Matrix GraphSage::Forward(const Graph& g, const Matrix& x) const {
+  Matrix c0 = HConcat(x, MeanAggregate(g, x));
+  Matrix h1 = MatMul(c0, w1_);
+  AddBias(b1_, &h1);
+  ReluInPlace(&h1);
+  Matrix c1 = HConcat(h1, MeanAggregate(g, h1));
+  Matrix logits = MatMul(c1, w2_);
+  AddBias(b2_, &logits);
+  return logits;
+}
+
+double GraphSage::TrainEpoch(const Graph& g, const Matrix& x,
+                             const std::vector<int>& labels,
+                             const std::vector<int>& train_rows) {
+  // Forward with caches.
+  Matrix c0 = HConcat(x, MeanAggregate(g, x));
+  Matrix h1 = MatMul(c0, w1_);
+  AddBias(b1_, &h1);
+  ReluInPlace(&h1);
+  Matrix c1 = HConcat(h1, MeanAggregate(g, h1));
+  Matrix logits = MatMul(c1, w2_);
+  AddBias(b2_, &logits);
+
+  Matrix dlogits;
+  double loss = SoftmaxCrossEntropy(logits, labels, train_rows, &dlogits);
+
+  // Backward.
+  Matrix dw2 = MatTMul(c1, dlogits);
+  Matrix db2 = ColSum(dlogits);
+  Matrix dc1 = MatMulT(dlogits, w2_);
+  Matrix dh1_direct, dm1;
+  HSplit(dc1, h1.cols, &dh1_direct, &dm1);
+  Matrix dh1 = MeanAggregateTranspose(g, dm1);
+  for (size_t i = 0; i < dh1.data.size(); ++i) {
+    dh1.data[i] += dh1_direct.data[i];
+  }
+  ReluBackward(h1, &dh1);
+  Matrix dw1 = MatTMul(c0, dh1);
+  Matrix db1 = ColSum(dh1);
+
+  opt_w2_.Step(dw2, &w2_);
+  opt_b2_.Step(db2, &b2_);
+  opt_w1_.Step(dw1, &w1_);
+  opt_b1_.Step(db1, &b1_);
+  return loss;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterGCN
+
+ClusterGcn::ClusterGcn(size_t in_dim, size_t hidden_dim, size_t num_classes,
+                       Rng& rng, double lr)
+    : w1_(in_dim, hidden_dim),
+      b1_(1, hidden_dim),
+      w2_(hidden_dim, num_classes),
+      b2_(1, num_classes),
+      opt_w1_(in_dim, hidden_dim, lr),
+      opt_b1_(1, hidden_dim, lr),
+      opt_w2_(hidden_dim, num_classes, lr),
+      opt_b2_(1, num_classes, lr) {
+  GlorotInit(&w1_, rng);
+  GlorotInit(&w2_, rng);
+}
+
+Matrix ClusterGcn::Forward(const Graph& g, const Matrix& x) const {
+  Matrix a0 = GcnAggregate(g, x);
+  Matrix h1 = MatMul(a0, w1_);
+  AddBias(b1_, &h1);
+  ReluInPlace(&h1);
+  Matrix p1 = GcnAggregate(g, h1);
+  Matrix logits = MatMul(p1, w2_);
+  AddBias(b2_, &logits);
+  return logits;
+}
+
+double ClusterGcn::TrainEpoch(const Graph& g, const Matrix& x,
+                              const std::vector<int>& labels,
+                              const std::vector<int>& train_rows,
+                              const std::vector<std::vector<NodeId>>& batches) {
+  std::vector<uint8_t> is_train(g.NumVertices(), 0);
+  for (int r : train_rows) is_train[r] = 1;
+  double total_loss = 0.0;
+  int counted = 0;
+  for (const std::vector<NodeId>& batch : batches) {
+    InducedBatch ib = InduceBatch(g, x, labels, is_train, batch);
+    if (ib.local_train_rows.empty()) continue;
+    // Forward on the induced subgraph.
+    Matrix a0 = GcnAggregate(ib.graph, ib.features);
+    Matrix h1 = MatMul(a0, w1_);
+    AddBias(b1_, &h1);
+    ReluInPlace(&h1);
+    Matrix p1 = GcnAggregate(ib.graph, h1);
+    Matrix logits = MatMul(p1, w2_);
+    AddBias(b2_, &logits);
+
+    Matrix dlogits;
+    total_loss += SoftmaxCrossEntropy(logits, ib.labels, ib.local_train_rows,
+                                      &dlogits);
+    ++counted;
+
+    Matrix dw2 = MatTMul(p1, dlogits);
+    Matrix db2 = ColSum(dlogits);
+    Matrix dp1 = MatMulT(dlogits, w2_);
+    Matrix dh1 = GcnAggregateTranspose(ib.graph, dp1);
+    ReluBackward(h1, &dh1);
+    Matrix dw1 = MatTMul(a0, dh1);
+    Matrix db1 = ColSum(dh1);
+
+    opt_w2_.Step(dw2, &w2_);
+    opt_b2_.Step(db2, &b2_);
+    opt_w1_.Step(dw1, &w1_);
+    opt_b1_.Step(db1, &b1_);
+  }
+  return counted > 0 ? total_loss / counted : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Batching helpers
+
+std::vector<std::vector<NodeId>> MakeClusterBatches(
+    const std::vector<int>& cluster_labels, size_t min_batch_vertices) {
+  int num_clusters = 0;
+  for (int lab : cluster_labels) {
+    num_clusters = std::max(num_clusters, lab + 1);
+  }
+  std::vector<std::vector<NodeId>> by_cluster(num_clusters);
+  for (NodeId v = 0; v < cluster_labels.size(); ++v) {
+    by_cluster[cluster_labels[v]].push_back(v);
+  }
+  std::vector<std::vector<NodeId>> batches;
+  std::vector<NodeId> current;
+  for (const std::vector<NodeId>& cluster : by_cluster) {
+    current.insert(current.end(), cluster.begin(), cluster.end());
+    if (current.size() >= min_batch_vertices) {
+      batches.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    if (batches.empty()) {
+      batches.push_back(std::move(current));
+    } else {
+      batches.back().insert(batches.back().end(), current.begin(),
+                            current.end());
+    }
+  }
+  return batches;
+}
+
+InducedBatch InduceBatch(const Graph& g, const Matrix& x,
+                         const std::vector<int>& labels,
+                         const std::vector<uint8_t>& is_train,
+                         const std::vector<NodeId>& vertices) {
+  InducedBatch ib;
+  ib.global_ids = vertices;
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(vertices.size());
+  for (NodeId i = 0; i < vertices.size(); ++i) local[vertices[i]] = i;
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < vertices.size(); ++i) {
+    NodeId v = vertices[i];
+    for (const AdjEntry& a : g.OutNeighbors(v)) {
+      auto it = local.find(a.node);
+      if (it == local.end()) continue;
+      // Undirected canonical edges would otherwise be added twice.
+      if (!g.IsDirected() && a.node < v) continue;
+      edges.push_back({i, it->second, g.EdgeWeight(a.edge)});
+    }
+  }
+  ib.graph = Graph::FromEdges(static_cast<NodeId>(vertices.size()),
+                              std::move(edges), g.IsDirected(),
+                              g.IsWeighted());
+  ib.features = Matrix(vertices.size(), x.cols);
+  ib.labels.resize(vertices.size());
+  for (NodeId i = 0; i < vertices.size(); ++i) {
+    std::copy(x.Row(vertices[i]), x.Row(vertices[i]) + x.cols,
+              ib.features.Row(i));
+    ib.labels[i] = labels[vertices[i]];
+    if (is_train[vertices[i]]) {
+      ib.local_train_rows.push_back(static_cast<int>(i));
+    }
+  }
+  return ib;
+}
+
+}  // namespace sparsify

@@ -1,0 +1,156 @@
+#include "src/gnn/nn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sparsify {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols == b.rows);
+  Matrix c(a.rows, b.cols);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (size_t k = 0; k < a.cols; ++k) {
+      double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  assert(a.rows == b.rows);
+  Matrix c(a.cols, b.cols);
+  for (size_t k = 0; k < a.rows; ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (size_t i = 0; i < a.cols; ++i) {
+      double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  assert(a.cols == b.cols);
+  Matrix c(a.rows, b.rows);
+  for (size_t i = 0; i < a.rows; ++i) {
+    const double* arow = a.Row(i);
+    for (size_t j = 0; j < b.rows; ++j) {
+      const double* brow = b.Row(j);
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols; ++k) s += arow[k] * brow[k];
+      c.At(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix HConcat(const Matrix& a, const Matrix& b) {
+  assert(a.rows == b.rows);
+  Matrix c(a.rows, a.cols + b.cols);
+  for (size_t i = 0; i < a.rows; ++i) {
+    std::copy(a.Row(i), a.Row(i) + a.cols, c.Row(i));
+    std::copy(b.Row(i), b.Row(i) + b.cols, c.Row(i) + a.cols);
+  }
+  return c;
+}
+
+void HSplit(const Matrix& ab, size_t ca, Matrix* a, Matrix* b) {
+  assert(ab.cols >= ca);
+  size_t cb = ab.cols - ca;
+  *a = Matrix(ab.rows, ca);
+  *b = Matrix(ab.rows, cb);
+  for (size_t i = 0; i < ab.rows; ++i) {
+    std::copy(ab.Row(i), ab.Row(i) + ca, a->Row(i));
+    std::copy(ab.Row(i) + ca, ab.Row(i) + ab.cols, b->Row(i));
+  }
+}
+
+void ReluInPlace(Matrix* m) {
+  for (double& x : m->data) x = std::max(0.0, x);
+}
+
+void ReluBackward(const Matrix& post_activation, Matrix* grad) {
+  assert(post_activation.data.size() == grad->data.size());
+  for (size_t i = 0; i < grad->data.size(); ++i) {
+    if (post_activation.data[i] <= 0.0) grad->data[i] = 0.0;
+  }
+}
+
+void AddBias(const Matrix& bias, Matrix* m) {
+  assert(bias.rows == 1 && bias.cols == m->cols);
+  for (size_t i = 0; i < m->rows; ++i) {
+    double* row = m->Row(i);
+    for (size_t j = 0; j < m->cols; ++j) row[j] += bias.At(0, j);
+  }
+}
+
+void GlorotInit(Matrix* m, Rng& rng) {
+  double bound = std::sqrt(6.0 / static_cast<double>(m->rows + m->cols));
+  for (double& x : m->data) x = (2.0 * rng.NextDouble() - 1.0) * bound;
+}
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int>& labels,
+                           const std::vector<int>& rows, Matrix* grad) {
+  *grad = Matrix(logits.rows, logits.cols);
+  if (rows.empty()) return 0.0;
+  double loss = 0.0;
+  double inv = 1.0 / static_cast<double>(rows.size());
+  std::vector<double> p(logits.cols);
+  for (int r : rows) {
+    const double* row = logits.Row(r);
+    double mx = *std::max_element(row, row + logits.cols);
+    double z = 0.0;
+    for (size_t j = 0; j < logits.cols; ++j) {
+      p[j] = std::exp(row[j] - mx);
+      z += p[j];
+    }
+    int y = labels[r];
+    loss += -std::log(std::max(1e-300, p[y] / z));
+    double* grow = grad->Row(r);
+    for (size_t j = 0; j < logits.cols; ++j) {
+      grow[j] = (p[j] / z - (static_cast<int>(j) == y ? 1.0 : 0.0)) * inv;
+    }
+  }
+  return loss * inv;
+}
+
+std::vector<int> ArgmaxRows(const Matrix& logits) {
+  std::vector<int> pred(logits.rows, 0);
+  for (size_t i = 0; i < logits.rows; ++i) {
+    const double* row = logits.Row(i);
+    pred[i] = static_cast<int>(
+        std::max_element(row, row + logits.cols) - row);
+  }
+  return pred;
+}
+
+Adam::Adam(size_t rows, size_t cols, double lr, double beta1, double beta2,
+           double eps)
+    : m_(rows, cols), v_(rows, cols), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::Step(const Matrix& grad, Matrix* param) {
+  assert(grad.data.size() == param->data.size());
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, t_);
+  double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < grad.data.size(); ++i) {
+    double gi = grad.data[i];
+    m_.data[i] = beta1_ * m_.data[i] + (1.0 - beta1_) * gi;
+    v_.data[i] = beta2_ * v_.data[i] + (1.0 - beta2_) * gi * gi;
+    double mhat = m_.data[i] / bc1;
+    double vhat = v_.data[i] / bc2;
+    param->data[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace sparsify

@@ -1,0 +1,87 @@
+#include "src/graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sparsify {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'G', 'B'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary graph: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void WriteBinaryGraphStream(const Graph& g, std::ostream& out) {
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+  WritePod<uint8_t>(out, g.IsDirected() ? 1 : 0);
+  WritePod<uint8_t>(out, g.IsWeighted() ? 1 : 0);
+  WritePod<uint32_t>(out, g.NumVertices());
+  WritePod<uint32_t>(out, g.NumEdges());
+  for (const Edge& e : g.Edges()) {
+    WritePod<uint32_t>(out, e.u);
+    WritePod<uint32_t>(out, e.v);
+  }
+  if (g.IsWeighted()) {
+    for (const Edge& e : g.Edges()) WritePod<double>(out, e.w);
+  }
+  if (!out) throw std::runtime_error("binary graph: write failure");
+}
+
+void WriteBinaryGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  WriteBinaryGraphStream(g, out);
+}
+
+Graph ReadBinaryGraphStream(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("binary graph: bad magic");
+  }
+  uint32_t version = ReadPod<uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("binary graph: unsupported version " +
+                             std::to_string(version));
+  }
+  bool directed = ReadPod<uint8_t>(in) != 0;
+  bool weighted = ReadPod<uint8_t>(in) != 0;
+  uint32_t n = ReadPod<uint32_t>(in);
+  uint32_t m = ReadPod<uint32_t>(in);
+  std::vector<Edge> edges(m);
+  for (uint32_t e = 0; e < m; ++e) {
+    edges[e].u = ReadPod<uint32_t>(in);
+    edges[e].v = ReadPod<uint32_t>(in);
+    if (edges[e].u >= n || edges[e].v >= n) {
+      throw std::runtime_error("binary graph: edge endpoint out of range");
+    }
+  }
+  if (weighted) {
+    for (uint32_t e = 0; e < m; ++e) edges[e].w = ReadPod<double>(in);
+  }
+  return Graph::FromEdges(n, std::move(edges), directed, weighted);
+}
+
+Graph ReadBinaryGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return ReadBinaryGraphStream(in);
+}
+
+}  // namespace sparsify

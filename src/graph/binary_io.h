@@ -1,0 +1,32 @@
+// Compact binary graph serialization.
+//
+// Text edge lists (io.h) are interoperable with SNAP but slow to parse;
+// pipelines that sparsify once and evaluate many metrics benefit from a
+// binary cache. Format (little-endian):
+//   magic "SPGB" | u32 version | u8 directed | u8 weighted |
+//   u32 num_vertices | u32 num_edges |
+//   num_edges x { u32 u, u32 v } | (if weighted) num_edges x f64 w
+#ifndef SPARSIFY_GRAPH_BINARY_IO_H_
+#define SPARSIFY_GRAPH_BINARY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace sparsify {
+
+/// Serializes the canonical edges of `g`. Throws std::runtime_error on
+/// write failure.
+void WriteBinaryGraphStream(const Graph& g, std::ostream& out);
+void WriteBinaryGraph(const Graph& g, const std::string& path);
+
+/// Deserializes; validates magic, version, and structural bounds. Throws
+/// std::runtime_error on malformed input (truncation, bad magic, edge ids
+/// out of range).
+Graph ReadBinaryGraphStream(std::istream& in);
+Graph ReadBinaryGraph(const std::string& path);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GRAPH_BINARY_IO_H_

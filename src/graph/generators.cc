@@ -1,0 +1,298 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sparsify {
+
+namespace {
+
+// Packs an edge into a 64-bit key for dedup sets.
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(NodeId n, EdgeId m, bool directed, Rng& rng) {
+  if (n < 2) return Graph::FromEdges(n, {}, directed, false);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  uint64_t max_edges =
+      directed ? static_cast<uint64_t>(n) * (n - 1)
+               : static_cast<uint64_t>(n) * (n - 1) / 2;
+  EdgeId target = static_cast<EdgeId>(
+      std::min<uint64_t>(m, max_edges));
+  while (edges.size() < target) {
+    NodeId u = static_cast<NodeId>(rng.NextUint(n));
+    NodeId v = static_cast<NodeId>(rng.NextUint(n));
+    if (u == v) continue;
+    NodeId a = u, b = v;
+    if (!directed && a > b) std::swap(a, b);
+    if (seen.insert(EdgeKey(a, b)).second) {
+      edges.push_back({a, b, 1.0});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges), directed, false);
+}
+
+Graph BarabasiAlbert(NodeId n, NodeId edges_per_node, Rng& rng) {
+  if (edges_per_node == 0) throw std::invalid_argument("m must be >= 1");
+  NodeId m0 = std::max<NodeId>(edges_per_node, 2);
+  if (n <= m0) return ErdosRenyi(n, n * (n - 1) / 4, false, rng);
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: picking a uniform element is preferential
+  // attachment by degree.
+  std::vector<NodeId> endpoints;
+  // Seed: path over the first m0 vertices.
+  for (NodeId v = 1; v < m0; ++v) {
+    edges.push_back({static_cast<NodeId>(v - 1), v, 1.0});
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+  std::unordered_set<NodeId> targets;
+  for (NodeId v = m0; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < edges_per_node) {
+      NodeId t = endpoints[rng.NextUint(endpoints.size())];
+      targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      edges.push_back({t, v, 1.0});
+      endpoints.push_back(t);
+      endpoints.push_back(v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges), false, false);
+}
+
+Graph WattsStrogatz(NodeId n, NodeId k, double beta, Rng& rng) {
+  if (k < 1 || 2 * k >= n) throw std::invalid_argument("need 1 <= k < n/2");
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  auto add = [&](NodeId a, NodeId b) {
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    if (!seen.insert(EdgeKey(a, b)).second) return false;
+    edges.push_back({a, b, 1.0});
+    return true;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= k; ++j) {
+      NodeId t = static_cast<NodeId>((v + j) % n);
+      if (rng.NextBernoulli(beta)) {
+        // Rewire: random target not already a neighbor.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          NodeId r = static_cast<NodeId>(rng.NextUint(n));
+          if (add(v, r)) break;
+        }
+      } else {
+        add(v, t);
+      }
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges), false, false);
+}
+
+Graph RMat(int scale, EdgeId m, double a, double b, double c, bool directed,
+           Rng& rng) {
+  if (scale < 1 || scale > 30) throw std::invalid_argument("bad scale");
+  double d = 1.0 - a - b - c;
+  if (d < 0) throw std::invalid_argument("a+b+c must be <= 1");
+  NodeId n = static_cast<NodeId>(1) << scale;
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Cap attempts so pathological parameters cannot loop forever.
+  uint64_t max_attempts = static_cast<uint64_t>(m) * 50;
+  for (uint64_t attempt = 0; attempt < max_attempts && edges.size() < m;
+       ++attempt) {
+    NodeId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    NodeId x = u, y = v;
+    if (!directed && x > y) std::swap(x, y);
+    if (seen.insert(EdgeKey(x, y)).second) edges.push_back({x, y, 1.0});
+  }
+  return Graph::FromEdges(n, std::move(edges), directed, false);
+}
+
+Graph PlantedPartition(NodeId n, int num_communities, double p_in,
+                       double p_out, Rng& rng,
+                       std::vector<int>* communities) {
+  if (num_communities < 1) throw std::invalid_argument("need >= 1 community");
+  std::vector<int> comm(n);
+  for (NodeId v = 0; v < n; ++v) {
+    comm[v] = static_cast<int>(v % static_cast<NodeId>(num_communities));
+  }
+  std::vector<Edge> edges;
+  // Row-wise geometric skipping: O(#edges) per probability class rather
+  // than O(n^2) Bernoulli draws.
+  auto add_class = [&](double p, bool intra) {
+    if (p <= 0.0) return;
+    for (NodeId u = 0; u + 1 < n; ++u) {
+      uint64_t row_len = n - 1 - u;  // candidates v in (u, n)
+      uint64_t idx = rng.NextGeometric(p);
+      while (idx < row_len) {
+        NodeId v = static_cast<NodeId>(u + 1 + idx);
+        if ((comm[u] == comm[v]) == intra) edges.push_back({u, v, 1.0});
+        idx += 1 + rng.NextGeometric(p);
+      }
+    }
+  };
+  add_class(p_in, /*intra=*/true);
+  add_class(p_out, /*intra=*/false);
+  if (communities != nullptr) *communities = std::move(comm);
+  return Graph::FromEdges(n, std::move(edges), false, false);
+}
+
+Graph PowerLawConfiguration(NodeId n, double gamma, NodeId min_degree,
+                            NodeId max_degree, Rng& rng) {
+  if (min_degree < 1 || max_degree < min_degree) {
+    throw std::invalid_argument("bad degree bounds");
+  }
+  // Inverse-CDF Zipf sampling over [min_degree, max_degree].
+  std::vector<NodeId> degree(n);
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    double u = rng.NextDouble();
+    double lo = std::pow(static_cast<double>(min_degree), 1.0 - gamma);
+    double hi = std::pow(static_cast<double>(max_degree) + 1.0, 1.0 - gamma);
+    double x = std::pow(lo + u * (hi - lo), 1.0 / (1.0 - gamma));
+    degree[v] = std::min<NodeId>(
+        max_degree, std::max<NodeId>(min_degree, static_cast<NodeId>(x)));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId i = 0; i < degree[v]; ++i) stubs.push_back(v);
+  }
+  if (stubs.size() % 2 == 1) stubs.push_back(static_cast<NodeId>(0));
+  rng.Shuffle(&stubs);
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.push_back({stubs[i], stubs[i + 1], 1.0});
+  }
+  // FromEdges drops self loops and merges multi-edges.
+  return Graph::FromEdges(n, std::move(edges), false, false);
+}
+
+Graph ForestFireModel(NodeId n, double p_forward, bool directed, Rng& rng) {
+  std::vector<std::vector<NodeId>> adj(n);  // out-adjacency while growing
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId ambassador = static_cast<NodeId>(rng.NextUint(v));
+    std::unordered_set<NodeId> visited{v, ambassador};
+    std::queue<NodeId> frontier;
+    frontier.push(ambassador);
+    edges.push_back({v, ambassador, 1.0});
+    adj[v].push_back(ambassador);
+    while (!frontier.empty()) {
+      NodeId w = frontier.front();
+      frontier.pop();
+      // Burn a geometric number of w's neighbors.
+      uint64_t burn = rng.NextGeometric(std::max(1e-9, 1.0 - p_forward));
+      std::vector<NodeId> cands;
+      for (NodeId t : adj[w]) {
+        if (!visited.contains(t)) cands.push_back(t);
+      }
+      rng.Shuffle(&cands);
+      for (uint64_t i = 0; i < burn && i < cands.size(); ++i) {
+        NodeId t = cands[i];
+        visited.insert(t);
+        edges.push_back({v, t, 1.0});
+        adj[v].push_back(t);
+        frontier.push(t);
+      }
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges), directed, false);
+}
+
+Graph LfrBenchmark(NodeId n, double degree_gamma, NodeId min_degree,
+                   NodeId max_degree, double size_gamma,
+                   NodeId min_community, double mu, Rng& rng,
+                   std::vector<int>* communities) {
+  if (mu < 0.0 || mu > 1.0) throw std::invalid_argument("mu in [0,1]");
+  // 1. Power-law community sizes until they cover n vertices.
+  auto zipf = [&](NodeId lo, NodeId hi, double gamma) -> NodeId {
+    double u = rng.NextDouble();
+    double a = std::pow(static_cast<double>(lo), 1.0 - gamma);
+    double b = std::pow(static_cast<double>(hi) + 1.0, 1.0 - gamma);
+    double x = std::pow(a + u * (b - a), 1.0 / (1.0 - gamma));
+    return std::min<NodeId>(hi, std::max<NodeId>(lo,
+                                                 static_cast<NodeId>(x)));
+  };
+  std::vector<int> comm(n);
+  {
+    NodeId assigned = 0;
+    int community = 0;
+    NodeId max_community = std::max<NodeId>(min_community, n / 4);
+    while (assigned < n) {
+      NodeId size = zipf(min_community, max_community, size_gamma);
+      size = std::min<NodeId>(size, n - assigned);
+      for (NodeId i = 0; i < size; ++i) comm[assigned + i] = community;
+      assigned += size;
+      ++community;
+    }
+  }
+  // 2. Power-law degrees; split into intra and inter stubs by mu.
+  std::vector<NodeId> intra_stub, inter_stub;
+  int num_comms = comm.empty() ? 0 : comm[n - 1] + 1;
+  std::vector<std::vector<NodeId>> intra_by_comm(num_comms);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId degree = zipf(min_degree, max_degree, degree_gamma);
+    for (NodeId i = 0; i < degree; ++i) {
+      if (rng.NextDouble() < mu) {
+        inter_stub.push_back(v);
+      } else {
+        intra_by_comm[comm[v]].push_back(v);
+      }
+    }
+  }
+  // 3. Stub matching: intra within each community, inter globally.
+  std::vector<Edge> edges;
+  auto match = [&](std::vector<NodeId>& stubs) {
+    rng.Shuffle(&stubs);
+    if (stubs.size() % 2 == 1) stubs.pop_back();
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      edges.push_back({stubs[i], stubs[i + 1], 1.0});
+    }
+  };
+  for (std::vector<NodeId>& stubs : intra_by_comm) match(stubs);
+  match(inter_stub);
+  if (communities != nullptr) *communities = std::move(comm);
+  // FromEdges drops self loops and merges multi-edges.
+  return Graph::FromEdges(n, std::move(edges), false, false);
+}
+
+Graph WithRandomWeights(const Graph& g, double max_weight, Rng& rng) {
+  std::vector<Edge> es = g.Edges();
+  for (Edge& e : es) {
+    // Zipf-ish skew: most weights small, a few large.
+    double u = rng.NextDouble();
+    e.w = 1.0 + std::floor(std::pow(u, 3.0) * (max_weight - 1.0));
+  }
+  return Graph::FromEdges(g.NumVertices(), std::move(es), g.IsDirected(),
+                          /*weighted=*/true);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,218 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace sparsify {
+
+namespace {
+
+// Canonicalizes, sorts, and merges parallel edges in place.
+void NormalizeEdges(std::vector<Edge>* edges, bool directed, bool weighted) {
+  // Drop self loops; canonicalize undirected orientation.
+  std::vector<Edge>& es = *edges;
+  size_t out = 0;
+  for (const Edge& e : es) {
+    if (e.u == e.v) continue;
+    Edge c = e;
+    if (!directed && c.u > c.v) std::swap(c.u, c.v);
+    es[out++] = c;
+  }
+  es.resize(out);
+  std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  // Merge duplicates.
+  out = 0;
+  for (size_t i = 0; i < es.size();) {
+    Edge merged = es[i];
+    size_t j = i + 1;
+    while (j < es.size() && es[j].u == merged.u && es[j].v == merged.v) {
+      if (weighted) merged.w += es[j].w;
+      ++j;
+    }
+    if (!weighted) merged.w = 1.0;
+    es[out++] = merged;
+    i = j;
+  }
+  es.resize(out);
+}
+
+}  // namespace
+
+Graph Graph::FromEdges(NodeId num_vertices, std::vector<Edge> edges,
+                       bool directed, bool weighted) {
+  for (const Edge& e : edges) {
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+  }
+  NormalizeEdges(&edges, directed, weighted);
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.directed_ = directed;
+  g.weighted_ = weighted;
+  g.edges_ = std::move(edges);
+  g.BuildCsr();
+  return g;
+}
+
+void Graph::BuildCsr() {
+  const size_t n = num_vertices_;
+  out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++out_offsets_[e.u + 1];
+    if (!directed_) ++out_offsets_[e.v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) out_offsets_[i + 1] += out_offsets_[i];
+  adj_.resize(out_offsets_[n]);
+  std::vector<uint64_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    adj_[cursor[ed.u]++] = {ed.v, e};
+    if (!directed_) adj_[cursor[ed.v]++] = {ed.u, e};
+  }
+  auto by_node = [](const AdjEntry& a, const AdjEntry& b) {
+    return a.node < b.node;
+  };
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(adj_.begin() + static_cast<ptrdiff_t>(out_offsets_[v]),
+              adj_.begin() + static_cast<ptrdiff_t>(out_offsets_[v + 1]),
+              by_node);
+  }
+  if (directed_) {
+    in_offsets_.assign(n + 1, 0);
+    for (const Edge& e : edges_) ++in_offsets_[e.v + 1];
+    for (size_t i = 0; i < n; ++i) in_offsets_[i + 1] += in_offsets_[i];
+    in_adj_.resize(in_offsets_[n]);
+    std::vector<uint64_t> icur(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      in_adj_[icur[edges_[e].v]++] = {edges_[e].u, e};
+    }
+    for (size_t v = 0; v < n; ++v) {
+      std::sort(in_adj_.begin() + static_cast<ptrdiff_t>(in_offsets_[v]),
+                in_adj_.begin() + static_cast<ptrdiff_t>(in_offsets_[v + 1]),
+                by_node);
+    }
+  } else {
+    in_offsets_.clear();
+    in_adj_.clear();
+  }
+}
+
+NodeId Graph::MaxDegree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, OutDegree(v));
+  }
+  return best;
+}
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const AdjEntry& a, NodeId node) { return a.node < node; });
+  if (it != nbrs.end() && it->node == v) return it->edge;
+  return kInvalidEdge;
+}
+
+NodeId Graph::CountIsolated() const {
+  NodeId count = 0;
+  for (NodeId v = 0; v < num_vertices_; ++v) {
+    if (OutDegree(v) == 0 && InDegree(v) == 0) ++count;
+  }
+  return count;
+}
+
+double Graph::TotalEdgeWeight() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.w;
+  return total;
+}
+
+Graph Graph::Subgraph(const std::vector<uint8_t>& keep) const {
+  assert(keep.size() == edges_.size());
+  std::vector<Edge> kept;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (keep[e]) kept.push_back(edges_[e]);
+  }
+  return FromEdges(num_vertices_, std::move(kept), directed_, weighted_);
+}
+
+Graph Graph::ReweightedSubgraph(const std::vector<uint8_t>& keep,
+                                const std::vector<double>& new_weights) const {
+  assert(keep.size() == edges_.size());
+  assert(new_weights.size() == edges_.size());
+  std::vector<Edge> kept;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (keep[e]) kept.push_back({edges_[e].u, edges_[e].v, new_weights[e]});
+  }
+  return FromEdges(num_vertices_, std::move(kept), directed_,
+                   /*weighted=*/true);
+}
+
+Graph Graph::Symmetrized() const {
+  if (!directed_) return *this;
+  std::vector<Edge> es = edges_;
+  // NormalizeEdges would sum weights of u->v and v->u when merging; for
+  // symmetrization we want the undirected edge to exist once with the
+  // max weight of the two arcs (1 for unweighted graphs), matching the
+  // "add reverse edge if missing" preprocessing of the paper.
+  for (Edge& e : es) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<Edge> merged;
+  for (size_t i = 0; i < es.size();) {
+    Edge m = es[i];
+    size_t j = i + 1;
+    while (j < es.size() && es[j].u == m.u && es[j].v == m.v) {
+      m.w = std::max(m.w, es[j].w);
+      ++j;
+    }
+    merged.push_back(m);
+    i = j;
+  }
+  return FromEdges(num_vertices_, std::move(merged), /*directed=*/false,
+                   weighted_);
+}
+
+Graph Graph::Unweighted() const {
+  std::vector<Edge> es = edges_;
+  for (Edge& e : es) e.w = 1.0;
+  return FromEdges(num_vertices_, std::move(es), directed_,
+                   /*weighted=*/false);
+}
+
+std::string Graph::Summary() const {
+  std::ostringstream os;
+  os << (directed_ ? "directed" : "undirected") << " "
+     << (weighted_ ? "weighted" : "unweighted") << " graph: |V|="
+     << num_vertices_ << " |E|=" << NumEdges()
+     << " isolated=" << CountIsolated();
+  return os.str();
+}
+
+Graph RemoveIsolatedVertices(const Graph& g, std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> map(g.NumVertices(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) > 0 || g.InDegree(v) > 0) map[v] = next++;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.NumEdges());
+  for (const Edge& e : g.Edges()) {
+    edges.push_back({map[e.u], map[e.v], e.w});
+  }
+  if (old_to_new != nullptr) *old_to_new = map;
+  return Graph::FromEdges(next, std::move(edges), g.IsDirected(),
+                          g.IsWeighted());
+}
+
+}  // namespace sparsify

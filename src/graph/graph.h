@@ -1,0 +1,171 @@
+// Core graph data structure: an immutable CSR (compressed sparse row) graph
+// with a canonical edge array.
+//
+// Design notes
+// ------------
+// Sparsifiers in this library operate on *canonical edges*: for an undirected
+// graph each edge {u,v} is stored once (with u <= v) and the CSR adjacency
+// stores both directions, each entry carrying the canonical edge id. For a
+// directed graph every arc is its own canonical edge. A sparsifier therefore
+// produces a keep-mask over canonical edge ids, and `Subgraph()` materializes
+// the sparsified graph over the *same vertex set* (the paper studies edge
+// sparsification only; vertices are never dropped, section 2.1).
+#ifndef SPARSIFY_GRAPH_GRAPH_H_
+#define SPARSIFY_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sparsify {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// A weighted edge as supplied to the builder. For undirected graphs the
+/// orientation of (u, v) is irrelevant; the builder canonicalizes to u <= v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One CSR adjacency entry: the neighbor and the canonical edge id of the
+/// underlying edge (used to look up weights and to build keep-masks).
+struct AdjEntry {
+  NodeId node = 0;
+  EdgeId edge = kInvalidEdge;
+};
+
+/// Immutable graph in CSR form.
+///
+/// Adjacency lists are sorted by neighbor id, which lets similarity
+/// sparsifiers (Jaccard / SCAN) compute exact neighborhood intersections by
+/// linear merge and `HasEdge` run in O(log deg).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph from an edge list.
+  ///
+  /// Self loops are dropped, and parallel edges are merged (weights summed
+  /// for weighted graphs, deduplicated for unweighted). For undirected
+  /// graphs, (u,v) and (v,u) are the same edge.
+  ///
+  /// `num_vertices` fixes the vertex set [0, num_vertices); edges must not
+  /// reference ids outside it.
+  static Graph FromEdges(NodeId num_vertices, std::vector<Edge> edges,
+                         bool directed, bool weighted);
+
+  NodeId NumVertices() const { return num_vertices_; }
+  /// Number of canonical edges (undirected edges counted once).
+  EdgeId NumEdges() const { return static_cast<EdgeId>(edges_.size()); }
+  bool IsDirected() const { return directed_; }
+  bool IsWeighted() const { return weighted_; }
+
+  /// Out-neighbors of `v` (all neighbors for undirected graphs), sorted by id.
+  std::span<const AdjEntry> OutNeighbors(NodeId v) const {
+    return {adj_.data() + out_offsets_[v],
+            adj_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-neighbors of `v`. For undirected graphs this is identical to
+  /// OutNeighbors.
+  std::span<const AdjEntry> InNeighbors(NodeId v) const {
+    if (!directed_) return OutNeighbors(v);
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Out-degree (total degree for undirected graphs).
+  NodeId OutDegree(NodeId v) const {
+    return static_cast<NodeId>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+  NodeId InDegree(NodeId v) const {
+    if (!directed_) return OutDegree(v);
+    return static_cast<NodeId>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Maximum out-degree over all vertices (0 for an empty graph).
+  NodeId MaxDegree() const;
+
+  /// The canonical edge with id `e`. For undirected graphs u <= v.
+  const Edge& CanonicalEdge(EdgeId e) const { return edges_[e]; }
+
+  /// All canonical edges.
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  /// Weight of canonical edge `e` (1.0 for unweighted graphs).
+  double EdgeWeight(EdgeId e) const { return edges_[e].w; }
+
+  /// True if arc u->v exists (any of the two directions for undirected).
+  bool HasEdge(NodeId u, NodeId v) const {
+    return FindEdge(u, v) != kInvalidEdge;
+  }
+
+  /// Canonical edge id of arc u->v, or kInvalidEdge. O(log deg(u)).
+  EdgeId FindEdge(NodeId u, NodeId v) const;
+
+  /// Number of vertices with no incident edge (in or out).
+  NodeId CountIsolated() const;
+
+  /// Sum of all canonical edge weights.
+  double TotalEdgeWeight() const;
+
+  /// Returns the subgraph over the same vertex set keeping exactly the
+  /// canonical edges with keep[e] != 0. `keep` must have NumEdges() entries.
+  Graph Subgraph(const std::vector<uint8_t>& keep) const;
+
+  /// Like Subgraph, but assigns new weights to the kept edges (used by the
+  /// weighted Effective Resistance sparsifier, the only weight-changing
+  /// sparsifier in the paper, Table 2). `new_weights` is indexed by the
+  /// *original* canonical edge id.
+  Graph ReweightedSubgraph(const std::vector<uint8_t>& keep,
+                           const std::vector<double>& new_weights) const;
+
+  /// Undirected version of this graph: each arc u->v becomes edge {u,v};
+  /// duplicate arcs collapse. No-op copy for already-undirected graphs.
+  /// Mirrors the paper's preprocessing step 2 (section 3.1).
+  Graph Symmetrized() const;
+
+  /// Copy of this graph with all weights set to 1 and marked unweighted.
+  Graph Unweighted() const;
+
+  /// Human-readable one-line summary (for logs and examples).
+  std::string Summary() const;
+
+ private:
+  NodeId num_vertices_ = 0;
+  bool directed_ = false;
+  bool weighted_ = false;
+
+  std::vector<Edge> edges_;  // canonical edges
+
+  // Out-CSR over both directions for undirected graphs.
+  std::vector<uint64_t> out_offsets_;  // size num_vertices_ + 1
+  std::vector<AdjEntry> adj_;
+
+  // In-CSR, populated only for directed graphs.
+  std::vector<uint64_t> in_offsets_;
+  std::vector<AdjEntry> in_adj_;
+
+  void BuildCsr();
+};
+
+/// Preprocessing per paper section 3.1: removes isolated vertices and
+/// re-indexes the rest to be zero-based and contiguous. Returns the cleaned
+/// graph; if `old_to_new` is non-null it receives the vertex mapping
+/// (kInvalidNode for removed vertices).
+Graph RemoveIsolatedVertices(const Graph& g,
+                             std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GRAPH_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sparsify {
+
+Graph ReadEdgeListStream(std::istream& in, bool directed, bool weighted) {
+  std::vector<Edge> edges;
+  NodeId max_id = 0;
+  bool any = false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t u, v;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("bad edge at line " + std::to_string(lineno));
+    }
+    if (weighted && !(ls >> w)) w = 1.0;
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    max_id = std::max({max_id, static_cast<NodeId>(u),
+                       static_cast<NodeId>(v)});
+    any = true;
+  }
+  NodeId n = any ? max_id + 1 : 0;
+  return Graph::FromEdges(n, std::move(edges), directed, weighted);
+}
+
+Graph ReadEdgeList(const std::string& path, bool directed, bool weighted) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return ReadEdgeListStream(in, directed, weighted);
+}
+
+void WriteEdgeListStream(const Graph& g, std::ostream& out) {
+  out << "# " << g.Summary() << "\n";
+  for (const Edge& e : g.Edges()) {
+    out << e.u << " " << e.v;
+    if (g.IsWeighted()) out << " " << e.w;
+    out << "\n";
+  }
+}
+
+void WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  WriteEdgeListStream(g, out);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,28 @@
+// Plain-text edge-list I/O, compatible with the SNAP dataset format used by
+// the paper ("# comment" header lines, one "src dst [weight]" pair per line).
+#ifndef SPARSIFY_GRAPH_IO_H_
+#define SPARSIFY_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace sparsify {
+
+/// Parses an edge list from a stream. Lines starting with '#' or '%' are
+/// comments. Each data line is "u v" or "u v w". Vertex ids may be sparse;
+/// `num_vertices` is max id + 1. Throws std::runtime_error on parse errors.
+Graph ReadEdgeListStream(std::istream& in, bool directed, bool weighted);
+
+/// Reads an edge-list file (see ReadEdgeListStream). Throws on I/O error.
+Graph ReadEdgeList(const std::string& path, bool directed, bool weighted);
+
+/// Writes the canonical edges as "u v w" (weighted) or "u v" lines with a
+/// header comment describing the graph.
+void WriteEdgeListStream(const Graph& g, std::ostream& out);
+void WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GRAPH_IO_H_

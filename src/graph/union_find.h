@@ -1,0 +1,55 @@
+// Disjoint-set (union-find) with path halving and union by size.
+// Substrate for Kruskal's spanning forest and connected components.
+#ifndef SPARSIFY_GRAPH_UNION_FIND_H_
+#define SPARSIFY_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sparsify {
+
+/// Disjoint-set forest over elements [0, n).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of x's set (path halving).
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b. Returns true if they were distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// Number of disjoint sets.
+  size_t NumSets() const { return num_sets_; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GRAPH_UNION_FIND_H_

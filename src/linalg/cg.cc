@@ -1,0 +1,61 @@
+#include "src/linalg/cg.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/linalg/laplacian.h"
+
+namespace sparsify {
+
+CgResult SolveLaplacian(const Graph& g, const Vec& b, Vec* x, double tol,
+                        int max_iters) {
+  const size_t n = g.NumVertices();
+  assert(b.size() == n);
+  assert(x->size() == n);
+  CgResult result;
+
+  Vec deg = WeightedDegrees(g);
+  // Jacobi preconditioner M^{-1} = 1/deg (1 for isolated vertices, whose
+  // rows are zero; their solution entries stay at the initial value).
+  Vec minv(n);
+  for (size_t i = 0; i < n; ++i) minv[i] = deg[i] > 0.0 ? 1.0 / deg[i] : 1.0;
+
+  Vec r(n), z(n), p(n), lp(n);
+  LaplacianMultiply(g, *x, &lp);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - lp[i];
+  double bnorm = Norm2(b);
+  if (bnorm == 0.0) {
+    x->assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+  for (size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
+  p = z;
+  double rz = Dot(r, z);
+  for (int it = 0; it < max_iters; ++it) {
+    result.iterations = it + 1;
+    LaplacianMultiply(g, p, &lp);
+    double plp = Dot(p, lp);
+    if (plp <= 0.0) break;  // p in (numerical) kernel; converged as far as
+                            // the consistent part goes.
+    double alpha = rz / plp;
+    Axpy(alpha, p, x);
+    Axpy(-alpha, lp, &r);
+    double rnorm = Norm2(r);
+    result.residual_norm = rnorm;
+    if (rnorm <= tol * bnorm) {
+      result.converged = true;
+      break;
+    }
+    for (size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
+    double rz_next = Dot(r, z);
+    double beta = rz_next / rz;
+    rz = rz_next;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    // Deflate kernel drift occasionally.
+    if ((it & 63) == 63) RemoveMean(x);
+  }
+  return result;
+}
+
+}  // namespace sparsify

@@ -1,0 +1,33 @@
+// Jacobi-preconditioned conjugate gradient for graph Laplacian systems.
+//
+// The Laplacian is symmetric positive semi-definite with kernel spanned by
+// the indicator vectors of connected components. We solve the consistent
+// system L x = b for right-hand sides orthogonal to the kernel (every
+// b = B^T W^{1/2} q produced by the Effective Resistance estimator is,
+// because each edge contributes +w and -w to its two endpoints, which lie in
+// the same component). Iterates are periodically deflated against the
+// all-ones vector to suppress kernel drift from rounding.
+#ifndef SPARSIFY_LINALG_CG_H_
+#define SPARSIFY_LINALG_CG_H_
+
+#include "src/graph/graph.h"
+#include "src/linalg/vector_ops.h"
+
+namespace sparsify {
+
+/// Result of a CG solve.
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solves L x = b to relative tolerance `tol` (on the residual norm) with at
+/// most `max_iters` iterations. `x` is both the initial guess (pass zeros if
+/// unknown) and the output. Degree-0 vertices are fixed at x = 0.
+CgResult SolveLaplacian(const Graph& g, const Vec& b, Vec* x,
+                        double tol = 1e-8, int max_iters = 2000);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_LINALG_CG_H_

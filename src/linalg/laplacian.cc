@@ -1,0 +1,40 @@
+#include "src/linalg/laplacian.h"
+
+#include <cassert>
+
+namespace sparsify {
+
+void LaplacianMultiply(const Graph& g, const Vec& x, Vec* y) {
+  assert(x.size() == g.NumVertices());
+  y->assign(g.NumVertices(), 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    double w = ed.w;
+    double diff = x[ed.u] - x[ed.v];
+    (*y)[ed.u] += w * diff;
+    (*y)[ed.v] -= w * diff;
+  }
+}
+
+Vec WeightedDegrees(const Graph& g) {
+  Vec deg(g.NumVertices(), 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    deg[ed.u] += ed.w;
+    deg[ed.v] += ed.w;
+  }
+  return deg;
+}
+
+double QuadraticForm(const Graph& g, const Vec& x) {
+  assert(x.size() == g.NumVertices());
+  double q = 0.0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    double diff = x[ed.u] - x[ed.v];
+    q += ed.w * diff * diff;
+  }
+  return q;
+}
+
+}  // namespace sparsify

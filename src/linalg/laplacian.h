@@ -1,0 +1,29 @@
+// Graph Laplacian operators.
+//
+// The Laplacian L = D - A of the (symmetrized) graph is applied matrix-free
+// from the CSR adjacency; no explicit matrix is materialized. This serves
+// the Laplacian quadratic-form metric (paper section 2.2.1) and the CG
+// solves inside the Effective Resistance sparsifier (section 2.3.9).
+#ifndef SPARSIFY_LINALG_LAPLACIAN_H_
+#define SPARSIFY_LINALG_LAPLACIAN_H_
+
+#include "src/graph/graph.h"
+#include "src/linalg/vector_ops.h"
+
+namespace sparsify {
+
+/// y = L x where L is the Laplacian of `g`. For directed graphs the
+/// symmetrized adjacency is implied (the paper only defines L for undirected
+/// graphs); pass an undirected graph for exact semantics.
+void LaplacianMultiply(const Graph& g, const Vec& x, Vec* y);
+
+/// Weighted degree (sum of incident canonical edge weights) of every vertex.
+Vec WeightedDegrees(const Graph& g);
+
+/// The quadratic form x^T L x = sum_{(u,v) in E} w_uv (x_u - x_v)^2.
+/// Always >= 0 for undirected graphs.
+double QuadraticForm(const Graph& g, const Vec& x);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_LINALG_LAPLACIAN_H_

@@ -1,0 +1,37 @@
+#include "src/linalg/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace sparsify {
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double alpha, const Vec& x, Vec* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+void RemoveMean(Vec* x) {
+  if (x->empty()) return;
+  double mean = Sum(*x) / static_cast<double>(x->size());
+  for (double& v : *x) v -= mean;
+}
+
+double Sum(const Vec& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+}  // namespace sparsify

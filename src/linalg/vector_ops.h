@@ -1,0 +1,35 @@
+// Minimal dense-vector kernels used by the CG solver, spectral metrics, and
+// centrality power iterations. Free functions over std::vector<double> keep
+// call sites simple and avoid an expression-template dependency.
+#ifndef SPARSIFY_LINALG_VECTOR_OPS_H_
+#define SPARSIFY_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsify {
+
+using Vec = std::vector<double>;
+
+/// Dot product. Vectors must have equal size.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double Norm2(const Vec& a);
+
+/// y += alpha * x.
+void Axpy(double alpha, const Vec& x, Vec* y);
+
+/// x *= alpha.
+void Scale(double alpha, Vec* x);
+
+/// Subtracts the mean from every entry (projects out the all-ones direction,
+/// used to keep CG iterates in the range of a graph Laplacian).
+void RemoveMean(Vec* x);
+
+/// Sum of entries.
+double Sum(const Vec& x);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,201 @@
+#include "src/metrics/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "src/linalg/vector_ops.h"
+#include "src/metrics/distance.h"
+
+namespace sparsify {
+
+namespace {
+
+// One Brandes source accumulation (unweighted BFS DAG), adding the
+// dependency of `src` into `centrality` with multiplier `scale`.
+void BrandesAccumulate(const Graph& g, NodeId src, double scale,
+                       std::vector<double>* centrality) {
+  const NodeId n = g.NumVertices();
+  static thread_local std::vector<double> sigma, delta, dist;
+  static thread_local std::vector<NodeId> order;
+  sigma.assign(n, 0.0);
+  delta.assign(n, 0.0);
+  dist.assign(n, -1.0);
+  order.clear();
+
+  sigma[src] = 1.0;
+  dist[src] = 0.0;
+  std::queue<NodeId> q;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (const AdjEntry& a : g.OutNeighbors(v)) {
+      if (dist[a.node] < 0.0) {
+        dist[a.node] = dist[v] + 1.0;
+        q.push(a.node);
+      }
+      if (dist[a.node] == dist[v] + 1.0) sigma[a.node] += sigma[v];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId w = *it;
+    for (const AdjEntry& a : g.OutNeighbors(w)) {
+      if (dist[a.node] == dist[w] + 1.0 && sigma[a.node] > 0.0) {
+        delta[w] += sigma[w] / sigma[a.node] * (1.0 + delta[a.node]);
+      }
+    }
+    if (w != src) (*centrality)[w] += scale * delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> BetweennessCentrality(const Graph& g) {
+  std::vector<double> centrality(g.NumVertices(), 0.0);
+  for (NodeId s = 0; s < g.NumVertices(); ++s) {
+    BrandesAccumulate(g, s, 1.0, &centrality);
+  }
+  // Undirected paths are counted from both endpoints.
+  if (!g.IsDirected()) {
+    for (double& c : centrality) c *= 0.5;
+  }
+  return centrality;
+}
+
+std::vector<double> ApproxBetweennessCentrality(const Graph& g,
+                                                int num_samples, Rng& rng) {
+  std::vector<double> centrality(g.NumVertices(), 0.0);
+  const NodeId n = g.NumVertices();
+  if (n == 0) return centrality;
+  int samples = std::min<int>(num_samples, n);
+  double scale = static_cast<double>(n) / samples;
+  for (uint64_t s : rng.SampleWithoutReplacement(n, samples)) {
+    BrandesAccumulate(g, static_cast<NodeId>(s), scale, &centrality);
+  }
+  if (!g.IsDirected()) {
+    for (double& c : centrality) c *= 0.5;
+  }
+  return centrality;
+}
+
+std::vector<double> ClosenessCentrality(const Graph& g) {
+  const NodeId n = g.NumVertices();
+  std::vector<double> closeness(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<double> dist = ShortestPathDistances(g, v);
+    double sum = 0.0;
+    double reachable = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != v && dist[u] != kInfDistance) {
+        sum += dist[u];
+        reachable += 1.0;
+      }
+    }
+    if (sum > 0.0 && n > 1) {
+      // Wasserman-Faust: (r / (n-1)) * (r / sum) where r = #reachable.
+      closeness[v] = (reachable / (n - 1.0)) * (reachable / sum);
+    }
+  }
+  return closeness;
+}
+
+std::vector<double> EigenvectorCentrality(const Graph& g, int iters) {
+  const NodeId n = g.NumVertices();
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(std::max<NodeId>(n, 1))));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iters; ++it) {
+    // Iterate (A + I) x: the identity shift keeps the dominant eigenvector
+    // of A while breaking the +-lambda oscillation of bipartite graphs.
+    next = x;
+    for (NodeId v = 0; v < n; ++v) {
+      // Left eigenvector for directed graphs (Table 1 note *): influence
+      // flows along arcs, so v aggregates from its in-neighbors.
+      for (const AdjEntry& a : g.InNeighbors(v)) {
+        next[v] += g.EdgeWeight(a.edge) * x[a.node];
+      }
+    }
+    double norm = Norm2(next);
+    if (norm == 0.0) break;
+    for (NodeId v = 0; v < n; ++v) x[v] = next[v] / norm;
+  }
+  return x;
+}
+
+std::vector<double> KatzCentrality(const Graph& g, double alpha, int iters) {
+  const NodeId n = g.NumVertices();
+  if (alpha <= 0.0) {
+    alpha = 1.0 / (static_cast<double>(g.MaxDegree()) + 1.0);
+  }
+  std::vector<double> x(n, 0.0), next(n, 0.0);
+  for (int it = 0; it < iters; ++it) {
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (const AdjEntry& a : g.InNeighbors(v)) {
+        acc += x[a.node];
+      }
+      next[v] = alpha * acc + 1.0;
+    }
+    std::swap(x, next);
+  }
+  return x;
+}
+
+std::vector<double> PageRank(const Graph& g, double d, int iters,
+                             double tol) {
+  const NodeId n = g.NumVertices();
+  if (n == 0) return {};
+  std::vector<double> x(n, 1.0 / n), next(n, 0.0);
+  for (int it = 0; it < iters; ++it) {
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.OutDegree(v) == 0) dangling += x[v];
+    }
+    double base = (1.0 - d) / n + d * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId deg = g.OutDegree(v);
+      if (deg == 0) continue;
+      double share = d * x[v] / deg;
+      for (const AdjEntry& a : g.OutNeighbors(v)) {
+        next[a.node] += share;
+      }
+    }
+    double diff = 0.0;
+    for (NodeId v = 0; v < n; ++v) diff += std::abs(next[v] - x[v]);
+    std::swap(x, next);
+    if (diff < tol) break;
+  }
+  return x;
+}
+
+std::vector<NodeId> TopKIndices(const std::vector<double>& scores, int k) {
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<int>(k, static_cast<int>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                    : a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+double TopKPrecision(const std::vector<double>& reference,
+                     const std::vector<double>& candidate, int k) {
+  std::vector<NodeId> ref = TopKIndices(reference, k);
+  std::vector<NodeId> cand = TopKIndices(candidate, k);
+  if (ref.empty()) return 0.0;
+  std::unordered_set<NodeId> ref_set(ref.begin(), ref.end());
+  int overlap = 0;
+  for (NodeId v : cand) {
+    if (ref_set.contains(v)) ++overlap;
+  }
+  return static_cast<double>(overlap) / static_cast<double>(ref.size());
+}
+
+}  // namespace sparsify

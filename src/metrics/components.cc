@@ -1,0 +1,103 @@
+#include "src/metrics/components.h"
+
+#include <queue>
+
+#include "src/graph/union_find.h"
+
+namespace sparsify {
+
+ComponentResult ConnectedComponents(const Graph& g) {
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
+  ComponentResult result;
+  result.label.assign(g.NumVertices(), kInvalidNode);
+  std::vector<NodeId> root_to_label(g.NumVertices(), kInvalidNode);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    NodeId root = static_cast<NodeId>(uf.Find(v));
+    if (root_to_label[root] == kInvalidNode) {
+      root_to_label[root] = result.num_components++;
+      result.sizes.push_back(0);
+    }
+    result.label[v] = root_to_label[root];
+    ++result.sizes[result.label[v]];
+  }
+  return result;
+}
+
+double UnreachableRatio(const Graph& g) {
+  const double n = static_cast<double>(g.NumVertices());
+  if (n < 2) return 0.0;
+  ComponentResult cc = ConnectedComponents(g);
+  double reachable = 0.0;
+  for (NodeId size : cc.sizes) {
+    reachable += static_cast<double>(size) * (size - 1.0);
+  }
+  return 1.0 - reachable / (n * (n - 1.0));
+}
+
+double IsolatedRatio(const Graph& g) {
+  if (g.NumVertices() == 0) return 0.0;
+  return static_cast<double>(g.CountIsolated()) /
+         static_cast<double>(g.NumVertices());
+}
+
+double SampledDirectedUnreachableRatio(const Graph& g, int num_pairs,
+                                       Rng& rng) {
+  const NodeId n = g.NumVertices();
+  if (n < 2 || num_pairs <= 0) return 0.0;
+  // Group pairs by source: one BFS serves many destination probes.
+  int num_sources = std::max(1, num_pairs / 32);
+  int per_source = (num_pairs + num_sources - 1) / num_sources;
+  std::vector<uint8_t> reached(n, 0);
+  std::vector<NodeId> touched;
+  int total = 0, unreachable = 0;
+  for (int s = 0; s < num_sources; ++s) {
+    NodeId src = static_cast<NodeId>(rng.NextUint(n));
+    std::queue<NodeId> q;
+    q.push(src);
+    reached[src] = 1;
+    touched.push_back(src);
+    while (!q.empty()) {
+      NodeId v = q.front();
+      q.pop();
+      for (const AdjEntry& a : g.OutNeighbors(v)) {
+        if (!reached[a.node]) {
+          reached[a.node] = 1;
+          touched.push_back(a.node);
+          q.push(a.node);
+        }
+      }
+    }
+    for (int i = 0; i < per_source; ++i) {
+      NodeId dst = static_cast<NodeId>(rng.NextUint(n));
+      if (dst == src) continue;
+      ++total;
+      if (!reached[dst]) ++unreachable;
+    }
+    for (NodeId v : touched) reached[v] = 0;
+    touched.clear();
+  }
+  return total > 0 ? static_cast<double>(unreachable) / total : 0.0;
+}
+
+double SampledUnreachableIncrease(const Graph& original,
+                                  const Graph& sparsified, int num_pairs,
+                                  Rng& rng) {
+  ComponentResult orig = ConnectedComponents(original);
+  ComponentResult spar = ConnectedComponents(sparsified);
+  const NodeId n = original.NumVertices();
+  if (n < 2 || num_pairs <= 0) return 0.0;
+  int sampled = 0, broken = 0;
+  int attempts = 0;
+  const int max_attempts = num_pairs * 50;
+  while (sampled < num_pairs && attempts++ < max_attempts) {
+    NodeId u = static_cast<NodeId>(rng.NextUint(n));
+    NodeId v = static_cast<NodeId>(rng.NextUint(n));
+    if (u == v || orig.label[u] != orig.label[v]) continue;
+    ++sampled;
+    if (spar.label[u] != spar.label[v]) ++broken;
+  }
+  return sampled > 0 ? static_cast<double>(broken) / sampled : 0.0;
+}
+
+}  // namespace sparsify

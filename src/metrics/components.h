@@ -1,0 +1,49 @@
+// Connected components and the paper's graph-connectivity metrics
+// (section 3.3.1): the source-destination pair unreachable ratio and the
+// vertex isolated ratio.
+#ifndef SPARSIFY_METRICS_COMPONENTS_H_
+#define SPARSIFY_METRICS_COMPONENTS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+
+/// Component labels in [0, num_components). For directed graphs these are
+/// *weakly* connected components (edge direction ignored), matching how the
+/// paper treats reachability for pair sampling.
+struct ComponentResult {
+  std::vector<NodeId> label;
+  NodeId num_components = 0;
+  std::vector<NodeId> sizes;  // indexed by label
+};
+
+ComponentResult ConnectedComponents(const Graph& g);
+
+/// Fraction of ordered vertex pairs (u != v) with no undirected path between
+/// them. Computed exactly from component sizes.
+double UnreachableRatio(const Graph& g);
+
+/// Fraction of vertices with no incident edges.
+double IsolatedRatio(const Graph& g);
+
+/// Samples `num_pairs` pairs that are connected in `original` and reports
+/// the fraction that are NOT connected in `sparsified` (the increase the
+/// paper bounds at 20% for the "adjusted" distance figures).
+double SampledUnreachableIncrease(const Graph& original,
+                                  const Graph& sparsified, int num_pairs,
+                                  Rng& rng);
+
+/// DIRECTED unreachable ratio: fraction of sampled ordered pairs (u, v)
+/// with no directed path u -> v (BFS along out-edges). For undirected
+/// graphs this converges to UnreachableRatio. Weak components overstate
+/// directed reachability on web-like graphs, so directed datasets should
+/// use this variant.
+double SampledDirectedUnreachableRatio(const Graph& g, int num_pairs,
+                                       Rng& rng);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_METRICS_COMPONENTS_H_

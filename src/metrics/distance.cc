@@ -1,0 +1,141 @@
+#include "src/metrics/distance.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/stats.h"
+
+namespace sparsify {
+
+std::vector<double> ShortestPathDistances(const Graph& g, NodeId src) {
+  std::vector<double> dist(g.NumVertices(), kInfDistance);
+  dist[src] = 0.0;
+  if (!g.IsWeighted()) {
+    std::queue<NodeId> q;
+    q.push(src);
+    while (!q.empty()) {
+      NodeId v = q.front();
+      q.pop();
+      for (const AdjEntry& a : g.OutNeighbors(v)) {
+        if (dist[a.node] == kInfDistance) {
+          dist[a.node] = dist[v] + 1.0;
+          q.push(a.node);
+        }
+      }
+    }
+    return dist;
+  }
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const AdjEntry& a : g.OutNeighbors(v)) {
+      double nd = d + g.EdgeWeight(a.edge);
+      if (nd < dist[a.node]) {
+        dist[a.node] = nd;
+        pq.emplace(nd, a.node);
+      }
+    }
+  }
+  return dist;
+}
+
+StretchResult SpspStretch(const Graph& original, const Graph& sparsified,
+                          int num_pairs, Rng& rng) {
+  StretchResult result;
+  const NodeId n = original.NumVertices();
+  if (n < 2 || num_pairs <= 0) return result;
+  // Group sampled pairs by source so each source costs two SSSP runs.
+  int num_sources = std::max(1, num_pairs / 64);
+  int pairs_per_source = (num_pairs + num_sources - 1) / num_sources;
+  std::vector<double> stretches;
+  int broken = 0, total = 0;
+  for (int s = 0; s < num_sources; ++s) {
+    NodeId src = static_cast<NodeId>(rng.NextUint(n));
+    std::vector<double> d_orig = ShortestPathDistances(original, src);
+    std::vector<double> d_spar = ShortestPathDistances(sparsified, src);
+    for (int i = 0; i < pairs_per_source; ++i) {
+      NodeId dst = static_cast<NodeId>(rng.NextUint(n));
+      if (dst == src || d_orig[dst] == kInfDistance) continue;  // excluded
+      ++total;
+      if (d_spar[dst] == kInfDistance) {
+        ++broken;
+      } else if (d_orig[dst] > 0.0) {
+        stretches.push_back(d_spar[dst] / d_orig[dst]);
+      }
+    }
+  }
+  result.mean_stretch = Mean(stretches);
+  result.unreachable = total > 0 ? static_cast<double>(broken) / total : 0.0;
+  result.pairs_evaluated = static_cast<int>(stretches.size());
+  return result;
+}
+
+double Eccentricity(const Graph& g, NodeId v) {
+  std::vector<double> dist = ShortestPathDistances(g, v);
+  double ecc = -1.0;
+  for (NodeId u = 0; u < g.NumVertices(); ++u) {
+    if (u != v && dist[u] != kInfDistance) ecc = std::max(ecc, dist[u]);
+  }
+  // A vertex that reaches nothing but itself has no finite eccentricity.
+  return ecc < 0.0 ? kInfDistance : ecc;
+}
+
+StretchResult EccentricityStretch(const Graph& original,
+                                  const Graph& sparsified, int num_sources,
+                                  Rng& rng) {
+  StretchResult result;
+  const NodeId n = original.NumVertices();
+  if (n == 0 || num_sources <= 0) return result;
+  std::vector<double> stretches;
+  int broken = 0, total = 0;
+  for (uint64_t s :
+       rng.SampleWithoutReplacement(n, std::min<uint64_t>(n, num_sources))) {
+    NodeId v = static_cast<NodeId>(s);
+    double eo = Eccentricity(original, v);
+    if (eo == kInfDistance || eo == 0.0) continue;
+    ++total;
+    double es = Eccentricity(sparsified, v);
+    if (es == kInfDistance) {
+      ++broken;
+    } else {
+      stretches.push_back(es / eo);
+    }
+  }
+  result.mean_stretch = Mean(stretches);
+  result.unreachable = total > 0 ? static_cast<double>(broken) / total : 0.0;
+  result.pairs_evaluated = static_cast<int>(stretches.size());
+  return result;
+}
+
+double ApproxDiameter(const Graph& g, int num_seeds, Rng& rng) {
+  const NodeId n = g.NumVertices();
+  if (n == 0) return 0.0;
+  double best = 0.0;
+  for (int seed = 0; seed < num_seeds; ++seed) {
+    NodeId v = static_cast<NodeId>(rng.NextUint(n));
+    double prev = -1.0;
+    // Iterate: jump to the farthest reachable vertex until no improvement.
+    for (int it = 0; it < 16; ++it) {
+      std::vector<double> dist = ShortestPathDistances(g, v);
+      double far_d = 0.0;
+      NodeId far_v = v;
+      for (NodeId u = 0; u < n; ++u) {
+        if (dist[u] != kInfDistance && dist[u] > far_d) {
+          far_d = dist[u];
+          far_v = u;
+        }
+      }
+      best = std::max(best, far_d);
+      if (far_d <= prev) break;
+      prev = far_d;
+      v = far_v;
+    }
+  }
+  return best;
+}
+
+}  // namespace sparsify

@@ -1,0 +1,127 @@
+#include "src/metrics/extras.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/linalg/vector_ops.h"
+
+namespace sparsify {
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation over edge-endpoint degree pairs; undirected edges
+  // contribute both orientations (standard Newman formulation).
+  double n = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  auto add = [&](double x, double y) {
+    n += 1.0;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  };
+  for (const Edge& e : g.Edges()) {
+    if (g.IsDirected()) {
+      add(g.OutDegree(e.u), g.InDegree(e.v));
+    } else {
+      double du = g.OutDegree(e.u), dv = g.OutDegree(e.v);
+      add(du, dv);
+      add(dv, du);
+    }
+  }
+  if (n == 0.0) return 0.0;
+  double cov = sxy / n - (sx / n) * (sy / n);
+  double vx = sxx / n - (sx / n) * (sx / n);
+  double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+SccResult StronglyConnectedComponents(const Graph& g) {
+  const NodeId n = g.NumVertices();
+  SccResult result;
+  result.label.assign(n, kInvalidNode);
+
+  // Iterative Tarjan.
+  std::vector<int64_t> index(n, -1), lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  int64_t next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      NodeId v = frame.v;
+      if (frame.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      auto nbrs = g.OutNeighbors(v);
+      bool descended = false;
+      while (frame.child < nbrs.size()) {
+        NodeId w = nbrs[frame.child].node;
+        ++frame.child;
+        if (index[w] == -1) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      // All children processed: maybe pop an SCC, then propagate lowlink.
+      if (lowlink[v] == index[v]) {
+        NodeId comp = result.num_components++;
+        result.sizes.push_back(0);
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          result.label[w] = comp;
+          ++result.sizes[comp];
+        } while (w != v);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        NodeId parent = call_stack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+double SpectralRadius(const Graph& g, int iters) {
+  const NodeId n = g.NumVertices();
+  if (n == 0) return 0.0;
+  Vec x(n, 1.0 / std::sqrt(static_cast<double>(n))), next(n);
+  double rayleigh = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    // next = (A + I) x to avoid bipartite oscillation; subtract the shift
+    // from the Rayleigh quotient at the end.
+    next = x;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const AdjEntry& a : g.InNeighbors(v)) {
+        next[v] += g.EdgeWeight(a.edge) * x[a.node];
+      }
+    }
+    double norm = Norm2(next);
+    if (norm == 0.0) return 0.0;
+    rayleigh = Dot(x, next) / Dot(x, x);
+    for (NodeId v = 0; v < n; ++v) x[v] = next[v] / norm;
+  }
+  return std::max(0.0, rayleigh - 1.0);  // undo the +I shift
+}
+
+}  // namespace sparsify

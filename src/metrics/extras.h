@@ -1,0 +1,36 @@
+// Additional structural metrics beyond the paper's sixteen, exercising the
+// framework's "extendable to future graph metrics" claim: degree
+// assortativity, strongly connected components (directed), and the
+// adjacency spectral radius.
+#ifndef SPARSIFY_METRICS_EXTRAS_H_
+#define SPARSIFY_METRICS_EXTRAS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace sparsify {
+
+/// Pearson degree assortativity coefficient (Newman): correlation of the
+/// degrees at the two endpoints of every edge, in [-1, 1]. Social networks
+/// tend positive, technological networks negative. Returns 0 when the
+/// degree variance at edge endpoints is zero (e.g. regular graphs).
+double DegreeAssortativity(const Graph& g);
+
+/// Strongly connected components of a directed graph (Tarjan, iterative).
+/// For undirected graphs this equals ConnectedComponents.
+struct SccResult {
+  std::vector<NodeId> label;  // component id per vertex
+  NodeId num_components = 0;
+  std::vector<NodeId> sizes;
+};
+SccResult StronglyConnectedComponents(const Graph& g);
+
+/// Largest-magnitude adjacency eigenvalue estimated by shifted power
+/// iteration (Rayleigh quotient after `iters` steps). For undirected
+/// graphs this is the spectral radius.
+double SpectralRadius(const Graph& g, int iters = 200);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_METRICS_EXTRAS_H_

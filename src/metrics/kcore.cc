@@ -1,0 +1,140 @@
+#include "src/metrics/kcore.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/metrics/distance.h"
+
+namespace sparsify {
+
+std::vector<NodeId> CoreNumbers(const Graph& g) {
+  const NodeId n = g.NumVertices();
+  std::vector<NodeId> degree(n);
+  NodeId max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.OutDegree(v);
+    if (g.IsDirected()) degree[v] += g.InDegree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort vertices by degree (Batagelj-Zaversnik peeling).
+  std::vector<NodeId> bin(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[degree[v]];
+  NodeId start = 0;
+  for (NodeId d = 0; d <= max_degree; ++d) {
+    NodeId count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> pos(n), vert(n);
+  for (NodeId v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]]++;
+    vert[pos[v]] = v;
+  }
+  // Restore bin starts.
+  for (NodeId d = max_degree; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  std::vector<NodeId> core = degree;
+  auto peel_neighbor = [&](NodeId v, NodeId u) {
+    if (core[u] > core[v]) {
+      // Move u to the front of its bucket, then shrink its degree.
+      NodeId du = core[u];
+      NodeId pu = pos[u];
+      NodeId pw = bin[du];
+      NodeId w = vert[pw];
+      if (u != w) {
+        std::swap(vert[pu], vert[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --core[u];
+    }
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId v = vert[i];
+    for (const AdjEntry& a : g.OutNeighbors(v)) peel_neighbor(v, a.node);
+    if (g.IsDirected()) {
+      for (const AdjEntry& a : g.InNeighbors(v)) peel_neighbor(v, a.node);
+    }
+  }
+  return core;
+}
+
+NodeId Degeneracy(const Graph& g) {
+  NodeId best = 0;
+  for (NodeId c : CoreNumbers(g)) best = std::max(best, c);
+  return best;
+}
+
+std::vector<double> HarmonicCentrality(const Graph& g) {
+  const NodeId n = g.NumVertices();
+  std::vector<double> harmonic(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<double> dist = ShortestPathDistances(g, v);
+    double h = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != v && dist[u] != kInfDistance && dist[u] > 0.0) {
+        h += 1.0 / dist[u];
+      }
+    }
+    harmonic[v] = h;
+  }
+  return harmonic;
+}
+
+std::vector<double> WeightedBetweennessCentrality(const Graph& g) {
+  const NodeId n = g.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  std::vector<double> sigma(n), delta(n), dist(n);
+  std::vector<NodeId> order;
+  using Item = std::pair<double, NodeId>;
+  for (NodeId src = 0; src < n; ++src) {
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    order.clear();
+    sigma[src] = 1.0;
+    dist[src] = 0.0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, src);
+    std::vector<uint8_t> settled(n, 0);
+    while (!pq.empty()) {
+      auto [d, v] = pq.top();
+      pq.pop();
+      if (settled[v]) continue;
+      settled[v] = 1;
+      order.push_back(v);
+      for (const AdjEntry& a : g.OutNeighbors(v)) {
+        double nd = d + g.EdgeWeight(a.edge);
+        if (nd < dist[a.node] - 1e-12) {
+          dist[a.node] = nd;
+          sigma[a.node] = sigma[v];
+          pq.emplace(nd, a.node);
+        } else if (std::abs(nd - dist[a.node]) <= 1e-12 &&
+                   !settled[a.node]) {
+          sigma[a.node] += sigma[v];
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId w = *it;
+      for (const AdjEntry& a : g.OutNeighbors(w)) {
+        if (std::abs(dist[a.node] - dist[w] - g.EdgeWeight(a.edge)) <=
+                1e-12 &&
+            sigma[a.node] > 0.0) {
+          delta[w] += sigma[w] / sigma[a.node] * (1.0 + delta[a.node]);
+        }
+      }
+      if (w != src) centrality[w] += delta[w];
+    }
+  }
+  if (!g.IsDirected()) {
+    for (double& c : centrality) c *= 0.5;
+  }
+  return centrality;
+}
+
+}  // namespace sparsify

@@ -1,0 +1,31 @@
+// Louvain community detection (Blondel et al. 2008), the method the paper
+// uses for its clustering metrics (section 4.4): number of communities and
+// clustering F1 similarity. Works on the undirected (symmetrized) weighted
+// graph; modularity with resolution 1.
+#ifndef SPARSIFY_METRICS_LOUVAIN_H_
+#define SPARSIFY_METRICS_LOUVAIN_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+
+/// A clustering of the vertex set.
+struct Clustering {
+  std::vector<int> label;   // community of each vertex, in [0, num_clusters)
+  int num_clusters = 0;
+  double modularity = 0.0;
+};
+
+/// Runs Louvain. Non-deterministic via vertex visiting order (pass a seeded
+/// rng for reproducibility). Isolated vertices become singleton communities.
+Clustering LouvainCommunities(const Graph& g, Rng& rng, int max_passes = 10);
+
+/// Modularity of an arbitrary labeling of `g` (undirected interpretation).
+double Modularity(const Graph& g, const std::vector<int>& label);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_METRICS_LOUVAIN_H_

@@ -1,0 +1,33 @@
+// Min-cut / max-flow metric (paper sections 2.2.5 and 3.3.4): Dinic's
+// algorithm with edge weights as capacities, and a sampled s-t pair stretch
+// evaluator comparing sparsified against original flow values.
+#ifndef SPARSIFY_METRICS_MAXFLOW_H_
+#define SPARSIFY_METRICS_MAXFLOW_H_
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+
+/// Maximum s-t flow. Undirected edges are modeled as a pair of arcs sharing
+/// capacity in each direction (standard undirected flow). Returns 0 when s
+/// and t are disconnected.
+double MaxFlow(const Graph& g, NodeId s, NodeId t);
+
+/// Result of a sampled flow comparison.
+struct FlowStretchResult {
+  double mean_ratio = 0.0;  // mean flow_sparsified / flow_original
+  int pairs_evaluated = 0;
+  double zero_flow_fraction = 0.0;  // pairs whose sparsified flow became 0
+};
+
+/// Samples up to `num_pairs` s-t pairs with positive flow in `original`
+/// (pairs in different components are excluded per Table 1 note) and
+/// reports the mean ratio of sparsified to original max-flow.
+FlowStretchResult MaxFlowStretch(const Graph& original,
+                                 const Graph& sparsified, int num_pairs,
+                                 Rng& rng);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_METRICS_MAXFLOW_H_

@@ -1,0 +1,143 @@
+#include "src/sparsifiers/effective_resistance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/cg.h"
+
+namespace sparsify {
+
+std::vector<double> ApproxEffectiveResistances(const Graph& g, Rng& rng,
+                                               int jl_dimension, double tol) {
+  const size_t n = g.NumVertices();
+  const EdgeId m = g.NumEdges();
+  int k = jl_dimension > 0
+              ? jl_dimension
+              : std::max(8, static_cast<int>(std::ceil(
+                                8.0 * std::log(std::max<size_t>(2, n)))));
+  std::vector<double> resistance(m, 0.0);
+  Vec b(n), z(n);
+  for (int i = 0; i < k; ++i) {
+    // b = B^T W^{1/2} q_i where q_i has +-1/sqrt(k) entries: each edge e
+    // contributes q_i[e] * sqrt(w_e) * (e_u - e_v).
+    std::fill(b.begin(), b.end(), 0.0);
+    std::vector<double> q(m);
+    double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
+    for (EdgeId e = 0; e < m; ++e) {
+      q[e] = rng.NextBernoulli(0.5) ? inv_sqrt_k : -inv_sqrt_k;
+      const Edge& ed = g.CanonicalEdge(e);
+      double c = q[e] * std::sqrt(ed.w);
+      b[ed.u] += c;
+      b[ed.v] -= c;
+    }
+    z.assign(n, 0.0);
+    SolveLaplacian(g, b, &z, tol);
+    // Row i of Z evaluated at the edge endpoints.
+    for (EdgeId e = 0; e < m; ++e) {
+      const Edge& ed = g.CanonicalEdge(e);
+      double diff = z[ed.u] - z[ed.v];
+      resistance[e] += diff * diff;
+    }
+  }
+  return resistance;
+}
+
+EffectiveResistanceSparsifier::EffectiveResistanceSparsifier(bool reweight)
+    : reweight_(reweight) {
+  info_ = SparsifierInfo{
+      .name = reweight ? "Effective Resistance (weighted)"
+                       : "Effective Resistance (unweighted)",
+      .short_name = reweight ? "ER-w" : "ER-uw",
+      .supports_directed = false,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kFine,
+      .changes_weights = reweight,
+      .deterministic = false,
+      .complexity = "O(|E| log(|V|)^3)",
+  };
+}
+
+const SparsifierInfo& EffectiveResistanceSparsifier::Info() const {
+  return info_;
+}
+
+Graph EffectiveResistanceSparsifier::Sparsify(const Graph& g,
+                                              double prune_rate,
+                                              Rng& rng) const {
+  if (g.IsDirected()) {
+    throw std::invalid_argument(
+        "Effective Resistance requires an undirected graph; symmetrize "
+        "first");
+  }
+  const EdgeId m = g.NumEdges();
+  EdgeId target = TargetKeepCount(m, prune_rate);
+  if (target >= m || m == 0) return g;
+
+  std::vector<double> resistance = ApproxEffectiveResistances(g, rng);
+  // Sampling probabilities p_e proportional to w_e * R_e (Spielman &
+  // Srivastava). For a connected graph sum_e w_e R_e = n - 1.
+  std::vector<double> p(m);
+  double total = 0.0;
+  for (EdgeId e = 0; e < m; ++e) {
+    p[e] = std::max(1e-300, g.EdgeWeight(e) * resistance[e]);
+    total += p[e];
+  }
+  for (double& pe : p) pe /= total;
+
+  // Sample with replacement until `target` distinct edges are hit,
+  // accumulating per-edge hit counts; the weighted variant then assigns
+  // w'_e = c_e * w_e / (q p_e), the unbiased Horvitz-Thompson weight of the
+  // with-replacement estimator (q = total draws).
+  std::vector<double> cum(m);
+  double acc = 0.0;
+  for (EdgeId e = 0; e < m; ++e) {
+    acc += p[e];
+    cum[e] = acc;
+  }
+  std::vector<uint32_t> hits(m, 0);
+  std::vector<uint8_t> keep(m, 0);
+  EdgeId distinct = 0;
+  uint64_t draws = 0;
+  const uint64_t max_draws = 400ULL * m + 1000000ULL;
+  while (distinct < target && draws < max_draws) {
+    double r = rng.NextDouble() * acc;
+    auto it = std::lower_bound(cum.begin(), cum.end(), r);
+    EdgeId e = static_cast<EdgeId>(it - cum.begin());
+    if (e >= m) e = m - 1;
+    ++draws;
+    ++hits[e];
+    if (!keep[e]) {
+      keep[e] = 1;
+      ++distinct;
+    }
+  }
+  // Extremely skewed p can stall the distinct count; top up with the
+  // highest-probability unkept edges.
+  if (distinct < target) {
+    std::vector<double> topup(m, 0.0);
+    for (EdgeId e = 0; e < m; ++e) topup[e] = keep[e] ? -1.0 : p[e];
+    std::vector<uint8_t> extra = KeepTopScoring(topup, target - distinct);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (extra[e] && !keep[e]) {
+        keep[e] = 1;
+        ++hits[e];
+        ++draws;
+      }
+    }
+  }
+
+  if (!reweight_) return g.Subgraph(keep);
+
+  std::vector<double> new_w(m, 0.0);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (keep[e]) {
+      new_w[e] = static_cast<double>(hits[e]) * g.EdgeWeight(e) /
+                 (static_cast<double>(draws) * p[e]);
+    }
+  }
+  return g.ReweightedSubgraph(keep, new_w);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,49 @@
+// Effective Resistance spectral sparsifier (paper section 2.3.9, Spielman &
+// Srivastava 2011).
+//
+// The effective resistance R_e of edge e = (u, v) is (e_u - e_v)^T L^+
+// (e_u - e_v). Edges are sampled with probability proportional to w_e R_e;
+// the weighted variant reassigns kept edge weights so that the sparsified
+// Laplacian is an unbiased estimator of the original, which is what makes
+// ER-weighted the only sparsifier that preserves the Laplacian quadratic
+// form (paper Fig. 3).
+//
+// Resistances are approximated with the Johnson-Lindenstrauss projection of
+// Spielman & Srivastava: R_e ~ ||Z (e_u - e_v)||^2 with Z = Q W^{1/2} B L^+
+// and Q a (k x m) random +-1/sqrt(k) matrix; each of the k rows costs one
+// Laplacian solve, done here with Jacobi-preconditioned CG (the paper uses
+// Laplacians.jl's approxchol solver — see DESIGN.md section 3).
+#ifndef SPARSIFY_SPARSIFIERS_EFFECTIVE_RESISTANCE_H_
+#define SPARSIFY_SPARSIFIERS_EFFECTIVE_RESISTANCE_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+/// Approximate effective resistance of every canonical edge.
+/// `jl_dimension` = number of random projections (0 picks ~8 ln n);
+/// `tol` = CG relative tolerance.
+std::vector<double> ApproxEffectiveResistances(const Graph& g, Rng& rng,
+                                               int jl_dimension = 0,
+                                               double tol = 1e-6);
+
+class EffectiveResistanceSparsifier : public Sparsifier {
+ public:
+  /// `reweight` selects the ER-weighted variant (Table 2's only
+  /// weight-changing sparsifier); false gives ER-unweighted, which keeps
+  /// original weights.
+  explicit EffectiveResistanceSparsifier(bool reweight);
+
+  const SparsifierInfo& Info() const override;
+  /// Throws std::invalid_argument for directed graphs (symmetrize first,
+  /// as the paper does in section 4.5).
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+ private:
+  bool reweight_;
+  SparsifierInfo info_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_EFFECTIVE_RESISTANCE_H_

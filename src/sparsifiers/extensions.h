@@ -1,0 +1,68 @@
+// Extension sparsifiers beyond the paper's core twelve.
+//
+// The paper positions its framework as "extendable to future sparsification
+// algorithms" (contribution 2); these three exercise that claim and serve
+// as ablation subjects. All are registered with `extension = true` so
+// Table 2 regeneration can separate them from the paper's set.
+//
+//   Triangle (TRI):        keeps edges with the highest embeddedness
+//                          (number of triangles through the edge). A
+//                          simpler cousin of the similarity family.
+//   Simmelian backbone (SIMM): Nick et al.'s non-parametric backbone —
+//                          neighbors are ranked by edge triangle counts,
+//                          and an edge is scored by the overlap of its
+//                          endpoints' top-rank neighborhoods (structural
+//                          embeddedness, stricter than raw triangles).
+//   Algebraic distance (ALG): Chen & Safro's smoothing-based distance —
+//                          O(d) Jacobi relaxation sweeps over random test
+//                          vectors; edges between algebraically close
+//                          vertices score high. A cheap spectral proxy for
+//                          the ER family.
+#ifndef SPARSIFY_SPARSIFIERS_EXTENSIONS_H_
+#define SPARSIFY_SPARSIFIERS_EXTENSIONS_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+/// Embeddedness scores: triangles through each canonical edge.
+std::vector<double> TriangleEdgeScores(const Graph& g);
+
+class TriangleSparsifier : public Sparsifier {
+ public:
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+};
+
+class SimmelianSparsifier : public Sparsifier {
+ public:
+  /// `max_rank`: how many top-triangle neighbors per vertex participate in
+  /// the overlap computation.
+  explicit SimmelianSparsifier(int max_rank = 10) : max_rank_(max_rank) {}
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+ private:
+  int max_rank_;
+};
+
+/// Algebraic distances of every canonical edge (smaller = closer). Exposed
+/// for tests; the sparsifier keeps edges with the SMALLEST distances.
+std::vector<double> AlgebraicDistances(const Graph& g, int num_vectors,
+                                       int sweeps, Rng& rng);
+
+class AlgebraicDistanceSparsifier : public Sparsifier {
+ public:
+  AlgebraicDistanceSparsifier(int num_vectors = 8, int sweeps = 10)
+      : num_vectors_(num_vectors), sweeps_(sweeps) {}
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+ private:
+  int num_vectors_;
+  int sweeps_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_EXTENSIONS_H_

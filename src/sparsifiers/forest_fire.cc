@@ -1,0 +1,72 @@
+#include "src/sparsifiers/forest_fire.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sparsify {
+
+const SparsifierInfo& ForestFireSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "Forest Fire",
+      .short_name = "FF",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,  // with seed-sampling caveat (Table 2)
+      .prune_rate_control = PruneRateControl::kConstrained,
+      .changes_weights = false,
+      .deterministic = false,
+      .complexity = "O(r |E|)",
+  };
+  return info;
+}
+
+Graph ForestFireSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                     Rng& rng) const {
+  const EdgeId m = g.NumEdges();
+  EdgeId target = TargetKeepCount(m, prune_rate);
+  if (m == 0) return g;
+
+  std::vector<double> burns(m, 0.0);
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::vector<NodeId> visited_list;
+  const uint64_t total_burn_target =
+      static_cast<uint64_t>(coverage_ * static_cast<double>(m)) + 1;
+  uint64_t total_burns = 0;
+
+  // Cap the number of fires so adversarial inputs (e.g. burn probability
+  // near 0) terminate; coverage is then simply lower than requested.
+  const uint64_t max_fires =
+      50 * (static_cast<uint64_t>(g.NumVertices()) + total_burn_target);
+  uint64_t fires = 0;
+  while (total_burns < total_burn_target && fires++ < max_fires) {
+    NodeId start = static_cast<NodeId>(rng.NextUint(g.NumVertices()));
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    visited[start] = 1;
+    visited_list.push_back(start);
+    // Safety valve: a single fire burns at most |E| edges.
+    uint64_t fire_burns = 0;
+    while (!frontier.empty() && fire_burns < m) {
+      NodeId v = frontier.front();
+      frontier.pop();
+      for (const AdjEntry& a : g.OutNeighbors(v)) {
+        if (visited[a.node]) continue;
+        if (!rng.NextBernoulli(burn_probability_)) continue;
+        burns[a.edge] += 1.0;
+        ++total_burns;
+        ++fire_burns;
+        visited[a.node] = 1;
+        visited_list.push_back(a.node);
+        frontier.push(a.node);
+      }
+    }
+    for (NodeId v : visited_list) visited[v] = 0;
+    visited_list.clear();
+  }
+  // Random jitter breaks ties among equally-burned edges so repeated runs
+  // differ (the algorithm is non-deterministic, Table 2).
+  for (double& b : burns) b += 0.5 * rng.NextDouble();
+  return g.Subgraph(KeepTopScoring(burns, target));
+}
+
+}  // namespace sparsify

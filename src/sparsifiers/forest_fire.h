@@ -1,0 +1,33 @@
+// Forest Fire sparsifier (paper section 2.3.7, after Leskovec et al.'s burn
+// process, in the NetworKit edge-scoring formulation): random fires are
+// started at random vertices and spread through unburned edges with
+// probability p; each edge's score is how often it burned. The highest-
+// scoring edges are kept, giving fine-grained prune-rate control subject to
+// burn coverage.
+#ifndef SPARSIFY_SPARSIFIERS_FOREST_FIRE_H_
+#define SPARSIFY_SPARSIFIERS_FOREST_FIRE_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class ForestFireSparsifier : public Sparsifier {
+ public:
+  /// `burn_probability`: chance the fire continues across each incident
+  /// edge. `coverage`: total burns targeted, as a multiple of |E| (the
+  /// paper's burnt ratio r).
+  explicit ForestFireSparsifier(double burn_probability = 0.8,
+                                double coverage = 3.0)
+      : burn_probability_(burn_probability), coverage_(coverage) {}
+
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+ private:
+  double burn_probability_;
+  double coverage_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_FOREST_FIRE_H_

@@ -1,0 +1,92 @@
+#include "src/sparsifiers/k_neighbor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sparsify {
+
+const SparsifierInfo& KNeighborSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "K-Neighbor",
+      .short_name = "KN",
+      .supports_directed = true,  // uses out-degree (Table 2 note *)
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kConstrained,
+      .changes_weights = false,
+      .deterministic = false,
+      .complexity = "O(|E|)",
+  };
+  return info;
+}
+
+std::vector<uint8_t> KNeighborSparsifier::KeepMaskForK(const Graph& g,
+                                                       NodeId k,
+                                                       Rng& rng) const {
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  // Weighted sampling without replacement per vertex via
+  // Efraimidis-Spirakis keys: top-k of u^(1/w).
+  std::vector<std::pair<double, EdgeId>> keys;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    if (nbrs.size() <= k) {
+      for (const AdjEntry& a : nbrs) keep[a.edge] = 1;
+      continue;
+    }
+    keys.clear();
+    keys.reserve(nbrs.size());
+    for (const AdjEntry& a : nbrs) {
+      double w = g.IsWeighted() ? g.EdgeWeight(a.edge) : 1.0;
+      double u = rng.NextDouble();
+      keys.emplace_back(std::pow(u, 1.0 / w), a.edge);
+    }
+    std::nth_element(keys.begin(), keys.begin() + (k - 1), keys.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (NodeId i = 0; i < k; ++i) keep[keys[i].second] = 1;
+  }
+  return keep;
+}
+
+Graph KNeighborSparsifier::SparsifyWithK(const Graph& g, NodeId k,
+                                         Rng& rng) const {
+  return g.Subgraph(KeepMaskForK(g, k, rng));
+}
+
+Graph KNeighborSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                    Rng& rng) const {
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  // Kept count is monotone nondecreasing in k; binary search the smallest k
+  // whose kept count reaches the target, then return the closer of k, k-1.
+  // Calibration probes use a forked rng so the final pass is independent.
+  NodeId lo = 1, hi = std::max<NodeId>(1, g.MaxDegree());
+  auto count_for = [&](NodeId k) -> EdgeId {
+    Rng probe = rng.Fork();
+    std::vector<uint8_t> keep = KeepMaskForK(g, k, probe);
+    return static_cast<EdgeId>(
+        std::accumulate(keep.begin(), keep.end(), uint64_t{0}));
+  };
+  while (lo < hi) {
+    NodeId mid = lo + (hi - lo) / 2;
+    if (count_for(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  NodeId best = lo;
+  if (lo > 1) {
+    EdgeId above = count_for(lo);
+    EdgeId below = count_for(lo - 1);
+    if (target - std::min(target, below) <
+        std::max(above, target) - target) {
+      best = lo - 1;
+    }
+  }
+  return SparsifyWithK(g, best, rng);
+}
+
+}  // namespace sparsify

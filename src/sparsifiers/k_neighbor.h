@@ -1,0 +1,30 @@
+// K-Neighbor sparsifier (paper section 2.3.2, Sadhanala et al.): keeps up to
+// k incident edges per vertex, chosen with probability proportional to edge
+// weight (uniform for unweighted graphs). Guarantees min(k, deg(v)) incident
+// edges per vertex, so it preserves connectivity well. Prune-rate control is
+// coarse: k is calibrated by binary search.
+#ifndef SPARSIFY_SPARSIFIERS_K_NEIGHBOR_H_
+#define SPARSIFY_SPARSIFIERS_K_NEIGHBOR_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class KNeighborSparsifier : public Sparsifier {
+ public:
+  const SparsifierInfo& Info() const override;
+
+  /// Calibrates k to the target prune rate (binary search, since the kept
+  /// edge count is monotone in k), then applies one pass with the best k.
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+  /// Single pass with a fixed k; exposed for direct use and tests.
+  Graph SparsifyWithK(const Graph& g, NodeId k, Rng& rng) const;
+
+ private:
+  std::vector<uint8_t> KeepMaskForK(const Graph& g, NodeId k, Rng& rng) const;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_K_NEIGHBOR_H_

@@ -1,0 +1,84 @@
+#include "src/sparsifiers/local_degree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sparsify {
+
+const SparsifierInfo& LocalDegreeSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "Local Degree",
+      .short_name = "LD",
+      .supports_directed = true,  // ranks by out-degree (Table 2 note *)
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kConstrained,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(|E| log |E|)",
+  };
+  return info;
+}
+
+std::vector<uint8_t> LocalDegreeSparsifier::KeepMaskForAlpha(
+    const Graph& g, double alpha) const {
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  std::vector<std::pair<NodeId, EdgeId>> ranked;  // (neighbor degree, edge)
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    size_t take = static_cast<size_t>(
+        std::ceil(std::pow(static_cast<double>(nbrs.size()), alpha)));
+    take = std::clamp<size_t>(take, 1, nbrs.size());
+    ranked.clear();
+    for (const AdjEntry& a : nbrs) {
+      ranked.emplace_back(g.OutDegree(a.node), a.edge);
+    }
+    // Deterministic: ties broken by edge id via pair comparison.
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (size_t i = 0; i < take; ++i) keep[ranked[i].second] = 1;
+  }
+  return keep;
+}
+
+Graph LocalDegreeSparsifier::SparsifyWithAlpha(const Graph& g,
+                                               double alpha) const {
+  return g.Subgraph(KeepMaskForAlpha(g, alpha));
+}
+
+Graph LocalDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                      Rng& rng) const {
+  (void)rng;  // deterministic
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  auto count_for = [&](double alpha) -> EdgeId {
+    std::vector<uint8_t> keep = KeepMaskForAlpha(g, alpha);
+    return static_cast<EdgeId>(
+        std::accumulate(keep.begin(), keep.end(), uint64_t{0}));
+  };
+  // Kept count is monotone nondecreasing in alpha.
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 40; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (count_for(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Pick the closer endpoint. alpha has a kept-count floor (every vertex
+  // keeps >= 1 edge), so high prune rates saturate at the algorithm's
+  // maximum prune rate, as the paper notes (section 3.2).
+  EdgeId chi = count_for(hi);
+  EdgeId clo = count_for(lo);
+  double alpha =
+      (chi >= target && (chi - target) <= (target - std::min(target, clo)))
+          ? hi
+          : lo;
+  if (clo >= target) alpha = lo;
+  return SparsifyWithAlpha(g, alpha);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,27 @@
+// Local Degree sparsifier (paper section 2.3.4, Hamann et al.): for every
+// vertex v, deterministically keeps the edges to its ceil(deg(v)^alpha)
+// highest-degree neighbors. Guarantees >= 1 incident edge per non-isolated
+// vertex, so it preserves both connectivity and hub edges. alpha in [0, 1]
+// is calibrated to the requested prune rate by binary search.
+#ifndef SPARSIFY_SPARSIFIERS_LOCAL_DEGREE_H_
+#define SPARSIFY_SPARSIFIERS_LOCAL_DEGREE_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class LocalDegreeSparsifier : public Sparsifier {
+ public:
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+  /// Single deterministic pass with a fixed alpha; exposed for tests.
+  Graph SparsifyWithAlpha(const Graph& g, double alpha) const;
+
+ private:
+  std::vector<uint8_t> KeepMaskForAlpha(const Graph& g, double alpha) const;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_LOCAL_DEGREE_H_

@@ -1,0 +1,30 @@
+#include "src/sparsifiers/random_sparsifier.h"
+
+namespace sparsify {
+
+const SparsifierInfo& RandomSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "Random",
+      .short_name = "RN",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kFine,
+      .changes_weights = false,
+      .deterministic = false,
+      .complexity = "O(rho |E|)",
+  };
+  return info;
+}
+
+Graph RandomSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                 Rng& rng) const {
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  for (uint64_t e : rng.SampleWithoutReplacement(g.NumEdges(), target)) {
+    keep[e] = 1;
+  }
+  return g.Subgraph(keep);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,20 @@
+// Random sparsifier (paper section 2.3.1): keeps a uniform random subset of
+// edges. The naive baseline every figure includes; preserves relative,
+// distribution-based properties (degree distribution, centrality rankings)
+// but no absolute ones.
+#ifndef SPARSIFY_SPARSIFIERS_RANDOM_SPARSIFIER_H_
+#define SPARSIFY_SPARSIFIERS_RANDOM_SPARSIFIER_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class RandomSparsifier : public Sparsifier {
+ public:
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_RANDOM_SPARSIFIER_H_

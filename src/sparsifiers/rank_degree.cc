@@ -1,0 +1,97 @@
+#include "src/sparsifiers/rank_degree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparsify {
+
+const SparsifierInfo& RankDegreeSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "Rank Degree",
+      .short_name = "RD",
+      .supports_directed = true,  // ranks by out-degree (Table 2 note *)
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kConstrained,
+      .changes_weights = false,
+      .deterministic = false,
+      .complexity = "O(rho |E| log(rho |E|))",
+  };
+  return info;
+}
+
+Graph RankDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                     Rng& rng) const {
+  const EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  EdgeId kept = 0;
+
+  const NodeId n = g.NumVertices();
+  if (n == 0 || target == 0) return g.Subgraph(keep);
+
+  NodeId num_seeds =
+      std::max<NodeId>(1, static_cast<NodeId>(seed_fraction_ * n));
+  std::vector<NodeId> seeds;
+  for (uint64_t s : rng.SampleWithoutReplacement(n, num_seeds)) {
+    seeds.push_back(static_cast<NodeId>(s));
+  }
+
+  std::vector<uint8_t> in_frontier(n, 0);
+  for (NodeId s : seeds) in_frontier[s] = 1;
+  std::vector<std::pair<NodeId, NodeId>> ranked;  // (degree, neighbor)
+
+  while (kept < target) {
+    std::vector<NodeId> next;
+    bool progressed = false;
+    for (NodeId s : seeds) {
+      if (kept >= target) break;
+      auto nbrs = g.OutNeighbors(s);
+      if (nbrs.empty()) continue;
+      ranked.clear();
+      for (const AdjEntry& a : nbrs) {
+        ranked.emplace_back(g.OutDegree(a.node), a.node);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      NodeId take = std::max<NodeId>(
+          1, static_cast<NodeId>(std::ceil(top_fraction_ * ranked.size())));
+      for (NodeId i = 0; i < take && kept < target; ++i) {
+        NodeId t = ranked[i].second;
+        EdgeId e = g.FindEdge(s, t);
+        if (e != kInvalidEdge && !keep[e]) {
+          keep[e] = 1;
+          ++kept;
+          progressed = true;
+        }
+        if (!in_frontier[t]) {
+          in_frontier[t] = 1;
+          next.push_back(t);
+        }
+      }
+    }
+    if (next.empty() || !progressed) {
+      // Stuck (e.g. all frontier edges already kept): reseed randomly, and
+      // if even a full random reseed cannot progress, fall back to keeping
+      // arbitrary unkept edges so the target is always met.
+      next.clear();
+      std::fill(in_frontier.begin(), in_frontier.end(), 0);
+      for (uint64_t s : rng.SampleWithoutReplacement(n, num_seeds)) {
+        next.push_back(static_cast<NodeId>(s));
+        in_frontier[s] = 1;
+      }
+      if (!progressed) {
+        for (EdgeId e = 0; e < g.NumEdges() && kept < target; ++e) {
+          if (!keep[e]) {
+            keep[e] = 1;
+            ++kept;
+          }
+        }
+        break;
+      }
+    }
+    seeds = std::move(next);
+  }
+  return g.Subgraph(keep);
+}
+
+}  // namespace sparsify

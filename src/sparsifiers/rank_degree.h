@@ -1,0 +1,32 @@
+// Rank Degree sparsifier (paper section 2.3.3, Voudigari et al.): grows the
+// sparsified edge set from random seed vertices, each time keeping the edges
+// to a seed's top-degree neighbors; those neighbors become the next seeds.
+// Biased toward hub vertices, so it excels at distance and centrality
+// metrics. Fine-grained control: growth stops at the target edge count.
+#ifndef SPARSIFY_SPARSIFIERS_RANK_DEGREE_H_
+#define SPARSIFY_SPARSIFIERS_RANK_DEGREE_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class RankDegreeSparsifier : public Sparsifier {
+ public:
+  /// `seed_fraction`: share of vertices used as the initial seed set.
+  /// `top_fraction`: share of each seed's neighbors (by degree rank) whose
+  /// edges are kept per expansion step (at least 1).
+  explicit RankDegreeSparsifier(double seed_fraction = 0.01,
+                                double top_fraction = 0.10)
+      : seed_fraction_(seed_fraction), top_fraction_(top_fraction) {}
+
+  const SparsifierInfo& Info() const override;
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+ private:
+  double seed_fraction_;
+  double top_fraction_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_RANK_DEGREE_H_

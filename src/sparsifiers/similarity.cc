@@ -1,0 +1,241 @@
+#include "src/sparsifiers/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/sparsifiers/minhash.h"
+
+namespace sparsify {
+
+namespace {
+
+// Counts |N(u) n N(v)| by linear merge of the sorted adjacency lists.
+size_t IntersectionSize(std::span<const AdjEntry> a,
+                        std::span<const AdjEntry> b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].node < b[j].node) {
+      ++i;
+    } else if (a[i].node > b[j].node) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<double> CommonNeighborCounts(const Graph& g) {
+  std::vector<double> counts(g.NumEdges(), 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    counts[e] = static_cast<double>(
+        IntersectionSize(g.OutNeighbors(ed.u), g.OutNeighbors(ed.v)));
+  }
+  return counts;
+}
+
+std::vector<double> JaccardEdgeScores(const Graph& g) {
+  std::vector<double> scores(g.NumEdges(), 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    auto nu = g.OutNeighbors(ed.u);
+    auto nv = g.OutNeighbors(ed.v);
+    size_t inter = IntersectionSize(nu, nv);
+    size_t uni = nu.size() + nv.size() - inter;
+    scores[e] = uni > 0 ? static_cast<double>(inter) / uni : 0.0;
+  }
+  return scores;
+}
+
+std::vector<double> ScanEdgeScores(const Graph& g) {
+  std::vector<double> scores(g.NumEdges(), 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    auto nu = g.OutNeighbors(ed.u);
+    auto nv = g.OutNeighbors(ed.v);
+    double inter = static_cast<double>(IntersectionSize(nu, nv));
+    scores[e] = (inter + 1.0) /
+                std::sqrt((nu.size() + 1.0) * (nv.size() + 1.0));
+  }
+  return scores;
+}
+
+// --------------------------------------------------------------------------
+// G-Spar
+
+const SparsifierInfo& GSparSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "G-Spar",
+      .short_name = "GS",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kFine,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(k |E|)",
+  };
+  return info;
+}
+
+Graph GSparSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                Rng& rng) const {
+  (void)rng;  // deterministic
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  return g.Subgraph(KeepTopScoring(JaccardEdgeScores(g), target));
+}
+
+// --------------------------------------------------------------------------
+// SCAN
+
+const SparsifierInfo& ScanSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "SCAN",
+      .short_name = "SCAN",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kFine,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(|E|)",
+  };
+  return info;
+}
+
+Graph ScanSparsifier::Sparsify(const Graph& g, double prune_rate,
+                               Rng& rng) const {
+  (void)rng;  // deterministic
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  return g.Subgraph(KeepTopScoring(ScanEdgeScores(g), target));
+}
+
+// --------------------------------------------------------------------------
+// L-Spar
+
+const SparsifierInfo& LSparSparsifier::Info() const {
+  static const SparsifierInfo exact_info{
+      .name = "L-Spar",
+      .short_name = "LS",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kConstrained,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(k |E|)",
+  };
+  static const SparsifierInfo minhash_info{
+      .name = "L-Spar (min-wise hashing)",
+      .short_name = "LS-MH",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kConstrained,
+      .changes_weights = false,
+      .deterministic = false,  // hash salts are drawn from the rng
+      .complexity = "O(k |E|)",
+      .extension = true,
+  };
+  return use_minhash_ ? minhash_info : exact_info;
+}
+
+std::vector<uint8_t> LSparSparsifier::KeepMaskForExponent(
+    const Graph& g, double c, const std::vector<double>& jac) const {
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  std::vector<std::pair<double, EdgeId>> ranked;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    size_t take = static_cast<size_t>(
+        std::ceil(std::pow(static_cast<double>(nbrs.size()), c)));
+    take = std::clamp<size_t>(take, 1, nbrs.size());
+    ranked.clear();
+    for (const AdjEntry& a : nbrs) ranked.emplace_back(jac[a.edge], a.edge);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (size_t i = 0; i < take; ++i) keep[ranked[i].second] = 1;
+  }
+  return keep;
+}
+
+Graph LSparSparsifier::SparsifyWithExponent(const Graph& g, double c) const {
+  return g.Subgraph(KeepMaskForExponent(g, c, JaccardEdgeScores(g)));
+}
+
+Graph LSparSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                Rng& rng) const {
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  std::vector<double> jac = use_minhash_
+                                ? MinHashJaccardEdgeScores(g, num_hashes_, rng)
+                                : JaccardEdgeScores(g);
+  auto count_for = [&](double c) -> EdgeId {
+    std::vector<uint8_t> keep = KeepMaskForExponent(g, c, jac);
+    return static_cast<EdgeId>(
+        std::accumulate(keep.begin(), keep.end(), uint64_t{0}));
+  };
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 40; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (count_for(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  double c = count_for(lo) >= target ? lo : hi;
+  return g.Subgraph(KeepMaskForExponent(g, c, jac));
+}
+
+// --------------------------------------------------------------------------
+// Local Similarity
+
+const SparsifierInfo& LocalSimilaritySparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "Local Similarity",
+      .short_name = "LSim",
+      .supports_directed = true,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kFine,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(|E| log |E|)",
+  };
+  return info;
+}
+
+Graph LocalSimilaritySparsifier::Sparsify(const Graph& g, double prune_rate,
+                                          Rng& rng) const {
+  (void)rng;  // deterministic
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+  std::vector<double> jac = JaccardEdgeScores(g);
+  // score(e) = max over endpoints v of 1 - log(rank_v(e)) / log(deg(v)):
+  // the edge's best local-rank position, normalized per vertex.
+  std::vector<double> score(g.NumEdges(), 0.0);
+  std::vector<std::pair<double, EdgeId>> ranked;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    ranked.clear();
+    for (const AdjEntry& a : nbrs) ranked.emplace_back(jac[a.edge], a.edge);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    double logdeg = std::log(static_cast<double>(nbrs.size()) + 1.0);
+    for (size_t r = 0; r < ranked.size(); ++r) {
+      double s = 1.0 - std::log(static_cast<double>(r + 1)) / logdeg;
+      score[ranked[r].second] = std::max(score[ranked[r].second], s);
+    }
+  }
+  return g.Subgraph(KeepTopScoring(score, target));
+}
+
+}  // namespace sparsify

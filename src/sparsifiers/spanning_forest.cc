@@ -1,0 +1,50 @@
+#include "src/sparsifiers/spanning_forest.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/graph/union_find.h"
+
+namespace sparsify {
+
+const SparsifierInfo& SpanningForestSparsifier::Info() const {
+  static const SparsifierInfo info{
+      .name = "Spanning Forest",
+      .short_name = "SF",
+      .supports_directed = false,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kNone,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(|E| log |V|)",
+  };
+  return info;
+}
+
+Graph SpanningForestSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                         Rng& rng) const {
+  (void)prune_rate;  // no control (Table 2)
+  (void)rng;         // deterministic
+  if (g.IsDirected()) {
+    throw std::invalid_argument(
+        "Spanning Forest requires an undirected graph; symmetrize first");
+  }
+  // Kruskal: edges by ascending weight (= minimum spanning forest for
+  // weighted graphs; arbitrary but deterministic order for unweighted).
+  std::vector<EdgeId> order(g.NumEdges());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.EdgeWeight(a) < g.EdgeWeight(b);
+  });
+  UnionFind uf(g.NumVertices());
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  for (EdgeId e : order) {
+    const Edge& ed = g.CanonicalEdge(e);
+    if (uf.Union(ed.u, ed.v)) keep[e] = 1;
+  }
+  return g.Subgraph(keep);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,22 @@
+// Spanning Forest sparsifier (paper section 2.3.5): Kruskal's algorithm,
+// one minimum spanning tree per connected component. Undirected only. No
+// prune-rate control — the output always has |V| - #components edges — but
+// connectivity is preserved exactly.
+#ifndef SPARSIFY_SPARSIFIERS_SPANNING_FOREST_H_
+#define SPARSIFY_SPARSIFIERS_SPANNING_FOREST_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class SpanningForestSparsifier : public Sparsifier {
+ public:
+  const SparsifierInfo& Info() const override;
+  /// `prune_rate` is ignored (PruneRateControl::kNone). Throws
+  /// std::invalid_argument for directed graphs.
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_SPANNING_FOREST_H_

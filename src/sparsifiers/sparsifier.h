@@ -1,0 +1,96 @@
+// Sparsifier interface and registry.
+//
+// A sparsifier maps a graph G = (V, E) to a subgraph H = (V, E') with
+// |E'| = (1 - rho) |E| for a requested prune rate rho (paper Definition 1).
+// Vertices are never removed. Implementations receive the target prune rate
+// and an Rng; deterministic sparsifiers ignore the Rng.
+//
+// The registry carries the per-algorithm capability metadata of the paper's
+// Table 2 (directed/weighted/unconnected support, prune-rate control,
+// weight changes, determinism, complexity) so that `bench_tables` can
+// regenerate the table from code.
+#ifndef SPARSIFY_SPARSIFIERS_SPARSIFIER_H_
+#define SPARSIFY_SPARSIFIERS_SPARSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+
+/// Granularity of prune-rate control (Table 2 "PRC" column).
+enum class PruneRateControl {
+  kFine,        // any rho in (0, 1) is achievable (up to rounding)
+  kConstrained, // controllable via a coarse knob or with an upper limit
+  kNone,        // output size fixed by the algorithm (SF, SP-t)
+};
+
+/// Static description of a sparsification algorithm (Table 2 row).
+struct SparsifierInfo {
+  std::string name;        // e.g. "Local Degree"
+  std::string short_name;  // e.g. "LD"
+  bool supports_directed = false;
+  bool supports_weighted = false;
+  bool supports_unconnected = false;
+  PruneRateControl prune_rate_control = PruneRateControl::kFine;
+  bool changes_weights = false;
+  bool deterministic = false;
+  std::string complexity;  // informal big-O string for the table
+  // True for algorithms beyond the paper's Table 2 (this framework's
+  // extension set); Table 2 regeneration lists them separately.
+  bool extension = false;
+};
+
+/// Base class for all 12 sparsification algorithms.
+class Sparsifier {
+ public:
+  virtual ~Sparsifier() = default;
+
+  virtual const SparsifierInfo& Info() const = 0;
+
+  /// Returns the sparsified graph over the same vertex set. `prune_rate` is
+  /// the requested fraction of edges to REMOVE (Definition 1); algorithms
+  /// with coarse or no control get as close as their knob allows. Must be
+  /// in [0, 1).
+  ///
+  /// Directed inputs to undirected-only algorithms (SF, SP-t, ER) are the
+  /// caller's responsibility to symmetrize first (paper section 3.1); such
+  /// algorithms throw std::invalid_argument on directed input.
+  virtual Graph Sparsify(const Graph& g, double prune_rate,
+                         Rng& rng) const = 0;
+
+  /// Achieved prune rate of `sparsified` relative to `original`.
+  static double AchievedPruneRate(const Graph& original,
+                                  const Graph& sparsified);
+};
+
+/// Short names of all registered sparsifiers. The paper's Table 2 set
+/// comes first (RN, KN, RD, LD, SF, SP-3, SP-5, SP-7, FF, LS, GS, LSim,
+/// SCAN, ER-uw, ER-w; SP-t registered once per stretch factor, ER once per
+/// weight variant), followed by this framework's extensions (TRI, SIMM,
+/// ALG, LS-MH) — filter on SparsifierInfo::extension to separate them.
+std::vector<std::string> SparsifierNames();
+
+/// Creates a sparsifier by short name (see SparsifierNames). Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<Sparsifier> CreateSparsifier(const std::string& short_name);
+
+/// Info rows for every registered sparsifier (regenerates Table 2).
+std::vector<SparsifierInfo> AllSparsifierInfos();
+
+/// Helper shared by edge-scoring sparsifiers: keeps the `target_keep`
+/// highest-scoring canonical edges (ties broken by edge id). Returns the
+/// keep-mask.
+std::vector<uint8_t> KeepTopScoring(const std::vector<double>& scores,
+                                    EdgeId target_keep);
+
+/// Number of edges to keep for a prune rate: round((1-rho)|E|), clamped to
+/// [0, |E|].
+EdgeId TargetKeepCount(EdgeId num_edges, double prune_rate);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_SPARSIFIER_H_

@@ -1,0 +1,102 @@
+#include "src/sparsifiers/t_spanner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace sparsify {
+
+namespace {
+
+// Bounded-distance Dijkstra over the partial spanner held as adjacency
+// lists. Returns the distance from src to dst, or +inf if it exceeds
+// `bound`. For unweighted graphs this degenerates to a bounded BFS.
+double BoundedDistance(
+    const std::vector<std::vector<std::pair<NodeId, double>>>& adj,
+    NodeId src, NodeId dst, double bound, std::vector<double>* dist,
+    std::vector<NodeId>* touched) {
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  (*dist)[src] = 0.0;
+  touched->push_back(src);
+  pq.emplace(0.0, src);
+  double answer = std::numeric_limits<double>::infinity();
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > (*dist)[v]) continue;
+    if (v == dst) {
+      answer = d;
+      break;
+    }
+    if (d > bound) break;
+    for (auto [w, ew] : adj[v]) {
+      double nd = d + ew;
+      if (nd < (*dist)[w] && nd <= bound) {
+        (*dist)[w] = nd;
+        touched->push_back(w);
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  for (NodeId v : *touched) {
+    (*dist)[v] = std::numeric_limits<double>::infinity();
+  }
+  touched->clear();
+  return answer;
+}
+
+}  // namespace
+
+TSpannerSparsifier::TSpannerSparsifier(double t) : t_(t) {
+  if (t <= 1.0) throw std::invalid_argument("stretch factor must be > 1");
+  info_ = SparsifierInfo{
+      .name = "t-Spanner (t=" + std::to_string(static_cast<int>(t)) + ")",
+      .short_name = "SP-" + std::to_string(static_cast<int>(t)),
+      .supports_directed = false,
+      .supports_weighted = true,
+      .supports_unconnected = true,
+      .prune_rate_control = PruneRateControl::kNone,
+      .changes_weights = false,
+      .deterministic = true,
+      .complexity = "O(|V|^2 log |V|)",
+  };
+}
+
+const SparsifierInfo& TSpannerSparsifier::Info() const { return info_; }
+
+Graph TSpannerSparsifier::Sparsify(const Graph& g, double prune_rate,
+                                   Rng& rng) const {
+  (void)prune_rate;  // no control (Table 2)
+  (void)rng;         // deterministic
+  if (g.IsDirected()) {
+    throw std::invalid_argument(
+        "t-Spanner requires an undirected graph; symmetrize first");
+  }
+  std::vector<EdgeId> order(g.NumEdges());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.EdgeWeight(a) < g.EdgeWeight(b);
+  });
+  std::vector<std::vector<std::pair<NodeId, double>>> spanner(
+      g.NumVertices());
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  std::vector<double> dist(g.NumVertices(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<NodeId> touched;
+  for (EdgeId e : order) {
+    const Edge& ed = g.CanonicalEdge(e);
+    double bound = t_ * ed.w;
+    double d = BoundedDistance(spanner, ed.u, ed.v, bound, &dist, &touched);
+    if (d > bound) {
+      keep[e] = 1;
+      spanner[ed.u].emplace_back(ed.v, ed.w);
+      spanner[ed.v].emplace_back(ed.u, ed.w);
+    }
+  }
+  return g.Subgraph(keep);
+}
+
+}  // namespace sparsify

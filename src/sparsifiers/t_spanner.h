@@ -1,0 +1,32 @@
+// t-Spanner sparsifier (paper section 2.3.6, greedy algorithm of Althöfer et
+// al.): produces a subgraph H such that d_H(u, v) <= t * d_G(u, v) for all
+// vertex pairs. Edges are scanned in ascending weight order; an edge (u, v)
+// is added only if the current spanner distance between u and v exceeds
+// t * w(u, v). Undirected only; no prune-rate control.
+#ifndef SPARSIFY_SPARSIFIERS_T_SPANNER_H_
+#define SPARSIFY_SPARSIFIERS_T_SPANNER_H_
+
+#include "src/sparsifiers/sparsifier.h"
+
+namespace sparsify {
+
+class TSpannerSparsifier : public Sparsifier {
+ public:
+  /// `t` is the stretch factor (> 1). The paper evaluates t in {3, 5, 7}.
+  explicit TSpannerSparsifier(double t);
+
+  const SparsifierInfo& Info() const override;
+  /// `prune_rate` is ignored (PruneRateControl::kNone). Throws
+  /// std::invalid_argument for directed graphs.
+  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+
+  double stretch() const { return t_; }
+
+ private:
+  double t_;
+  SparsifierInfo info_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_SPARSIFIERS_T_SPANNER_H_

@@ -1,0 +1,28 @@
+#include "src/util/rng.h"
+
+#include <unordered_set>
+
+namespace sparsify {
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  if (k >= n) {
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
+  // already present, in which case insert j.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextUint(j + 1);
+    if (chosen.contains(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace sparsify

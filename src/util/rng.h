@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation utilities.
+//
+// Every stochastic component in the library (sparsifiers, generators, metric
+// samplers, GNN initialization) takes an explicit Rng so that experiments are
+// reproducible from a single seed and independent runs can be forked from a
+// parent stream without correlation.
+#ifndef SPARSIFY_UTIL_RNG_H_
+#define SPARSIFY_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace sparsify {
+
+/// Deterministic random number generator used across the library.
+///
+/// Wraps a SplitMix64-seeded xoshiro-style 64-bit engine (std::mt19937_64)
+/// with convenience samplers. Copyable; `Fork()` derives an independent
+/// child stream, which is what sweep harnesses use to give each
+/// (sparsifier, prune-rate, run) cell its own reproducible stream.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(Mix(seed)) {}
+
+  static constexpr result_type min() {
+    return std::mt19937_64::min();
+  }
+  static constexpr result_type max() {
+    return std::mt19937_64::max();
+  }
+  result_type operator()() { return engine_(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextUint(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Standard normal sample.
+  double NextGaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric sample: number of failures before first success, parameter p.
+  uint64_t NextGeometric(double p) {
+    return std::geometric_distribution<uint64_t>(p)(engine_);
+  }
+
+  /// Derives an independent child stream. Consumes one draw from this stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextUint(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  /// Uses Floyd's algorithm; O(k) expected time, order unspecified.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static uint64_t Mix(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_UTIL_RNG_H_

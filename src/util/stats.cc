@@ -1,0 +1,64 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace sparsify {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[mid];
+  return 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+double BhattacharyyaDistance(const std::vector<double>& p,
+                             const std::vector<double>& q) {
+  double sp = std::accumulate(p.begin(), p.end(), 0.0);
+  double sq = std::accumulate(q.begin(), q.end(), 0.0);
+  if (sp <= 0.0 || sq <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double bc = 0.0;
+  size_t n = std::min(p.size(), q.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] > 0.0 && q[i] > 0.0) {
+      bc += std::sqrt((p[i] / sp) * (q[i] / sq));
+    }
+  }
+  if (bc <= 0.0) return std::numeric_limits<double>::infinity();
+  // Numerical noise can push the coefficient slightly above 1.
+  bc = std::min(bc, 1.0);
+  return -std::log(bc);
+}
+
+void RunningStats::Add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::StdDev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace sparsify

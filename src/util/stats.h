@@ -1,0 +1,43 @@
+// Small statistics helpers shared by metrics and the evaluation harness.
+#ifndef SPARSIFY_UTIL_STATS_H_
+#define SPARSIFY_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsify {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Median (averages the two middle elements for even sizes); 0 if empty.
+double Median(std::vector<double> xs);
+
+/// Bhattacharyya distance -ln(sum_i sqrt(p_i * q_i)) between two discrete
+/// distributions given as histograms over the same bins. Histograms are
+/// normalized internally; they need not sum to 1. Returns +inf when the
+/// distributions have disjoint support. Used for the degree-distribution
+/// metric (paper section 3.3.1).
+double BhattacharyyaDistance(const std::vector<double>& p,
+                             const std::vector<double>& q);
+
+/// Accumulates a running mean/stddev (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double StdDev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_UTIL_STATS_H_

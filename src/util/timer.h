@@ -1,0 +1,33 @@
+// Wall-clock timing helper used by the sparsification-time benchmark and the
+// evaluation harness.
+#ifndef SPARSIFY_UTIL_TIMER_H_
+#define SPARSIFY_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sparsify {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_UTIL_TIMER_H_

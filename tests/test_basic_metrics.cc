@@ -1,0 +1,117 @@
+// Tests for the basic metrics (degree-distribution distance, quadratic-form
+// similarity) and the statistics utilities behind them.
+#include "src/metrics/basic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/sparsifiers/random_sparsifier.h"
+#include "src/util/stats.h"
+
+namespace sparsify {
+namespace {
+
+TEST(StatsTest, MeanStdDevMedian) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  std::vector<double> xs = {0.5, 1.5, -2.0, 7.0, 3.25};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.Count(), xs.size());
+  EXPECT_NEAR(rs.Mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.StdDev(), StdDev(xs), 1e-12);
+}
+
+TEST(BhattacharyyaTest, IdenticalDistributionsZero) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(BhattacharyyaDistance(p, p), 0.0, 1e-12);
+}
+
+TEST(BhattacharyyaTest, ScaleInvariant) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  std::vector<double> q = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(BhattacharyyaDistance(p, q), 0.0, 1e-12);
+}
+
+TEST(BhattacharyyaTest, DisjointSupportInfinite) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_TRUE(std::isinf(BhattacharyyaDistance(p, q)));
+}
+
+TEST(BhattacharyyaTest, KnownValue) {
+  // p = (1/2, 1/2), q = (1/8, 7/8): BC = sqrt(1/16) + sqrt(7/16).
+  double bc = std::sqrt(1.0 / 16.0) + std::sqrt(7.0 / 16.0);
+  EXPECT_NEAR(BhattacharyyaDistance({0.5, 0.5}, {0.125, 0.875}),
+              -std::log(bc), 1e-12);
+}
+
+TEST(DegreeHistogramTest, BinsCoverRange) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}}, false, false);
+  std::vector<double> h = DegreeHistogram(g, 4, g.MaxDegree());
+  double total = 0.0;
+  for (double b : h) total += b;
+  EXPECT_DOUBLE_EQ(total, 4.0);  // every vertex lands in some bin
+}
+
+TEST(DegreeDistributionTest, SelfDistanceZero) {
+  Rng rng(81);
+  Graph g = BarabasiAlbert(300, 4, rng);
+  EXPECT_NEAR(DegreeDistributionDistance(g, g), 0.0, 1e-12);
+}
+
+TEST(DegreeDistributionTest, RandomBeatsDegreeBiased) {
+  // The headline of paper Fig. 2: Random preserves the degree distribution
+  // better than a sparsifier that keeps all edges of high-degree vertices.
+  Rng gen(82);
+  Graph g = BarabasiAlbert(600, 5, gen);
+  Rng rng(83);
+  Graph random_h = RandomSparsifier().Sparsify(g, 0.5, rng);
+  // Degree-biased strawman: keep edges whose endpoint degree sum is top.
+  std::vector<double> score(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    score[e] = static_cast<double>(g.OutDegree(ed.u)) + g.OutDegree(ed.v);
+  }
+  Graph biased_h =
+      g.Subgraph(KeepTopScoring(score, TargetKeepCount(g.NumEdges(), 0.5)));
+  EXPECT_LT(DegreeDistributionDistance(g, random_h),
+            DegreeDistributionDistance(g, biased_h));
+}
+
+TEST(QuadraticFormTest, SelfSimilarityOne) {
+  Rng gen(84);
+  Graph g = ErdosRenyi(100, 400, false, gen);
+  Rng rng(85);
+  EXPECT_NEAR(QuadraticFormSimilarity(g, g, 20, rng), 1.0, 1e-12);
+}
+
+TEST(QuadraticFormTest, HalfEdgesRoughlyHalfForm) {
+  Rng gen(86);
+  Graph g = ErdosRenyi(300, 2000, false, gen);
+  Rng rng(87);
+  Graph h = RandomSparsifier().Sparsify(g, 0.5, rng);
+  double sim = QuadraticFormSimilarity(g, h, 50, rng);
+  EXPECT_NEAR(sim, 0.5, 0.1);
+}
+
+TEST(QuadraticFormTest, DirectedGraphsSymmetrized) {
+  Rng gen(88);
+  Graph g = RMat(8, 800, 0.57, 0.19, 0.19, true, gen);
+  Rng rng(89);
+  // Must not crash and must be ~1 for identical graphs.
+  EXPECT_NEAR(QuadraticFormSimilarity(g, g, 10, rng), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sparsify

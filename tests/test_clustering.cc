@@ -1,0 +1,152 @@
+// Tests for clustering metrics: Louvain community recovery on planted
+// partitions, modularity, clustering coefficients on known graphs, and the
+// paper's clustering F1 definition.
+#include "src/metrics/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/metrics/louvain.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+Graph CompleteGraph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return Graph::FromEdges(n, edges, false, false);
+}
+
+TEST(LccTest, CompleteGraphAllOnes) {
+  Graph g = CompleteGraph(6);
+  for (double c : LocalClusteringCoefficients(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(MeanClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(LccTest, TreeAllZeros) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, false,
+                             false);
+  for (double c : LocalClusteringCoefficients(g)) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(LccTest, TriangleWithTail) {
+  // Vertices 0,1 in triangle only: LCC 1. Vertex 2: neighbors {0,1,3},
+  // one of three pairs connected -> 1/3. Vertex 3: degree 1 -> 0.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, false,
+                             false);
+  std::vector<double> lcc = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(lcc[0], 1.0);
+  EXPECT_DOUBLE_EQ(lcc[1], 1.0);
+  EXPECT_NEAR(lcc[2], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lcc[3], 0.0);
+}
+
+TEST(TriangleCountTest, KnownCounts) {
+  EXPECT_EQ(CountTriangles(CompleteGraph(4)), 4u);
+  EXPECT_EQ(CountTriangles(CompleteGraph(5)), 10u);
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, false, false);
+  EXPECT_EQ(CountTriangles(path), 0u);
+}
+
+TEST(GccTest, TriangleWithTailValue) {
+  // 1 triangle, triplets: deg (2,2,3,1) -> 1+1+3+0 = 5. GCC = 3/5.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, false,
+                             false);
+  EXPECT_NEAR(GlobalClusteringCoefficient(g), 0.6, 1e-12);
+}
+
+TEST(LouvainTest, RecoverPlantedPartition) {
+  Rng gen(61);
+  std::vector<int> truth;
+  Graph g = PlantedPartition(300, 6, 0.4, 0.005, gen, &truth);
+  Rng rng(62);
+  Clustering c = LouvainCommunities(g, rng);
+  EXPECT_NEAR(c.num_clusters, 6, 2);
+  EXPECT_GT(ClusteringF1(c.label, truth), 0.8);
+  EXPECT_GT(c.modularity, 0.5);
+}
+
+TEST(LouvainTest, DisjointCliquesAreSeparated) {
+  std::vector<Edge> edges;
+  for (int block = 0; block < 4; ++block) {
+    NodeId base = block * 5;
+    for (NodeId u = 0; u < 5; ++u) {
+      for (NodeId v = u + 1; v < 5; ++v) {
+        edges.push_back({base + u, base + v});
+      }
+    }
+  }
+  Graph g = Graph::FromEdges(20, edges, false, false);
+  Rng rng(63);
+  Clustering c = LouvainCommunities(g, rng);
+  EXPECT_EQ(c.num_clusters, 4);
+  // Members of the same clique share labels.
+  for (int block = 0; block < 4; ++block) {
+    for (int v = 1; v < 5; ++v) {
+      EXPECT_EQ(c.label[block * 5 + v], c.label[block * 5]);
+    }
+  }
+}
+
+TEST(LouvainTest, EmptyGraphSingletons) {
+  Graph g = Graph::FromEdges(5, {}, false, false);
+  Rng rng(64);
+  Clustering c = LouvainCommunities(g, rng);
+  EXPECT_EQ(c.num_clusters, 5);
+}
+
+TEST(LouvainTest, ModularityOfPerfectSplit) {
+  // Two disjoint triangles; perfect split has modularity 1/2.
+  Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}, false, false);
+  std::vector<int> label = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(Modularity(g, label), 0.5, 1e-12);
+  std::vector<int> merged(6, 0);
+  EXPECT_NEAR(Modularity(g, merged), 0.0, 1e-12);
+}
+
+TEST(ClusteringF1Test, IdenticalClusteringsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(ClusteringF1(a, a), 1.0);
+}
+
+TEST(ClusteringF1Test, LabelPermutationInvariant) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_DOUBLE_EQ(ClusteringF1(a, b), 1.0);
+}
+
+TEST(ClusteringF1Test, AllMergedVsSplit) {
+  // One big cluster against a 3-way reference: precision = best block / n
+  // = 2/6; recall = every reference cluster fully covered = 6/6.
+  // F1 = 2 * (1/3 * 1) / (1/3 + 1) = 0.5.
+  std::vector<int> merged(6, 0);
+  std::vector<int> ref = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(ClusteringF1(merged, ref), 0.5, 1e-12);
+}
+
+TEST(ClusteringF1Test, SizeMismatchReturnsZero) {
+  EXPECT_DOUBLE_EQ(ClusteringF1({0, 1}, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringF1({}, {}), 0.0);
+}
+
+TEST(ClusteringF1Test, FragmentationPenalized) {
+  // Singletons vs 2 reference blocks: perfectly pure (precision 1) but
+  // each reference cluster is best-covered by a single vertex (recall
+  // 2/4) -> F1 = 2 * 0.5 / 1.5 = 2/3 < 1. Shattering costs score, as in
+  // the paper's Fig. 10.
+  std::vector<int> single = {0, 1, 2, 3};
+  std::vector<int> ref = {0, 0, 1, 1};
+  EXPECT_NEAR(ClusteringF1(single, ref), 2.0 / 3.0, 1e-12);
+  // Merging against a singleton reference: precision 1/4, recall 1.
+  std::vector<int> merged = {0, 0, 0, 0};
+  EXPECT_NEAR(ClusteringF1(merged, single), 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,181 @@
+// Tests for distance metrics: SSSP correctness against brute force,
+// eccentricity, approximate diameter, and the SPSP/eccentricity stretch
+// evaluators.
+#include "src/metrics/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/metrics/components.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+TEST(SsspTest, PathGraphDistances) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, false, false);
+  std::vector<double> d = ShortestPathDistances(g, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+  EXPECT_DOUBLE_EQ(d[3], 3.0);
+}
+
+TEST(SsspTest, UnreachableIsInfinite) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}}, false, false);
+  std::vector<double> d = ShortestPathDistances(g, 0);
+  EXPECT_EQ(d[2], kInfDistance);
+  EXPECT_EQ(d[3], kInfDistance);
+}
+
+TEST(SsspTest, DirectedRespectsArcDirection) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, true, false);
+  std::vector<double> from0 = ShortestPathDistances(g, 0);
+  std::vector<double> from2 = ShortestPathDistances(g, 2);
+  EXPECT_DOUBLE_EQ(from0[2], 2.0);
+  EXPECT_EQ(from2[0], kInfDistance);
+}
+
+TEST(SsspTest, WeightedUsesDijkstra) {
+  // Direct edge weight 10, detour 1+1.
+  Graph g = Graph::FromEdges(3, {{0, 2, 10.0}, {0, 1, 1.0}, {1, 2, 1.0}},
+                             false, true);
+  std::vector<double> d = ShortestPathDistances(g, 0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+}
+
+TEST(SsspTest, MatchesBruteForceOnRandomGraph) {
+  Rng rng(31);
+  Graph g = WithRandomWeights(ErdosRenyi(40, 120, false, rng), 5.0, rng);
+  // Brute force Bellman-Ford from vertex 0.
+  std::vector<double> bf(g.NumVertices(), kInfDistance);
+  bf[0] = 0.0;
+  for (NodeId it = 0; it < g.NumVertices(); ++it) {
+    for (const Edge& e : g.Edges()) {
+      if (bf[e.u] + e.w < bf[e.v]) bf[e.v] = bf[e.u] + e.w;
+      if (bf[e.v] + e.w < bf[e.u]) bf[e.u] = bf[e.v] + e.w;
+    }
+  }
+  std::vector<double> d = ShortestPathDistances(g, 0);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (bf[v] == kInfDistance) {
+      EXPECT_EQ(d[v], kInfDistance);
+    } else {
+      EXPECT_NEAR(d[v], bf[v], 1e-9);
+    }
+  }
+}
+
+TEST(EccentricityTest, PathGraph) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false,
+                             false);
+  EXPECT_DOUBLE_EQ(Eccentricity(g, 0), 4.0);
+  EXPECT_DOUBLE_EQ(Eccentricity(g, 2), 2.0);
+}
+
+TEST(EccentricityTest, IsolatedVertexInfinite) {
+  Graph g = Graph::FromEdges(3, {{0, 1}}, false, false);
+  EXPECT_EQ(Eccentricity(g, 2), kInfDistance);
+}
+
+TEST(ApproxDiameterTest, ExactOnPath) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}},
+                             false, false);
+  Rng rng(32);
+  EXPECT_DOUBLE_EQ(ApproxDiameter(g, 4, rng), 5.0);
+}
+
+TEST(ApproxDiameterTest, LowerBoundsTrueDiameter) {
+  Rng gen(33);
+  Graph g = ErdosRenyi(80, 200, false, gen);
+  // True diameter by full BFS over the largest component.
+  double truth = 0.0;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    double e = Eccentricity(g, v);
+    if (e != kInfDistance) truth = std::max(truth, e);
+  }
+  Rng rng(34);
+  double approx = ApproxDiameter(g, 6, rng);
+  EXPECT_LE(approx, truth + 1e-9);
+  EXPECT_GE(approx, 0.5 * truth);  // double sweep is a strong lower bound
+}
+
+TEST(SpspStretchTest, IdenticalGraphHasUnitStretch) {
+  Rng gen(35);
+  Graph g = BarabasiAlbert(150, 3, gen);
+  Rng rng(36);
+  StretchResult r = SpspStretch(g, g, 500, rng);
+  EXPECT_DOUBLE_EQ(r.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(r.unreachable, 0.0);
+  EXPECT_GT(r.pairs_evaluated, 0);
+}
+
+TEST(SpspStretchTest, StretchAtLeastOneForSubgraphs) {
+  Rng gen(37);
+  Graph g = BarabasiAlbert(150, 4, gen);
+  // Remove every third edge.
+  std::vector<uint8_t> keep(g.NumEdges(), 1);
+  for (EdgeId e = 0; e < g.NumEdges(); e += 3) keep[e] = 0;
+  Graph h = g.Subgraph(keep);
+  Rng rng(38);
+  StretchResult r = SpspStretch(g, h, 500, rng);
+  EXPECT_GE(r.mean_stretch, 1.0);
+}
+
+TEST(SpspStretchTest, DetectsBrokenPairs) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, false, false);
+  Graph h = g.Subgraph({1, 0, 1});  // cut the middle edge
+  Rng rng(39);
+  StretchResult r = SpspStretch(g, h, 200, rng);
+  EXPECT_GT(r.unreachable, 0.0);
+}
+
+TEST(EccentricityStretchTest, IdenticalGraphUnitStretch) {
+  Rng gen(40);
+  Graph g = BarabasiAlbert(100, 3, gen);
+  Rng rng(41);
+  StretchResult r = EccentricityStretch(g, g, 30, rng);
+  EXPECT_DOUBLE_EQ(r.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(r.unreachable, 0.0);
+}
+
+TEST(ConnectivityTest, UnreachableRatioExact) {
+  // Components of sizes 3 and 2 among 5 vertices: reachable ordered pairs
+  // = 3*2 + 2*1 = 8 of 20 -> unreachable 0.6.
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}}, false, false);
+  EXPECT_NEAR(UnreachableRatio(g), 0.6, 1e-12);
+}
+
+TEST(ConnectivityTest, ConnectedGraphZeroUnreachable) {
+  Rng gen(42);
+  Graph g = BarabasiAlbert(100, 2, gen);
+  EXPECT_DOUBLE_EQ(UnreachableRatio(g), 0.0);
+}
+
+TEST(ConnectivityTest, IsolatedRatio) {
+  Graph g = Graph::FromEdges(4, {{0, 1}}, false, false);
+  EXPECT_DOUBLE_EQ(IsolatedRatio(g), 0.5);
+}
+
+TEST(ConnectivityTest, ComponentsLabelsConsistent) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}}, false, false);
+  ComponentResult cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+  EXPECT_EQ(cc.label[0], cc.label[2]);
+  EXPECT_EQ(cc.label[3], cc.label[4]);
+  EXPECT_NE(cc.label[0], cc.label[3]);
+  EXPECT_NE(cc.label[5], cc.label[0]);
+}
+
+TEST(ConnectivityTest, SampledUnreachableIncrease) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, false, false);
+  Graph same = g;
+  Rng rng(43);
+  EXPECT_DOUBLE_EQ(SampledUnreachableIncrease(g, same, 100, rng), 0.0);
+  Graph cut = g.Subgraph({1, 0, 1});
+  Rng rng2(44);
+  EXPECT_GT(SampledUnreachableIncrease(g, cut, 200, rng2), 0.3);
+}
+
+}  // namespace
+}  // namespace sparsify

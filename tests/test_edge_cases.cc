@@ -1,0 +1,234 @@
+// Edge-case and failure-injection tests: degenerate graphs (empty, single
+// edge, star, complete) through every sparsifier and the key metrics, RNG
+// contract tests, and the Table 1 metric registry.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metric_info.h"
+#include "src/graph/generators.h"
+#include "src/metrics/basic.h"
+#include "src/metrics/centrality.h"
+#include "src/metrics/clustering.h"
+#include "src/metrics/components.h"
+#include "src/metrics/distance.h"
+#include "src/metrics/louvain.h"
+#include "src/metrics/maxflow.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+// --------------------------------------------------------------------------
+// Degenerate graphs through every sparsifier.
+
+class DegenerateGraphTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DegenerateGraphTest, EmptyEdgeSet) {
+  Graph g = Graph::FromEdges(10, {}, false, false);
+  Rng rng(1);
+  Graph h = CreateSparsifier(GetParam())->Sparsify(g, 0.5, rng);
+  EXPECT_EQ(h.NumVertices(), 10u);
+  EXPECT_EQ(h.NumEdges(), 0u);
+}
+
+TEST_P(DegenerateGraphTest, SingleEdge) {
+  Graph g = Graph::FromEdges(2, {{0, 1}}, false, false);
+  Rng rng(2);
+  Graph h = CreateSparsifier(GetParam())->Sparsify(g, 0.1, rng);
+  // Keep count rounds to 1: the single edge must survive.
+  EXPECT_EQ(h.NumEdges(), 1u);
+}
+
+TEST_P(DegenerateGraphTest, StarGraph) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 12; ++v) edges.push_back({0, v});
+  Graph g = Graph::FromEdges(13, edges, false, false);
+  Rng rng(3);
+  Graph h = CreateSparsifier(GetParam())->Sparsify(g, 0.5, rng);
+  EXPECT_LE(h.NumEdges(), g.NumEdges());
+  for (const Edge& e : h.Edges()) EXPECT_TRUE(g.HasEdge(e.u, e.v));
+}
+
+TEST_P(DegenerateGraphTest, CompleteGraph) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) edges.push_back({u, v});
+  }
+  Graph g = Graph::FromEdges(12, edges, false, false);
+  Rng rng(4);
+  Graph h = CreateSparsifier(GetParam())->Sparsify(g, 0.7, rng);
+  EXPECT_LE(h.NumEdges(), g.NumEdges());
+  EXPECT_EQ(h.NumVertices(), 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSparsifiers, DegenerateGraphTest,
+                         ::testing::ValuesIn(SparsifierNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --------------------------------------------------------------------------
+// Metrics on degenerate graphs must not crash and must return sane values.
+
+TEST(DegenerateMetricsTest, EmptyGraphMetrics) {
+  Graph g = Graph::FromEdges(5, {}, false, false);
+  EXPECT_DOUBLE_EQ(UnreachableRatio(g), 1.0);
+  EXPECT_DOUBLE_EQ(IsolatedRatio(g), 1.0);
+  EXPECT_DOUBLE_EQ(MeanClusteringCoefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(ApproxDiameter(g, 2, rng), 0.0);
+  std::vector<double> pr = PageRank(g);
+  for (double p : pr) EXPECT_NEAR(p, 0.2, 1e-9);
+  Rng lrng(6);
+  EXPECT_EQ(LouvainCommunities(g, lrng).num_clusters, 5);
+}
+
+TEST(DegenerateMetricsTest, SingleVertexGraph) {
+  Graph g = Graph::FromEdges(1, {}, false, false);
+  EXPECT_DOUBLE_EQ(UnreachableRatio(g), 0.0);
+  std::vector<double> d = ShortestPathDistances(g, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(BetweennessCentrality(g)[0], 0.0);
+}
+
+TEST(DegenerateMetricsTest, ZeroVertexGraph) {
+  Graph g = Graph::FromEdges(0, {}, false, false);
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_DOUBLE_EQ(IsolatedRatio(g), 0.0);
+  EXPECT_TRUE(PageRank(g).empty());
+}
+
+TEST(DegenerateMetricsTest, MaxFlowSelfPair) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, false, false);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 1, 1), 0.0);
+}
+
+TEST(DegenerateMetricsTest, StretchOnEmptySparsified) {
+  Rng gen(7);
+  Graph g = BarabasiAlbert(50, 2, gen);
+  Graph empty = g.Subgraph(std::vector<uint8_t>(g.NumEdges(), 0));
+  Rng rng(8);
+  StretchResult r = SpspStretch(g, empty, 100, rng);
+  EXPECT_DOUBLE_EQ(r.unreachable, 1.0);
+  EXPECT_EQ(r.pairs_evaluated, 0);
+}
+
+TEST(DegenerateMetricsTest, QuadraticFormOnEmptySparsifiedIsZero) {
+  Rng gen(9);
+  Graph g = BarabasiAlbert(50, 2, gen);
+  Graph empty = g.Subgraph(std::vector<uint8_t>(g.NumEdges(), 0));
+  Rng rng(10);
+  EXPECT_DOUBLE_EQ(QuadraticFormSimilarity(g, empty, 10, rng), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// RNG contract.
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, ForksAreIndependentStreams) {
+  Rng parent(7);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // Children produce different streams (first draws differ with
+  // overwhelming probability for a 64-bit space).
+  EXPECT_NE(child1(), child2());
+}
+
+TEST(RngTest, NextUintInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  auto sample = rng.SampleWithoutReplacement(1000, 300);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 300u);
+  for (uint64_t x : sample) EXPECT_LT(x, 1000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKGeN) {
+  Rng rng(12);
+  auto sample = rng.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformish) {
+  // Each element of [0, 10) should be picked ~50% of the time at k = 5.
+  std::vector<int> counts(10, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Rng rng(5000 + trial);
+    for (uint64_t x : rng.SampleWithoutReplacement(10, 5)) ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// --------------------------------------------------------------------------
+// Table 1 metric registry.
+
+TEST(MetricInfoTest, SixteenMetrics) {
+  EXPECT_EQ(AllMetricInfos().size(), 16u);
+}
+
+TEST(MetricInfoTest, GroupsCoverPaperSections) {
+  std::set<std::string> groups;
+  for (const MetricInfo& m : AllMetricInfos()) groups.insert(m.group);
+  EXPECT_TRUE(groups.contains("Basic"));
+  EXPECT_TRUE(groups.contains("Distance"));
+  EXPECT_TRUE(groups.contains("Centrality"));
+  EXPECT_TRUE(groups.contains("Clustering"));
+  EXPECT_TRUE(groups.contains("Application"));
+}
+
+TEST(MetricInfoTest, Table1FlagsMatchPaper) {
+  auto find = [](const std::string& name) {
+    for (const MetricInfo& m : AllMetricInfos()) {
+      if (m.name == name) return m;
+    }
+    ADD_FAILURE() << "missing metric " << name;
+    return MetricInfo{};
+  };
+  EXPECT_EQ(find("#Communities").directed, Applicability::kNo);
+  EXPECT_EQ(find("Clustering F1 Sim").directed, Applicability::kNo);
+  EXPECT_EQ(find("LCC").weighted, Applicability::kIgnored);
+  EXPECT_EQ(find("APSP").unconnected, Applicability::kExcluded);
+  EXPECT_EQ(find("GNN").directed, Applicability::kYes);
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,179 @@
+// Tests for the extension sparsifiers (TRI, SIMM, ALG, LS-MH) and the
+// min-wise-hash Jaccard estimator they build on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/metrics/components.h"
+#include "src/sparsifiers/extensions.h"
+#include "src/sparsifiers/minhash.h"
+#include "src/sparsifiers/similarity.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sparsify {
+namespace {
+
+TEST(MinHashTest, ExactOnIdenticalNeighborhoods) {
+  // 0 and 1 both connect to {2,3,4} (and to each other): estimates for
+  // (0,1) concern N(0)={1,2,3,4} vs N(1)={0,2,3,4} -> true J = 3/5.
+  Graph g = Graph::FromEdges(
+      5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}}, false,
+      false);
+  Rng rng(1);
+  MinHashSignatures sig(g, 512, rng);
+  EXPECT_NEAR(sig.EstimateJaccard(0, 1), 0.6, 0.1);
+}
+
+TEST(MinHashTest, DisjointNeighborhoodsNearZero) {
+  // Two disjoint stars: leaves of different stars share nothing.
+  Graph g = Graph::FromEdges(6, {{0, 1}, {0, 2}, {3, 4}, {3, 5}}, false,
+                             false);
+  Rng rng(2);
+  MinHashSignatures sig(g, 256, rng);
+  EXPECT_LT(sig.EstimateJaccard(1, 4), 0.05);
+}
+
+TEST(MinHashTest, IsolatedVerticesScoreZero) {
+  Graph g = Graph::FromEdges(4, {{0, 1}}, false, false);
+  Rng rng(3);
+  MinHashSignatures sig(g, 64, rng);
+  EXPECT_DOUBLE_EQ(sig.EstimateJaccard(2, 3), 0.0);
+}
+
+TEST(MinHashTest, EstimatesTrackExactJaccard) {
+  Rng gen(4);
+  Graph g = WattsStrogatz(300, 5, 0.1, gen);
+  std::vector<double> exact = JaccardEdgeScores(g);
+  Rng rng(5);
+  std::vector<double> approx = MinHashJaccardEdgeScores(g, 256, rng);
+  // Mean absolute error of a 256-hash estimator should be small.
+  double mae = 0.0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    mae += std::abs(exact[e] - approx[e]);
+  }
+  mae /= g.NumEdges();
+  EXPECT_LT(mae, 0.06);
+}
+
+TEST(MinHashTest, MoreHashesReduceError) {
+  Rng gen(6);
+  Graph g = WattsStrogatz(200, 5, 0.1, gen);
+  std::vector<double> exact = JaccardEdgeScores(g);
+  auto mae_for = [&](int hashes, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> approx = MinHashJaccardEdgeScores(g, hashes, rng);
+    double mae = 0.0;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      mae += std::abs(exact[e] - approx[e]);
+    }
+    return mae / g.NumEdges();
+  };
+  // Averaged over a few seeds to keep the comparison stable.
+  double coarse = (mae_for(8, 1) + mae_for(8, 2) + mae_for(8, 3)) / 3.0;
+  double fine = (mae_for(128, 1) + mae_for(128, 2) + mae_for(128, 3)) / 3.0;
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(TriangleScoreTest, CliqueEdgesBeatBridge) {
+  // Two triangles joined by a bridge.
+  Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}}, false,
+      false);
+  std::vector<double> tri = TriangleEdgeScores(g);
+  EdgeId bridge = g.FindEdge(2, 3);
+  EXPECT_DOUBLE_EQ(tri[bridge], 0.0);
+  EXPECT_DOUBLE_EQ(tri[g.FindEdge(0, 1)], 1.0);
+}
+
+TEST(TriangleSparsifierTest, KeepsTriangleRichEdges) {
+  Rng gen(7);
+  std::vector<int> comm;
+  Graph g = PlantedPartition(240, 6, 0.4, 0.01, gen, &comm);
+  Rng rng(8);
+  Graph h = TriangleSparsifier().Sparsify(g, 0.5, rng);
+  int intra = 0;
+  for (const Edge& e : h.Edges()) {
+    if (comm[e.u] == comm[e.v]) ++intra;
+  }
+  // Triangles live inside communities.
+  EXPECT_GT(static_cast<double>(intra) / h.NumEdges(), 0.9);
+}
+
+TEST(SimmelianTest, BackboneKeepsCliqueStructure) {
+  // Two K5 cliques plus a few random cross edges: the backbone should
+  // strongly prefer clique edges.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({u + 5, v + 5});
+    }
+  }
+  edges.push_back({0, 5});
+  edges.push_back({1, 6});
+  edges.push_back({2, 7});
+  Graph g = Graph::FromEdges(10, edges, false, false);
+  Rng rng(9);
+  Graph h = SimmelianSparsifier().Sparsify(g, 0.3, rng);
+  for (const Edge& e : h.Edges()) {
+    bool cross = (e.u < 5) != (e.v < 5);
+    EXPECT_FALSE(cross) << e.u << "-" << e.v;
+  }
+}
+
+TEST(AlgebraicDistanceTest, IntraClusterCloserThanInter) {
+  Rng gen(10);
+  std::vector<int> comm;
+  Graph g = PlantedPartition(200, 4, 0.4, 0.01, gen, &comm);
+  Rng rng(11);
+  std::vector<double> dist = AlgebraicDistances(g, 8, 15, rng);
+  std::vector<double> intra, inter;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.CanonicalEdge(e);
+    (comm[ed.u] == comm[ed.v] ? intra : inter).push_back(dist[e]);
+  }
+  ASSERT_FALSE(intra.empty());
+  ASSERT_FALSE(inter.empty());
+  EXPECT_LT(Mean(intra), Mean(inter));
+}
+
+TEST(AlgebraicDistanceTest, DistancesNonNegative) {
+  Rng gen(12);
+  Graph g = BarabasiAlbert(150, 3, gen);
+  Rng rng(13);
+  for (double d : AlgebraicDistances(g, 4, 10, rng)) EXPECT_GE(d, 0.0);
+}
+
+TEST(LsMinHashTest, ApproximatesExactLSpar) {
+  Rng gen(14);
+  Graph g = WattsStrogatz(400, 5, 0.05, gen);
+  Rng rng1(15), rng2(16);
+  Graph exact = LSparSparsifier(false).Sparsify(g, 0.5, rng1);
+  Graph approx = LSparSparsifier(true, 64).Sparsify(g, 0.5, rng2);
+  // Both local selections should overlap substantially.
+  int shared = 0;
+  for (const Edge& e : approx.Edges()) {
+    if (exact.HasEdge(e.u, e.v)) ++shared;
+  }
+  EXPECT_GT(static_cast<double>(shared) / approx.NumEdges(), 0.6);
+  // And both guarantee at least one edge per vertex.
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) > 0) {
+      EXPECT_GE(approx.OutDegree(v), 1u);
+    }
+  }
+}
+
+TEST(ExtensionsTest, FlaggedAsExtensions) {
+  for (const char* name : {"TRI", "SIMM", "ALG", "LS-MH"}) {
+    EXPECT_TRUE(CreateSparsifier(name)->Info().extension) << name;
+  }
+  for (const char* name : {"RN", "LS", "ER-w", "SP-3"}) {
+    EXPECT_FALSE(CreateSparsifier(name)->Info().extension) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,124 @@
+// Tests for the extension metrics: degree assortativity, strongly
+// connected components, and the spectral radius.
+#include "src/metrics/extras.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/metrics/components.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+TEST(AssortativityTest, StarIsDisassortative) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 10; ++v) edges.push_back({0, v});
+  Graph g = Graph::FromEdges(11, edges, false, false);
+  // Hub (degree 10) only connects to leaves (degree 1): r = -1.
+  EXPECT_NEAR(DegreeAssortativity(g), -1.0, 1e-9);
+}
+
+TEST(AssortativityTest, RegularGraphZero) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 10; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % 10)});
+  }
+  Graph g = Graph::FromEdges(10, edges, false, false);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(g), 0.0);
+}
+
+TEST(AssortativityTest, BoundedOnRandomGraphs) {
+  Rng rng(1);
+  Graph g = BarabasiAlbert(300, 4, rng);
+  double r = DegreeAssortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  // Preferential attachment is (weakly) disassortative.
+  EXPECT_LT(r, 0.1);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, true,
+                             false);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(SccTest, DagIsAllSingletons) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 3}, {3, 2}}, true,
+                             false);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);
+}
+
+TEST(SccTest, TwoCyclesLinkedByArc) {
+  // Cycle {0,1,2} -> arc -> cycle {3,4,5}.
+  Graph g = Graph::FromEdges(6,
+                             {{0, 1},
+                              {1, 2},
+                              {2, 0},
+                              {2, 3},
+                              {3, 4},
+                              {4, 5},
+                              {5, 3}},
+                             true, false);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.label[0], scc.label[1]);
+  EXPECT_EQ(scc.label[3], scc.label[5]);
+  EXPECT_NE(scc.label[0], scc.label[3]);
+}
+
+TEST(SccTest, MatchesWeakComponentsOnSymmetricGraph) {
+  Rng rng(2);
+  Graph dir = ErdosRenyi(80, 200, true, rng);
+  // Add every reverse arc: SCCs must equal weak components.
+  std::vector<Edge> edges = dir.Edges();
+  for (const Edge& e : dir.Edges()) edges.push_back({e.v, e.u, e.w});
+  Graph sym = Graph::FromEdges(80, edges, true, false);
+  SccResult scc = StronglyConnectedComponents(sym);
+  ComponentResult weak = ConnectedComponents(sym);
+  EXPECT_EQ(scc.num_components, weak.num_components);
+}
+
+TEST(SccTest, SizesSumToN) {
+  Rng rng(3);
+  Graph g = RMat(8, 700, 0.57, 0.19, 0.19, true, rng);
+  SccResult scc = StronglyConnectedComponents(g);
+  NodeId total = 0;
+  for (NodeId s : scc.sizes) total += s;
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+TEST(SpectralRadiusTest, CompleteGraphKnownValue) {
+  // K_n has spectral radius n - 1.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) edges.push_back({u, v});
+  }
+  Graph g = Graph::FromEdges(6, edges, false, false);
+  EXPECT_NEAR(SpectralRadius(g), 5.0, 1e-6);
+}
+
+TEST(SpectralRadiusTest, StarKnownValue) {
+  // Star with k leaves has spectral radius sqrt(k).
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 9; ++v) edges.push_back({0, v});
+  Graph g = Graph::FromEdges(10, edges, false, false);
+  EXPECT_NEAR(SpectralRadius(g), 3.0, 1e-6);
+}
+
+TEST(SpectralRadiusTest, SubgraphNeverLarger) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(200, 4, rng);
+  std::vector<uint8_t> keep(g.NumEdges(), 1);
+  for (EdgeId e = 0; e < g.NumEdges(); e += 2) keep[e] = 0;
+  Graph h = g.Subgraph(keep);
+  EXPECT_LE(SpectralRadius(h), SpectralRadius(g) + 1e-9);
+}
+
+}  // namespace
+}  // namespace sparsify

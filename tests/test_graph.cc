@@ -1,0 +1,227 @@
+// Unit tests for the CSR graph core: construction invariants, normalization,
+// adjacency queries, subgraphs, symmetrization, preprocessing, and I/O.
+#include "src/graph/graph.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/io.h"
+#include "src/graph/union_find.h"
+
+namespace sparsify {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 0-2 triangle plus tail 2-3.
+  return Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, false, false);
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_FALSE(g.IsDirected());
+  EXPECT_FALSE(g.IsWeighted());
+}
+
+TEST(GraphTest, UndirectedDegrees) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 2u);
+  EXPECT_EQ(g.OutDegree(2), 3u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  Graph g = Graph::FromEdges(3, {{0, 0}, {0, 1}, {1, 1}}, false, false);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, ParallelEdgesMergedUnweighted) {
+  Graph g = Graph::FromEdges(2, {{0, 1}, {1, 0}, {0, 1}}, false, false);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0), 1.0);
+}
+
+TEST(GraphTest, ParallelEdgesSummedWeighted) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 2.0}, {1, 0, 3.0}}, false, true);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0), 5.0);
+}
+
+TEST(GraphTest, DirectedKeepsBothArcs) {
+  Graph g = Graph::FromEdges(2, {{0, 1}, {1, 0}}, true, false);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTest, DirectedInOutDegree) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}}, true, false);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+}
+
+TEST(GraphTest, AdjacencySorted) {
+  Graph g = Graph::FromEdges(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}}, false,
+                             false);
+  auto nbrs = g.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1].node, nbrs[i].node);
+  }
+}
+
+TEST(GraphTest, EdgeIdsConsistentBetweenDirections) {
+  Graph g = TriangleWithTail();
+  EdgeId e = g.FindEdge(0, 1);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(1, 0), e);  // undirected: same canonical edge
+  const Edge& ed = g.CanonicalEdge(e);
+  EXPECT_EQ(ed.u, 0u);
+  EXPECT_EQ(ed.v, 1u);
+}
+
+TEST(GraphTest, FindEdgeMissing) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.FindEdge(0, 3), kInvalidEdge);
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(GraphTest, OutOfRangeEndpointThrows) {
+  EXPECT_THROW(Graph::FromEdges(2, {{0, 2}}, false, false),
+               std::invalid_argument);
+}
+
+TEST(GraphTest, SubgraphKeepsVertexSet) {
+  Graph g = TriangleWithTail();
+  std::vector<uint8_t> keep(g.NumEdges(), 0);
+  keep[0] = 1;
+  Graph h = g.Subgraph(keep);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.NumEdges(), 1u);
+}
+
+TEST(GraphTest, SubgraphEmptyMask) {
+  Graph g = TriangleWithTail();
+  Graph h = g.Subgraph(std::vector<uint8_t>(g.NumEdges(), 0));
+  EXPECT_EQ(h.NumEdges(), 0u);
+  EXPECT_EQ(h.CountIsolated(), 4u);
+}
+
+TEST(GraphTest, ReweightedSubgraph) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}, false, true);
+  std::vector<uint8_t> keep = {1, 1};
+  std::vector<double> w = {2.5, 4.0};
+  Graph h = g.ReweightedSubgraph(keep, w);
+  EXPECT_TRUE(h.IsWeighted());
+  EXPECT_DOUBLE_EQ(h.EdgeWeight(h.FindEdge(0, 1)), 2.5);
+  EXPECT_DOUBLE_EQ(h.EdgeWeight(h.FindEdge(1, 2)), 4.0);
+}
+
+TEST(GraphTest, SymmetrizedMergesArcs) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}}, true, false);
+  Graph u = g.Symmetrized();
+  EXPECT_FALSE(u.IsDirected());
+  EXPECT_EQ(u.NumEdges(), 2u);
+  EXPECT_TRUE(u.HasEdge(2, 1));
+}
+
+TEST(GraphTest, SymmetrizedKeepsMaxWeight) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 2.0}, {1, 0, 5.0}}, true, true);
+  Graph u = g.Symmetrized();
+  EXPECT_EQ(u.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(u.EdgeWeight(0), 5.0);
+}
+
+TEST(GraphTest, SymmetrizedOnUndirectedIsCopy) {
+  Graph g = TriangleWithTail();
+  Graph u = g.Symmetrized();
+  EXPECT_EQ(u.NumEdges(), g.NumEdges());
+}
+
+TEST(GraphTest, UnweightedStripsWeights) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 7.0}}, false, true);
+  Graph u = g.Unweighted();
+  EXPECT_FALSE(u.IsWeighted());
+  EXPECT_DOUBLE_EQ(u.EdgeWeight(0), 1.0);
+}
+
+TEST(GraphTest, TotalEdgeWeight) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 3.0}}, false, true);
+  EXPECT_DOUBLE_EQ(g.TotalEdgeWeight(), 5.0);
+}
+
+TEST(GraphTest, CountIsolated) {
+  Graph g = Graph::FromEdges(5, {{0, 1}}, false, false);
+  EXPECT_EQ(g.CountIsolated(), 3u);
+}
+
+TEST(RemoveIsolatedVerticesTest, RemovesAndReindexes) {
+  Graph g = Graph::FromEdges(6, {{1, 3}, {3, 5}}, false, false);
+  std::vector<NodeId> map;
+  Graph h = RemoveIsolatedVertices(g, &map);
+  EXPECT_EQ(h.NumVertices(), 3u);
+  EXPECT_EQ(h.NumEdges(), 2u);
+  EXPECT_EQ(h.CountIsolated(), 0u);
+  EXPECT_EQ(map[0], kInvalidNode);
+  EXPECT_EQ(map[1], 0u);
+  EXPECT_EQ(map[3], 1u);
+  EXPECT_EQ(map[5], 2u);
+}
+
+TEST(RemoveIsolatedVerticesTest, NoOpOnCleanGraph) {
+  Graph g = TriangleWithTail();
+  Graph h = RemoveIsolatedVertices(g);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+}
+
+TEST(IoTest, RoundTripUnweighted) {
+  Graph g = TriangleWithTail();
+  std::stringstream ss;
+  WriteEdgeListStream(g, ss);
+  Graph h = ReadEdgeListStream(ss, false, false);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  for (const Edge& e : g.Edges()) EXPECT_TRUE(h.HasEdge(e.u, e.v));
+}
+
+TEST(IoTest, RoundTripWeighted) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 2.5}, {1, 2, 0.5}}, true, true);
+  std::stringstream ss;
+  WriteEdgeListStream(g, ss);
+  Graph h = ReadEdgeListStream(ss, true, true);
+  EXPECT_EQ(h.NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(h.EdgeWeight(h.FindEdge(0, 1)), 2.5);
+}
+
+TEST(IoTest, CommentsSkipped) {
+  std::stringstream ss("# header\n% other comment\n0 1\n1 2\n");
+  Graph g = ReadEdgeListStream(ss, false, false);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(IoTest, MalformedLineThrows) {
+  std::stringstream ss("0 1\nbogus\n");
+  EXPECT_THROW(ReadEdgeListStream(ss, false, false), std::runtime_error);
+}
+
+TEST(UnionFindTest, BasicMerge) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(1), 3u);
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,148 @@
+// Tests for the linear-algebra substrate: vector kernels, Laplacian
+// operators, and the CG Laplacian solver.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/linalg/cg.h"
+#include "src/linalg/laplacian.h"
+#include "src/linalg/vector_ops.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vec a = {1.0, 2.0, 3.0};
+  Vec b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOpsTest, AxpyScale) {
+  Vec y = {1.0, 1.0};
+  Axpy(2.0, {1.0, 2.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  Scale(0.5, &y);
+  EXPECT_DOUBLE_EQ(y[0], 1.5);
+}
+
+TEST(VectorOpsTest, RemoveMean) {
+  Vec x = {1.0, 2.0, 3.0};
+  RemoveMean(&x);
+  EXPECT_NEAR(Sum(x), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+}
+
+TEST(LaplacianTest, MultiplyPathGraph) {
+  // Path 0-1-2: L = [[1,-1,0],[-1,2,-1],[0,-1,1]].
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, false, false);
+  Vec x = {1.0, 0.0, -1.0};
+  Vec y;
+  LaplacianMultiply(g, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(LaplacianTest, QuadraticFormNonNegative) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(60, 150, false, rng);
+  for (int i = 0; i < 20; ++i) {
+    Vec x(g.NumVertices());
+    for (double& xi : x) xi = rng.NextGaussian();
+    EXPECT_GE(QuadraticForm(g, x), 0.0);
+  }
+}
+
+TEST(LaplacianTest, QuadraticFormMatchesMultiply) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(80, 3, rng);
+  Vec x(g.NumVertices());
+  for (double& xi : x) xi = rng.NextGaussian();
+  Vec lx;
+  LaplacianMultiply(g, x, &lx);
+  EXPECT_NEAR(QuadraticForm(g, x), Dot(x, lx), 1e-9);
+}
+
+TEST(LaplacianTest, ConstantVectorInKernel) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(40, 100, false, rng);
+  Vec ones(g.NumVertices(), 1.0);
+  Vec y;
+  LaplacianMultiply(g, ones, &y);
+  for (double yi : y) EXPECT_NEAR(yi, 0.0, 1e-12);
+}
+
+TEST(LaplacianTest, WeightedDegrees) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 3.0}}, false, true);
+  Vec deg = WeightedDegrees(g);
+  EXPECT_DOUBLE_EQ(deg[0], 2.0);
+  EXPECT_DOUBLE_EQ(deg[1], 5.0);
+  EXPECT_DOUBLE_EQ(deg[2], 3.0);
+}
+
+TEST(CgTest, SolvesPathSystem) {
+  // L x = b with b orthogonal to ones has solution unique up to constants.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, false, false);
+  Vec b = {1.0, 0.0, -1.0};
+  Vec x(3, 0.0);
+  CgResult res = SolveLaplacian(g, b, &x, 1e-10);
+  EXPECT_TRUE(res.converged);
+  Vec lx;
+  LaplacianMultiply(g, x, &lx);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(lx[i], b[i], 1e-8);
+}
+
+TEST(CgTest, SolvesRandomConnectedGraph) {
+  Rng rng(6);
+  Graph g = BarabasiAlbert(200, 3, rng);
+  Vec b(g.NumVertices());
+  for (double& bi : b) bi = rng.NextGaussian();
+  RemoveMean(&b);  // consistent RHS
+  Vec x(g.NumVertices(), 0.0);
+  CgResult res = SolveLaplacian(g, b, &x, 1e-9);
+  EXPECT_TRUE(res.converged);
+  Vec lx;
+  LaplacianMultiply(g, x, &lx);
+  double err = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) err += (lx[i] - b[i]) * (lx[i] - b[i]);
+  EXPECT_LT(std::sqrt(err), 1e-6 * Norm2(b) + 1e-8);
+}
+
+TEST(CgTest, DisconnectedComponentsPerComponentRhs) {
+  // Two disjoint edges; RHS mean-zero per component.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}}, false, false);
+  Vec b = {1.0, -1.0, 2.0, -2.0};
+  Vec x(4, 0.0);
+  CgResult res = SolveLaplacian(g, b, &x, 1e-10);
+  EXPECT_TRUE(res.converged);
+  Vec lx;
+  LaplacianMultiply(g, x, &lx);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(lx[i], b[i], 1e-8);
+}
+
+TEST(CgTest, ZeroRhsGivesZero) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, false, false);
+  Vec b(3, 0.0);
+  Vec x = {5.0, 5.0, 5.0};
+  CgResult res = SolveLaplacian(g, b, &x);
+  EXPECT_TRUE(res.converged);
+  for (double xi : x) EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(CgTest, WeightedLaplacian) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 4.0}, {1, 2, 0.25}}, false, true);
+  Vec b = {1.0, 0.0, -1.0};
+  Vec x(3, 0.0);
+  CgResult res = SolveLaplacian(g, b, &x, 1e-12);
+  EXPECT_TRUE(res.converged);
+  Vec lx;
+  LaplacianMultiply(g, x, &lx);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(lx[i], b[i], 1e-8);
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,112 @@
+// Tests for Dinic max-flow and the sampled flow-stretch evaluator.
+#include "src/metrics/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+TEST(MaxFlowTest, SingleEdgeCapacity) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 7.0}}, true, true);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 1, 0), 0.0);  // directed: no reverse arc
+}
+
+TEST(MaxFlowTest, UndirectedEdgeBothDirections) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 7.0}}, false, true);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 1, 0), 7.0);
+}
+
+TEST(MaxFlowTest, ClassicTextbookNetwork) {
+  // CLRS-style: max flow 0->5 is 23.
+  Graph g = Graph::FromEdges(6,
+                             {{0, 1, 16.0},
+                              {0, 2, 13.0},
+                              {1, 2, 10.0},
+                              {2, 1, 4.0},
+                              {1, 3, 12.0},
+                              {3, 2, 9.0},
+                              {2, 4, 14.0},
+                              {4, 3, 7.0},
+                              {3, 5, 20.0},
+                              {4, 5, 4.0}},
+                             true, true);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, BottleneckSeries) {
+  // 0 -5- 1 -2- 2 -8- 3: min capacity on the path bounds the flow.
+  Graph g = Graph::FromEdges(4, {{0, 1, 5.0}, {1, 2, 2.0}, {2, 3, 8.0}},
+                             true, true);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 3), 2.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsSum) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 3.0}, {1, 3, 3.0}, {0, 2, 4.0},
+                                 {2, 3, 4.0}},
+                             true, true);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 3), 7.0);
+}
+
+TEST(MaxFlowTest, DisconnectedZero) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}}, false, false);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 3), 0.0);
+}
+
+TEST(MaxFlowTest, FlowBoundedByDegreeCut) {
+  // Unweighted: flow <= min(deg(s), deg(t)) -- a sampled min-cut property.
+  Rng gen(71);
+  Graph g = ErdosRenyi(60, 250, false, gen);
+  Rng rng(72);
+  for (int i = 0; i < 15; ++i) {
+    NodeId s = static_cast<NodeId>(rng.NextUint(60));
+    NodeId t = static_cast<NodeId>(rng.NextUint(60));
+    if (s == t) continue;
+    double f = MaxFlow(g, s, t);
+    EXPECT_LE(f, std::min(g.OutDegree(s), g.OutDegree(t)) + 1e-9);
+  }
+}
+
+TEST(MaxFlowTest, SubgraphFlowNeverLarger) {
+  Rng gen(73);
+  Graph g = BarabasiAlbert(80, 4, gen);
+  std::vector<uint8_t> keep(g.NumEdges(), 1);
+  for (EdgeId e = 0; e < g.NumEdges(); e += 2) keep[e] = 0;
+  Graph h = g.Subgraph(keep);
+  Rng rng(74);
+  for (int i = 0; i < 10; ++i) {
+    NodeId s = static_cast<NodeId>(rng.NextUint(80));
+    NodeId t = static_cast<NodeId>(rng.NextUint(80));
+    if (s == t) continue;
+    EXPECT_LE(MaxFlow(h, s, t), MaxFlow(g, s, t) + 1e-9);
+  }
+}
+
+TEST(MaxFlowStretchTest, IdenticalGraphsRatioOne) {
+  Rng gen(75);
+  Graph g = BarabasiAlbert(60, 3, gen);
+  Rng rng(76);
+  FlowStretchResult r = MaxFlowStretch(g, g, 30, rng);
+  EXPECT_DOUBLE_EQ(r.mean_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.zero_flow_fraction, 0.0);
+  EXPECT_GT(r.pairs_evaluated, 0);
+}
+
+TEST(MaxFlowStretchTest, SubgraphRatioAtMostOne) {
+  Rng gen(77);
+  Graph g = BarabasiAlbert(60, 4, gen);
+  std::vector<uint8_t> keep(g.NumEdges(), 1);
+  for (EdgeId e = 0; e < g.NumEdges(); e += 3) keep[e] = 0;
+  Graph h = g.Subgraph(keep);
+  Rng rng(78);
+  FlowStretchResult r = MaxFlowStretch(g, h, 25, rng);
+  EXPECT_LE(r.mean_ratio, 1.0 + 1e-9);
+  EXPECT_GT(r.mean_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,411 @@
+// Algorithm-specific tests: each sparsifier's defining guarantee from the
+// paper's section 2.3 (K-Neighbor's min-degree, Local Degree's >=1 edge per
+// vertex, spanning forest's connectivity, the t-Spanner stretch bound, ER's
+// quadratic-form preservation, similarity orderings, etc.).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/linalg/laplacian.h"
+#include "src/metrics/components.h"
+#include "src/metrics/distance.h"
+#include "src/sparsifiers/effective_resistance.h"
+#include "src/sparsifiers/k_neighbor.h"
+#include "src/sparsifiers/local_degree.h"
+#include "src/sparsifiers/similarity.h"
+#include "src/sparsifiers/spanning_forest.h"
+#include "src/sparsifiers/t_spanner.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+Graph SocialGraph() {
+  Rng rng(101);
+  return BarabasiAlbert(400, 5, rng);
+}
+
+// --------------------------------------------------------------------------
+// K-Neighbor
+
+TEST(KNeighborTest, EveryVertexKeepsMinKEdges) {
+  Graph g = SocialGraph();
+  Rng rng(1);
+  KNeighborSparsifier kn;
+  Graph h = kn.SparsifyWithK(g, 3, rng);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    NodeId expect = std::min<NodeId>(3, g.OutDegree(v));
+    EXPECT_GE(h.OutDegree(v), expect) << "vertex " << v;
+  }
+}
+
+TEST(KNeighborTest, LargeKKeepsEverything) {
+  Graph g = SocialGraph();
+  Rng rng(2);
+  KNeighborSparsifier kn;
+  Graph h = kn.SparsifyWithK(g, g.MaxDegree(), rng);
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+}
+
+TEST(KNeighborTest, WeightProportionalSelection) {
+  // Star with one heavy edge: the heavy edge should be kept far more often.
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 20; ++v) {
+    edges.push_back({0, v, v == 1 ? 100.0 : 1.0});
+  }
+  Graph g = Graph::FromEdges(21, edges, false, true);
+  KNeighborSparsifier kn;
+  int heavy_kept = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng rng(1000 + trial);
+    Graph h = kn.SparsifyWithK(g, 1, rng);
+    // Leaves keep their only edge; look at whether 0's chosen edge when
+    // k=1 is the heavy one. Count how often the heavy edge survives.
+    if (h.HasEdge(0, 1)) ++heavy_kept;
+  }
+  EXPECT_GT(heavy_kept, 40);  // ~100/119 probability per trial
+}
+
+// --------------------------------------------------------------------------
+// Local Degree
+
+TEST(LocalDegreeTest, EveryVertexKeepsAtLeastOneEdge) {
+  Graph g = SocialGraph();
+  LocalDegreeSparsifier ld;
+  Graph h = ld.SparsifyWithAlpha(g, 0.0);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) > 0) {
+      EXPECT_GE(h.OutDegree(v), 1u) << "vertex " << v;
+    }
+  }
+}
+
+TEST(LocalDegreeTest, AlphaOneKeepsEverything) {
+  Graph g = SocialGraph();
+  LocalDegreeSparsifier ld;
+  Graph h = ld.SparsifyWithAlpha(g, 1.0);
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+}
+
+TEST(LocalDegreeTest, KeepsHighDegreeNeighbors) {
+  // Star + pendant: the hub is every leaf's highest-degree neighbor.
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 10; ++v) edges.push_back({0, v});
+  edges.push_back({1, 2});  // low-degree side edge
+  Graph g = Graph::FromEdges(11, edges, false, false);
+  LocalDegreeSparsifier ld;
+  Graph h = ld.SparsifyWithAlpha(g, 0.0);
+  // Every leaf keeps its edge to the hub (degree 10 beats degree 2).
+  for (NodeId v = 3; v <= 10; ++v) EXPECT_TRUE(h.HasEdge(0, v));
+}
+
+TEST(LocalDegreeTest, MonotoneInAlpha) {
+  Graph g = SocialGraph();
+  LocalDegreeSparsifier ld;
+  EdgeId prev = 0;
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EdgeId count = ld.SparsifyWithAlpha(g, alpha).NumEdges();
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Spanning Forest
+
+TEST(SpanningForestTest, TreeEdgeCountOnConnectedGraph) {
+  Graph g = SocialGraph();
+  Rng rng(3);
+  SpanningForestSparsifier sf;
+  Graph h = sf.Sparsify(g, 0.0, rng);
+  EXPECT_EQ(h.NumEdges(), g.NumVertices() - 1);
+  EXPECT_EQ(ConnectedComponents(h).num_components, 1u);
+}
+
+TEST(SpanningForestTest, PreservesComponentsExactly) {
+  Rng gen(4);
+  Graph a = ErdosRenyi(50, 120, false, gen);
+  Graph b = ErdosRenyi(40, 100, false, gen);
+  std::vector<Edge> edges = a.Edges();
+  for (const Edge& e : b.Edges()) {
+    edges.push_back({e.u + 50, e.v + 50, e.w});
+  }
+  Graph g = Graph::FromEdges(90, edges, false, false);
+  Rng rng(5);
+  Graph h = SpanningForestSparsifier().Sparsify(g, 0.0, rng);
+  ComponentResult co = ConnectedComponents(g);
+  ComponentResult ch = ConnectedComponents(h);
+  EXPECT_EQ(ch.num_components, co.num_components);
+  for (NodeId u = 0; u < g.NumVertices(); ++u) {
+    for (NodeId v = u + 1; v < g.NumVertices(); v += 7) {
+      EXPECT_EQ(co.label[u] == co.label[v], ch.label[u] == ch.label[v]);
+    }
+  }
+}
+
+TEST(SpanningForestTest, AcyclicOutput) {
+  Graph g = SocialGraph();
+  Rng rng(6);
+  Graph h = SpanningForestSparsifier().Sparsify(g, 0.0, rng);
+  // A forest has |V| - #components edges -> no cycles.
+  EXPECT_EQ(h.NumEdges() + ConnectedComponents(h).num_components,
+            h.NumVertices());
+}
+
+TEST(SpanningForestTest, MinimumWeightOnWeightedGraph) {
+  // Triangle with one heavy edge: MSF must drop the heavy edge.
+  Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 10.0}},
+                             false, true);
+  Rng rng(7);
+  Graph h = SpanningForestSparsifier().Sparsify(g, 0.0, rng);
+  EXPECT_EQ(h.NumEdges(), 2u);
+  EXPECT_FALSE(h.HasEdge(0, 2));
+}
+
+TEST(SpanningForestTest, DirectedThrows) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, true, false);
+  Rng rng(8);
+  EXPECT_THROW(SpanningForestSparsifier().Sparsify(g, 0.0, rng),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// t-Spanner
+
+class TSpannerStretchTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TSpannerStretchTest, StretchBoundHolds) {
+  double t = GetParam();
+  Rng gen(9);
+  Graph g = ErdosRenyi(120, 600, false, gen);
+  Rng rng(10);
+  Graph h = TSpannerSparsifier(t).Sparsify(g, 0.0, rng);
+  // Property: for sampled sources, d_H <= t * d_G for all reachable pairs.
+  for (NodeId src = 0; src < g.NumVertices(); src += 13) {
+    std::vector<double> dg = ShortestPathDistances(g, src);
+    std::vector<double> dh = ShortestPathDistances(h, src);
+    for (NodeId v = 0; v < g.NumVertices(); ++v) {
+      if (dg[v] == kInfDistance) continue;
+      ASSERT_NE(dh[v], kInfDistance);
+      EXPECT_LE(dh[v], t * dg[v] + 1e-9);
+    }
+  }
+}
+
+TEST_P(TSpannerStretchTest, StretchBoundHoldsWeighted) {
+  double t = GetParam();
+  Rng gen(11);
+  Graph g = WithRandomWeights(ErdosRenyi(80, 400, false, gen), 5.0, gen);
+  Rng rng(12);
+  Graph h = TSpannerSparsifier(t).Sparsify(g, 0.0, rng);
+  for (NodeId src = 0; src < g.NumVertices(); src += 17) {
+    std::vector<double> dg = ShortestPathDistances(g, src);
+    std::vector<double> dh = ShortestPathDistances(h, src);
+    for (NodeId v = 0; v < g.NumVertices(); ++v) {
+      if (dg[v] == kInfDistance) continue;
+      ASSERT_NE(dh[v], kInfDistance);
+      EXPECT_LE(dh[v], t * dg[v] + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stretch357, TSpannerStretchTest,
+                         ::testing::Values(3.0, 5.0, 7.0),
+                         [](const ::testing::TestParamInfo<double>& i) {
+                           return "t" + std::to_string(
+                                            static_cast<int>(i.param));
+                         });
+
+TEST(TSpannerTest, LargerTPrunesMore) {
+  Rng gen(13);
+  Graph g = ErdosRenyi(150, 900, false, gen);
+  Rng rng(14);
+  EdgeId e3 = TSpannerSparsifier(3).Sparsify(g, 0.0, rng).NumEdges();
+  EdgeId e7 = TSpannerSparsifier(7).Sparsify(g, 0.0, rng).NumEdges();
+  EXPECT_LE(e7, e3);
+}
+
+TEST(TSpannerTest, PreservesConnectivity) {
+  Graph g = SocialGraph();
+  Rng rng(15);
+  Graph h = TSpannerSparsifier(5).Sparsify(g, 0.0, rng);
+  EXPECT_EQ(ConnectedComponents(h).num_components,
+            ConnectedComponents(g).num_components);
+}
+
+TEST(TSpannerTest, InvalidStretchThrows) {
+  EXPECT_THROW(TSpannerSparsifier(1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Similarity scores
+
+TEST(JaccardTest, TriangleVsPendant) {
+  // Triangle 0-1-2 plus pendant 2-3: triangle edges have Jaccard 1/3
+  // (share one neighbor of union 3); pendant edge has 0.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, false,
+                             false);
+  std::vector<double> jac = JaccardEdgeScores(g);
+  EXPECT_NEAR(jac[g.FindEdge(0, 1)], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(jac[g.FindEdge(2, 3)], 0.0, 1e-12);
+}
+
+TEST(JaccardTest, CliqueEdgesHaveHighScores) {
+  // K5: every edge's endpoints share the other 3 vertices;
+  // union = 8 - 2*3 = ... |N(u) u N(v)| = 5 (all but none). Score 3/5.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  Graph g = Graph::FromEdges(5, edges, false, false);
+  for (double s : JaccardEdgeScores(g)) EXPECT_NEAR(s, 3.0 / 5.0, 1e-12);
+}
+
+TEST(ScanScoreTest, MatchesFormula) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, false,
+                             false);
+  std::vector<double> scan = ScanEdgeScores(g);
+  // Edge (0,1): 1 common neighbor, degrees 2 and 2 -> 2/3.
+  EXPECT_NEAR(scan[g.FindEdge(0, 1)], 2.0 / 3.0, 1e-12);
+  // Edge (2,3): 0 common, degrees 3 and 1 -> 1/sqrt(8).
+  EXPECT_NEAR(scan[g.FindEdge(2, 3)], 1.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(GSparTest, KeepsIntraCommunityEdges) {
+  Rng gen(16);
+  std::vector<int> comm;
+  Graph g = PlantedPartition(200, 4, 0.4, 0.02, gen, &comm);
+  Rng rng(17);
+  Graph h = GSparSparsifier().Sparsify(g, 0.5, rng);
+  int intra_kept = 0, inter_kept = 0;
+  for (const Edge& e : h.Edges()) {
+    (comm[e.u] == comm[e.v] ? intra_kept : inter_kept)++;
+  }
+  int intra_orig = 0, inter_orig = 0;
+  for (const Edge& e : g.Edges()) {
+    (comm[e.u] == comm[e.v] ? intra_orig : inter_orig)++;
+  }
+  double intra_rate = static_cast<double>(intra_kept) / intra_orig;
+  double inter_rate = static_cast<double>(inter_kept) /
+                      std::max(1, inter_orig);
+  EXPECT_GT(intra_rate, inter_rate + 0.2);
+}
+
+TEST(LSparTest, EveryVertexKeepsAtLeastOneEdge) {
+  Graph g = SocialGraph();
+  LSparSparsifier ls;
+  Graph h = ls.SparsifyWithExponent(g, 0.1);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) > 0) {
+      EXPECT_GE(h.OutDegree(v), 1u);
+    }
+  }
+}
+
+TEST(LSparTest, ExponentOneKeepsEverything) {
+  Graph g = SocialGraph();
+  Graph h = LSparSparsifier().SparsifyWithExponent(g, 1.0);
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+}
+
+// --------------------------------------------------------------------------
+// Effective Resistance
+
+TEST(EffectiveResistanceTest, PathGraphResistances) {
+  // On a tree, the effective resistance of every edge is exactly its
+  // resistance w^{-1}... for unit weights, exactly 1.
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false,
+                             false);
+  Rng rng(18);
+  std::vector<double> r = ApproxEffectiveResistances(g, rng, 64, 1e-10);
+  for (double ri : r) EXPECT_NEAR(ri, 1.0, 0.35);  // JL approximation
+}
+
+TEST(EffectiveResistanceTest, SumRule) {
+  // sum_e w_e R_e = n - #components for any graph.
+  Rng gen(19);
+  Graph g = BarabasiAlbert(150, 3, gen);
+  Rng rng(20);
+  std::vector<double> r = ApproxEffectiveResistances(g, rng, 96, 1e-9);
+  double sum = 0.0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) sum += g.EdgeWeight(e) * r[e];
+  EXPECT_NEAR(sum, static_cast<double>(g.NumVertices() - 1),
+              0.15 * g.NumVertices());
+}
+
+TEST(EffectiveResistanceTest, BridgeHasHighestResistance) {
+  // Two K4 cliques joined by one bridge: the bridge has R ~ 1, clique
+  // edges far less.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({u + 4, v + 4});
+    }
+  }
+  edges.push_back({3, 4});  // bridge
+  Graph g = Graph::FromEdges(8, edges, false, false);
+  Rng rng(21);
+  std::vector<double> r = ApproxEffectiveResistances(g, rng, 128, 1e-10);
+  EdgeId bridge = g.FindEdge(3, 4);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e != bridge) {
+      EXPECT_GT(r[bridge], r[e]);
+    }
+  }
+}
+
+TEST(EffectiveResistanceTest, WeightedVariantPreservesQuadraticForm) {
+  Rng gen(22);
+  Graph g = BarabasiAlbert(300, 6, gen);
+  Rng rng(23);
+  EffectiveResistanceSparsifier er(true);
+  Graph h = er.Sparsify(g, 0.5, rng);
+  // Mean quadratic-form ratio over random vectors should be near 1.
+  Rng probe(24);
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 30; ++i) {
+    Vec x(g.NumVertices());
+    for (double& xi : x) xi = probe.NextGaussian();
+    double qo = QuadraticForm(g, x);
+    if (qo <= 0.0) continue;
+    ratio_sum += QuadraticForm(h, x) / qo;
+    ++count;
+  }
+  double mean_ratio = ratio_sum / count;
+  EXPECT_GT(mean_ratio, 0.6);
+  EXPECT_LT(mean_ratio, 1.4);
+}
+
+TEST(EffectiveResistanceTest, UnweightedVariantDoesNotPreserveQuadraticForm) {
+  Rng gen(25);
+  Graph g = BarabasiAlbert(300, 6, gen);
+  Rng rng(26);
+  Graph h = EffectiveResistanceSparsifier(false).Sparsify(g, 0.7, rng);
+  Rng probe(27);
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 30; ++i) {
+    Vec x(g.NumVertices());
+    for (double& xi : x) xi = probe.NextGaussian();
+    double qo = QuadraticForm(g, x);
+    if (qo <= 0.0) continue;
+    ratio_sum += QuadraticForm(h, x) / qo;
+    ++count;
+  }
+  // Without reweighting, the form shrinks roughly with the kept fraction.
+  EXPECT_LT(ratio_sum / count, 0.6);
+}
+
+TEST(EffectiveResistanceTest, DirectedThrows) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, true, false);
+  Rng rng(28);
+  EXPECT_THROW(EffectiveResistanceSparsifier(true).Sparsify(g, 0.5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparsify
