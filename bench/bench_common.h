@@ -4,6 +4,8 @@
 //   --scale=<f>   dataset size multiplier (default per bench; smaller =
 //                 faster); datasets are synthetic stand-ins, see DESIGN.md
 //   --runs=<n>    runs per non-deterministic sparsifier (paper: 10)
+//   --threads=<n> worker threads for the batch engine (default: hardware
+//                 concurrency; output is identical at any thread count)
 //   --csv         emit CSV rows instead of pivot tables
 #ifndef SPARSIFY_BENCH_BENCH_COMMON_H_
 #define SPARSIFY_BENCH_BENCH_COMMON_H_
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/batch_runner.h"
 #include "src/eval/experiment.h"
 #include "src/graph/datasets.h"
 
@@ -21,6 +24,7 @@ namespace sparsify::bench {
 struct BenchOptions {
   double scale = 0.5;
   int runs = 3;
+  int threads = 0;  // <= 0 selects hardware concurrency
   bool csv = false;
 };
 
@@ -36,10 +40,13 @@ inline BenchOptions ParseOptions(int argc, char** argv,
       opt.scale = std::atof(arg.c_str() + 8);
     } else if (arg.rfind("--runs=", 0) == 0) {
       opt.runs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--help") {
-      std::cout << "usage: bench [--scale=f] [--runs=n] [--csv]\n";
+      std::cout << "usage: bench [--scale=f] [--runs=n] [--threads=n] "
+                   "[--csv]\n";
       std::exit(0);
     }
   }
@@ -57,7 +64,11 @@ inline void RunFigure(const std::string& title, const std::string& value_name,
   config.sparsifiers = sparsifiers;
   config.prune_rates = std::move(rates);
   config.runs_nondeterministic = opt.runs;
-  auto series = RunSweep(g, config, metric);
+  // One engine per bench process (figures run several sweeps and would
+  // otherwise pay pool setup/teardown for each); sized by the first call's
+  // --threads, which is constant within a bench run.
+  static BatchRunner runner(opt.threads);
+  auto series = RunSweep(g, config, metric, runner);
   if (opt.csv) {
     PrintSeriesCsv(std::cout, title, series);
   } else {

@@ -10,6 +10,8 @@
 //   --scale=f     dataset scale (default 0.15 for the full matrix)
 //   --runs=n      runs per non-deterministic sparsifier (default 1;
 //                 the paper protocol uses 10)
+//   --threads=n   worker threads for the batch engine (default: hardware
+//                 concurrency; output is identical at any thread count)
 //   --datasets=a,b  restrict datasets; --metrics=x,y restrict metrics
 //   --outdir=dir  also write one CSV per (dataset, metric) to dir
 #include <filesystem>
@@ -19,6 +21,7 @@
 #include <sstream>
 
 #include "bench/bench_common.h"
+#include "src/engine/batch_runner.h"
 #include "src/metrics/basic.h"
 #include "src/metrics/centrality.h"
 #include "src/metrics/clustering.h"
@@ -89,6 +92,7 @@ std::vector<std::string> SplitCsvList(const std::string& s) {
 void Run(int argc, char** argv) {
   double scale = 0.15;
   int runs = 1;
+  int threads = 0;  // 0 = hardware concurrency
   std::string outdir;
   std::vector<std::string> datasets = DatasetNames();
   std::vector<std::string> metric_names;
@@ -97,6 +101,9 @@ void Run(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) scale = std::atof(arg.c_str() + 8);
     if (arg.rfind("--runs=", 0) == 0) runs = std::atoi(arg.c_str() + 7);
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    }
     if (arg.rfind("--outdir=", 0) == 0) outdir = arg.substr(9);
     if (arg.rfind("--datasets=", 0) == 0) {
       datasets = SplitCsvList(arg.substr(11));
@@ -107,11 +114,16 @@ void Run(int argc, char** argv) {
   }
   if (!outdir.empty()) std::filesystem::create_directories(outdir);
 
+  // One engine (and thread pool) shared across every (dataset, metric)
+  // sweep; per-cell seeding keeps output identical at any --threads value.
+  BatchRunner runner(threads);
+
   Timer total;
   size_t data_points = 0;
   std::cout << "# Full N-to-N matrix: " << datasets.size() << " datasets x "
             << metric_names.size() << " metrics x "
-            << SparsifierNames().size() << " sparsifiers\n";
+            << SparsifierNames().size() << " sparsifiers ("
+            << runner.NumThreads() << " threads)\n";
   std::cout << "dataset,metric,sparsifier,prune_rate,achieved_prune_rate,"
                "value,stddev,runs\n";
   for (const std::string& dataset_name : datasets) {
@@ -120,7 +132,7 @@ void Run(int argc, char** argv) {
       const MetricFn& metric = MatrixMetrics().at(metric_name);
       SweepConfig config;
       config.runs_nondeterministic = runs;
-      auto series = RunSweep(d.graph, config, metric);
+      auto series = RunSweep(d.graph, config, metric, runner);
       std::ofstream csv;
       if (!outdir.empty()) {
         csv.open(outdir + "/" + dataset_name + "_" + metric_name + ".csv");

@@ -1,0 +1,104 @@
+#include "src/engine/batch_runner.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/thread_pool.h"
+
+namespace sparsify {
+
+struct BatchRunner::Impl {
+  explicit Impl(int num_threads) : pool(num_threads) {}
+  // Serializes Run: the pool's completion tracking is batch-global, so two
+  // concurrent batches would wait on (and steal errors from) each other.
+  std::mutex run_mu;
+  mutable ThreadPool pool;
+};
+
+BatchRunner::BatchRunner(int num_threads)
+    : impl_(std::make_unique<Impl>(num_threads)) {}
+
+BatchRunner::~BatchRunner() = default;
+
+int BatchRunner::NumThreads() const { return impl_->pool.NumThreads(); }
+
+uint64_t BatchRunner::TaskSeed(uint64_t master_seed, uint64_t index) {
+  // SplitMix64 over the combined pair. The golden-ratio stride separates
+  // consecutive indices far apart in the seed space; Rng's own seed mixing
+  // then decorrelates the streams.
+  uint64_t z = master_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<BatchTask> BatchRunner::ExpandGrid(const BatchSpec& spec) {
+  std::vector<std::string> names =
+      spec.sparsifiers.empty() ? SparsifierNames() : spec.sparsifiers;
+  std::vector<BatchTask> tasks;
+  for (const std::string& name : names) {
+    SparsifierInfo info = CreateSparsifier(name)->Info();
+    bool fixed_output = info.prune_rate_control == PruneRateControl::kNone;
+    std::vector<double> rates =
+        fixed_output ? std::vector<double>{0.0} : spec.prune_rates;
+    int runs = info.deterministic ? 1 : std::max(1, spec.runs);
+    for (double rate : rates) {
+      for (int run = 0; run < runs; ++run) {
+        BatchTask task;
+        task.index = tasks.size();
+        task.sparsifier = name;
+        task.prune_rate = rate;
+        task.run = run;
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+std::vector<BatchResult> BatchRunner::Run(const Graph& g,
+                                          const BatchSpec& spec,
+                                          const BatchMetricFn& metric) const {
+  std::lock_guard<std::mutex> run_lock(impl_->run_mu);
+  std::vector<BatchTask> tasks = ExpandGrid(spec);
+
+  // Symmetrize once if any selected sparsifier will need it; the copy is
+  // shared read-only across workers like the original.
+  Graph sym_holder;
+  const Graph* symmetrized = nullptr;
+  std::unordered_map<std::string, const Graph*> input_for;
+  for (const BatchTask& task : tasks) {
+    if (input_for.contains(task.sparsifier)) continue;
+    SparsifierInfo info = CreateSparsifier(task.sparsifier)->Info();
+    if (g.IsDirected() && !info.supports_directed) {
+      if (symmetrized == nullptr) {
+        sym_holder = g.Symmetrized();
+        symmetrized = &sym_holder;
+      }
+      input_for[task.sparsifier] = symmetrized;
+    } else {
+      input_for[task.sparsifier] = &g;
+    }
+  }
+
+  std::vector<BatchResult> results(tasks.size());
+  ParallelFor(impl_->pool, tasks.size(), [&](size_t i) {
+    const BatchTask& task = tasks[i];
+    const Graph& input = *input_for.at(task.sparsifier);
+    // All randomness flows from (master_seed, index): identical output at
+    // any thread count, and any single cell can be re-run in isolation.
+    Rng task_rng(TaskSeed(spec.master_seed, task.index));
+    Rng sparsify_rng = task_rng.Fork();
+    Rng metric_rng = task_rng.Fork();
+    std::unique_ptr<Sparsifier> sparsifier = CreateSparsifier(task.sparsifier);
+    Graph sparsified = sparsifier->Sparsify(input, task.prune_rate,
+                                            sparsify_rng);
+    BatchResult& r = results[i];
+    r.task = task;
+    r.achieved_prune_rate = Sparsifier::AchievedPruneRate(input, sparsified);
+    r.value = metric(input, sparsified, metric_rng);
+  });
+  return results;
+}
+
+}  // namespace sparsify

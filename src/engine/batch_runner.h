@@ -1,0 +1,101 @@
+// Parallel batch-sparsification engine.
+//
+// Expands an {algorithm x prune_rate x run} grid over one shared immutable
+// Graph and evaluates every cell concurrently on a ThreadPool. Each cell's
+// RNG streams are derived purely from (master_seed, cell index), so the
+// numeric output is bit-identical at any thread count. See README.md in
+// this directory for the design rationale.
+#ifndef SPARSIFY_ENGINE_BATCH_RUNNER_H_
+#define SPARSIFY_ENGINE_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+
+/// Metric evaluated on (original, sparsified); identical shape to
+/// eval::MetricFn so sweep metrics pass through unchanged.
+using BatchMetricFn =
+    std::function<double(const Graph& original, const Graph& sparsified,
+                         Rng& rng)>;
+
+/// One expanded cell of the grid.
+struct BatchTask {
+  uint64_t index = 0;        // position in the expanded grid; seeds derive
+                             // from this, never from execution order
+  std::string sparsifier;    // short name (see SparsifierNames)
+  double prune_rate = 0.0;   // requested rate passed to Sparsify
+  int run = 0;               // 0-based repeat index for this cell
+};
+
+/// Result of one task, in the same grid position.
+struct BatchResult {
+  BatchTask task;
+  double achieved_prune_rate = 0.0;
+  double value = 0.0;  // metric output
+};
+
+/// Grid specification. Expansion mirrors the paper's sweep protocol:
+/// deterministic sparsifiers contribute one run per rate regardless of
+/// `runs`, and sparsifiers without prune-rate control (SF, SP-t) collapse
+/// the rate axis to a single entry.
+struct BatchSpec {
+  std::vector<std::string> sparsifiers;  // short names; empty = all
+  std::vector<double> prune_rates = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9};
+  int runs = 1;              // repeats per non-deterministic sparsifier
+  uint64_t master_seed = 42;
+};
+
+/// Evaluates batch grids on a fixed-size thread pool.
+///
+/// The input Graph is shared read-only across all workers (Graph is
+/// immutable after construction); each task creates its own Sparsifier
+/// instance and forks private Rng streams, so no worker state is shared.
+class BatchRunner {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency.
+  explicit BatchRunner(int num_threads = 0);
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  int NumThreads() const;
+
+  /// Expands `spec` into the task grid. Deterministic and thread-free;
+  /// exposed so callers can inspect or shard the grid.
+  static std::vector<BatchTask> ExpandGrid(const BatchSpec& spec);
+
+  /// Seed of task `index` under `master_seed` (SplitMix64 of the pair).
+  /// Independent of thread count and execution order by construction.
+  static uint64_t TaskSeed(uint64_t master_seed, uint64_t index);
+
+  /// Runs every task of `spec` on `g`, returning results in grid order.
+  ///
+  /// When `g` is directed, sparsifiers whose SparsifierInfo does not
+  /// support directed input receive the symmetrized graph (computed once,
+  /// shared), and the metric's `original` is then also the symmetrized
+  /// graph — the same routing the sequential sweep performs (paper
+  /// sections 3.1, 4.5). Exceptions from any task propagate.
+  ///
+  /// Thread-safe: concurrent Run calls on one runner serialize against
+  /// each other (the pool's completion tracking is batch-global).
+  std::vector<BatchResult> Run(const Graph& g, const BatchSpec& spec,
+                               const BatchMetricFn& metric) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_ENGINE_BATCH_RUNNER_H_

@@ -4,57 +4,63 @@
 #include <iomanip>
 #include <ostream>
 
+#include "src/engine/batch_runner.h"
 #include "src/util/stats.h"
 
 namespace sparsify {
 
 std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
                                   const MetricFn& metric) {
+  BatchRunner runner(config.num_threads);
+  return RunSweep(g, config, metric, runner);
+}
+
+std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
+                                  const MetricFn& metric,
+                                  BatchRunner& runner) {
+  BatchSpec spec;
+  spec.sparsifiers = config.sparsifiers;
+  spec.prune_rates = config.prune_rates;
+  spec.runs = config.runs_nondeterministic;
+  spec.master_seed = config.seed;
+
+  std::vector<BatchResult> results = runner.Run(g, spec, metric);
+
+  // Results arrive in grid order: sparsifier-major, then rate, then run.
+  // Each requested entry's block size comes from ExpandGrid itself (on a
+  // single-name spec), so the fold can never drift from the engine's
+  // expansion; grouping within a block uses the tasks' own prune_rate.
+  // One series per requested entry, even when a name is listed twice.
   std::vector<std::string> names =
-      config.sparsifiers.empty() ? SparsifierNames() : config.sparsifiers;
-  Rng master(config.seed);
-
-  Graph sym_holder;
-  const Graph* symmetrized = nullptr;
-  auto graph_for = [&](const SparsifierInfo& info) -> const Graph* {
-    if (!g.IsDirected() || info.supports_directed) return &g;
-    if (symmetrized == nullptr) {
-      sym_holder = g.Symmetrized();
-      symmetrized = &sym_holder;
-    }
-    return symmetrized;
-  };
-
+      spec.sparsifiers.empty() ? SparsifierNames() : spec.sparsifiers;
   std::vector<SweepSeries> all_series;
+  size_t i = 0;
   for (const std::string& name : names) {
-    std::unique_ptr<Sparsifier> sparsifier = CreateSparsifier(name);
-    const SparsifierInfo& info = sparsifier->Info();
-    const Graph* input = graph_for(info);
+    BatchSpec entry_spec = spec;
+    entry_spec.sparsifiers = {name};
+    size_t end = i + BatchRunner::ExpandGrid(entry_spec).size();
+    bool fixed_output = CreateSparsifier(name)->Info().prune_rate_control ==
+                        PruneRateControl::kNone;
     SweepSeries series;
     series.sparsifier = name;
-
-    bool fixed_output = info.prune_rate_control == PruneRateControl::kNone;
-    std::vector<double> rates =
-        fixed_output ? std::vector<double>{0.0} : config.prune_rates;
-    int runs = info.deterministic ? 1 : config.runs_nondeterministic;
-
-    for (double rate : rates) {
-      SweepPoint point;
-      point.requested_prune_rate = rate;
+    while (i < end) {
+      // run == 0 marks the start of each (name, rate) block in ExpandGrid's
+      // ordering; grouping on it (rather than rate equality) keeps duplicate
+      // or NaN rates as separate points.
+      double rate = results[i].task.prune_rate;
       std::vector<double> values;
       std::vector<double> achieved;
-      for (int run = 0; run < runs; ++run) {
-        Rng run_rng = master.Fork();
-        Graph sparsified = sparsifier->Sparsify(*input, rate, run_rng);
-        achieved.push_back(
-            Sparsifier::AchievedPruneRate(*input, sparsified));
-        Rng metric_rng = master.Fork();
-        values.push_back(metric(*input, sparsified, metric_rng));
-      }
+      do {
+        values.push_back(results[i].value);
+        achieved.push_back(results[i].achieved_prune_rate);
+        ++i;
+      } while (i < end && results[i].task.run != 0);
+      SweepPoint point;
+      point.requested_prune_rate = rate;
       point.mean = Mean(values);
       point.stddev = StdDev(values);
       point.achieved_prune_rate = Mean(achieved);
-      point.runs = runs;
+      point.runs = static_cast<int>(values.size());
       if (fixed_output) point.requested_prune_rate = point.achieved_prune_rate;
       series.points.push_back(point);
     }

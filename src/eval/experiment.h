@@ -22,6 +22,11 @@ namespace sparsify {
 
 /// Metric evaluated on (original, sparsified). The rng is forked per
 /// evaluation so sampled metrics are reproducible.
+///
+/// Thread-safety: RunSweep evaluates grid cells concurrently, so the
+/// callable is invoked from multiple worker threads at once. It must not
+/// mutate shared state without synchronization (capture by value, use
+/// thread_local scratch, or set SweepConfig::num_threads = 1).
 using MetricFn =
     std::function<double(const Graph& original, const Graph& sparsified,
                          Rng& rng)>;
@@ -48,9 +53,18 @@ struct SweepConfig {
                                      0.6, 0.7, 0.8, 0.9};
   int runs_nondeterministic = 5;  // paper uses 10
   uint64_t seed = 42;
+  // Worker threads for the batch engine; <= 0 selects the hardware
+  // concurrency. Results are bit-identical at any thread count (every
+  // cell's RNG stream derives from the cell's grid index).
+  int num_threads = 0;
 };
 
-/// Runs the sweep of `metric` for every sparsifier in `config` on `g`.
+class BatchRunner;
+
+/// Runs the sweep of `metric` for every sparsifier in `config` on `g`,
+/// evaluating the {sparsifier x prune rate x run} grid in parallel on
+/// `config.num_threads` workers (engine/batch_runner.h); output is
+/// bit-identical at any thread count.
 ///
 /// Sparsifiers that require undirected input (SF, SP-t, ER) receive the
 /// symmetrized graph when `g` is directed, mirroring the paper's
@@ -59,6 +73,13 @@ struct SweepConfig {
 /// (SF, SP-t) contribute a single point at their natural prune rate.
 std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
                                   const MetricFn& metric);
+
+/// As above, but reuses `runner`'s thread pool (config.num_threads is
+/// ignored). Callers sweeping many (dataset, metric) pairs — the full
+/// N-to-N matrix — share one runner to avoid per-sweep pool churn.
+std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
+                                  const MetricFn& metric,
+                                  BatchRunner& runner);
 
 /// Prints `series` as CSV rows:
 /// sparsifier,prune_rate,achieved_prune_rate,value,stddev,runs.

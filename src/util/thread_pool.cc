@@ -1,0 +1,98 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sparsify {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  // Early abort: once any index throws, the other chompers stop pulling
+  // new indices (at most one in-flight call each finishes), so the error
+  // surfaces without draining the whole range first.
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  size_t num_workers =
+      std::min(n, static_cast<size_t>(pool.NumThreads()));
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool.Submit([cursor, failed, n, &fn] {
+      for (;;) {
+        if (failed->load(std::memory_order_relaxed)) return;
+        size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          failed->store(true, std::memory_order_relaxed);
+          throw;  // recorded as the pool's first error, rethrown by Wait
+        }
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace sparsify

@@ -1,0 +1,72 @@
+// Fixed-size worker-thread pool with a ParallelFor helper.
+//
+// The pool is the only threading primitive in the library: everything
+// parallel (the batch sparsification engine, future metric parallelism)
+// funnels through it so thread counts are controlled in one place.
+// Determinism is the caller's job — work items must not depend on
+// execution order (the batch engine derives every RNG stream from the
+// task index, never from the worker).
+#ifndef SPARSIFY_UTIL_THREAD_POOL_H_
+#define SPARSIFY_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparsify {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int NumThreads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not themselves call Submit/Wait on this
+  /// pool (no nested parallelism).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first exception (the rest are dropped).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) on `pool`, blocking until all complete.
+/// Work is distributed dynamically (one shared atomic cursor), so uneven
+/// per-index cost balances automatically. Exceptions from fn propagate,
+/// and abort the loop early: once an index throws, workers stop pulling
+/// new indices (remaining indices are skipped).
+/// Concurrent ParallelFor calls on the same pool are not supported (Wait
+/// tracks completion pool-globally); callers must serialize — see
+/// BatchRunner::Run.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_UTIL_THREAD_POOL_H_

@@ -60,6 +60,21 @@ TEST(SweepTest, DeterministicAcrossCalls) {
   }
 }
 
+TEST(SweepTest, DuplicateSparsifierEntriesYieldSeparateSeries) {
+  Rng gen(98);
+  Graph g = BarabasiAlbert(100, 3, gen);
+  SweepConfig config;
+  config.sparsifiers = {"RN", "RN"};
+  config.prune_rates = {0.3, 0.7};
+  config.runs_nondeterministic = 2;
+  auto series = RunSweep(g, config, KeptFractionMetric());
+  ASSERT_EQ(series.size(), 2u);
+  for (const auto& s : series) {
+    EXPECT_EQ(s.sparsifier, "RN");
+    EXPECT_EQ(s.points.size(), 2u);
+  }
+}
+
 TEST(SweepTest, DirectedGraphRoutedThroughSymmetrization) {
   Rng gen(93);
   Graph g = RMat(8, 900, 0.57, 0.19, 0.19, true, gen);
