@@ -6,86 +6,11 @@
 // closeness (hub edges preserve hub rankings); RD leads eigenvector; RN
 // leads Katz (unbiased sampling keeps the hop structure); GS / SCAN trail
 // everywhere; FF and KN under-perform on eigenvector.
-#include "src/metrics/centrality.h"
-
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 5a 5b 6 7`.
 #include "bench/bench_common.h"
 
-namespace sparsify {
-namespace {
-
-constexpr int kTopK = 100;
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.35, 3);
-
-  {
-    Dataset d = LoadDatasetScaled("com-DBLP", opt.scale);
-    std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-              << ")\n\n";
-    // Sampled betweenness (paper section 3.3.3, 500 pivots).
-    Rng ref_rng(11);
-    std::vector<double> reference =
-        ApproxBetweennessCentrality(d.graph, 500, ref_rng);
-    bench::RunFigure(
-        "Figure 5a: Betweenness Centrality Top-100 Precision on com-DBLP",
-        "prec", d.graph, {"RN", "LD", "RD", "FF", "LS", "GS", "SCAN"}, opt,
-        [&reference](const Graph&, const Graph& sparsified, Rng& rng) {
-          std::vector<double> scores =
-              ApproxBetweennessCentrality(sparsified, 500, rng);
-          return TopKPrecision(reference, scores, kTopK);
-        },
-        1.0);
-  }
-
-  {
-    Dataset d = LoadDatasetScaled("ca-AstroPh", opt.scale);
-    std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-              << ")\n\n";
-    std::vector<double> reference = ClosenessCentrality(d.graph);
-    bench::RunFigure(
-        "Figure 5b: Closeness Centrality Top-100 Precision on ca-AstroPh",
-        "prec", d.graph, {"RN", "LD", "RD", "FF", "LS", "GS", "SCAN"}, opt,
-        [&reference](const Graph&, const Graph& sparsified, Rng&) {
-          return TopKPrecision(reference, ClosenessCentrality(sparsified),
-                               kTopK);
-        },
-        1.0);
-  }
-
-  {
-    Dataset d = LoadDatasetScaled("email-Enron", opt.scale);
-    std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-              << ")\n\n";
-    std::vector<double> reference = EigenvectorCentrality(d.graph);
-    bench::RunFigure(
-        "Figure 6: Eigenvector Centrality Top-100 Precision on email-Enron",
-        "prec", d.graph, {"RN", "KN", "LD", "RD", "FF"}, opt,
-        [&reference](const Graph&, const Graph& sparsified, Rng&) {
-          return TopKPrecision(reference, EigenvectorCentrality(sparsified),
-                               kTopK);
-        },
-        1.0);
-  }
-
-  {
-    Dataset d = LoadDatasetScaled("ego-Twitter", opt.scale);
-    std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-              << ")\n\n";
-    std::vector<double> reference = KatzCentrality(d.graph);
-    bench::RunFigure(
-        "Figure 7: Katz Centrality Top-100 Precision on ego-Twitter",
-        "prec", d.graph, {"RN", "KN", "LD", "RD", "FF", "ER-uw"}, opt,
-        [&reference](const Graph&, const Graph& sparsified, Rng&) {
-          return TopKPrecision(reference, KatzCentrality(sparsified), kTopK);
-        },
-        1.0);
-  }
-}
-
-}  // namespace
-}  // namespace sparsify
-
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"5a", "5b", "6", "7"});
 }

@@ -6,48 +6,11 @@
 // coefficients — they all decay roughly linearly with the prune rate;
 // LSim / GS / SCAN may bump MCC slightly at low prune rates; SF and SP-t
 // pin MCC at 0 (forests and sparse spanners have few or no triangles).
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 9a 9b`.
 #include "bench/bench_common.h"
-#include "src/metrics/clustering.h"
-
-namespace sparsify {
-namespace {
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.5, 3);
-
-  {
-    Dataset d = LoadDatasetScaled("com-Amazon", opt.scale);
-    std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-              << ")\n\n";
-    bench::RunFigure(
-        "Figure 9a: Mean Clustering Coefficient on com-Amazon", "MCC",
-        d.graph,
-        {"RN", "KN", "SF", "SP-3", "SP-5", "SP-7", "LSim", "GS", "SCAN"},
-        opt,
-        [](const Graph&, const Graph& sparsified, Rng&) {
-          return MeanClusteringCoefficient(sparsified);
-        },
-        MeanClusteringCoefficient(d.graph));
-  }
-
-  {
-    Dataset d = LoadDatasetScaled("human_gene2", opt.scale);
-    std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-              << ")\n\n";
-    bench::RunFigure(
-        "Figure 9b: Global Clustering Coefficient on human_gene2", "GCC",
-        d.graph, {"RN", "KN", "LSim", "GS", "SCAN", "ER-w"}, opt,
-        [](const Graph&, const Graph& sparsified, Rng&) {
-          return GlobalClusteringCoefficient(sparsified);
-        },
-        GlobalClusteringCoefficient(d.graph));
-  }
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"9a", "9b"});
 }

@@ -6,40 +6,11 @@
 //
 // Expected shape (paper section 4.4): KN best overall; LSim / LD / LS
 // strong; ER variants strong; GS and SCAN weakest.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 10`.
 #include "bench/bench_common.h"
-#include "src/metrics/clustering.h"
-#include "src/metrics/louvain.h"
-
-namespace sparsify {
-namespace {
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.5, 3);
-  Dataset d = LoadDatasetScaled("ca-HepPh", opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n\n";
-
-  Rng ref_rng(31);
-  Clustering reference = LouvainCommunities(d.graph, ref_rng);
-  // Reference line: Louvain vs Louvain on the full graph.
-  Rng second_rng(32);
-  Clustering second = LouvainCommunities(d.graph, second_rng);
-  double self_f1 = ClusteringF1(second.label, reference.label);
-
-  bench::RunFigure(
-      "Figure 10: Clustering F1 Similarity on ca-HepPh", "F1", d.graph,
-      {"RN", "KN", "LD", "LS", "GS", "LSim", "SCAN", "ER-w", "ER-uw"}, opt,
-      [&reference](const Graph&, const Graph& sparsified, Rng& rng) {
-        Clustering c = LouvainCommunities(sparsified, rng);
-        return ClusteringF1(c.label, reference.label);
-      },
-      self_f1);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"10"});
 }

@@ -6,7 +6,13 @@
 //   --runs=<n>    runs per non-deterministic sparsifier (paper: 10)
 //   --threads=<n> worker threads for the batch engine (default: hardware
 //                 concurrency; output is identical at any thread count)
+//   --seed=<n>    master seed of the sweep grid (default 42)
 //   --csv         emit CSV rows instead of pivot tables
+//   --store=<dir> persist every completed cell to dir/results.jsonl
+//   --resume      consult the store first; schedule only missing cells
+//
+// Unknown --flags are an error, not a silent no-op: a typo like
+// `--thread=8` must abort instead of quietly running a default config.
 #ifndef SPARSIFY_BENCH_BENCH_COMMON_H_
 #define SPARSIFY_BENCH_BENCH_COMMON_H_
 
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cli/figures.h"
 #include "src/engine/batch_runner.h"
 #include "src/eval/experiment.h"
 #include "src/graph/datasets.h"
@@ -25,8 +32,51 @@ struct BenchOptions {
   double scale = 0.5;
   int runs = 3;
   int threads = 0;  // <= 0 selects hardware concurrency
+  uint64_t seed = 42;
   bool csv = false;
+  std::string store;  // empty = no persistence
+  bool resume = false;
 };
+
+inline void PrintBenchUsage(std::ostream& os) {
+  os << "usage: bench [--scale=f] [--runs=n] [--threads=n] [--seed=n] "
+        "[--csv] [--store=dir] [--resume]\n";
+}
+
+/// Strict numeric flag values: `--runs=3x` or `--scale=abc` must abort,
+/// not silently run with 0 (same discipline as unknown flag names).
+inline double ParseDoubleFlag(const char* value, const char* flag) {
+  char* end = nullptr;
+  double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::cerr << "error: invalid number for " << flag << ": '" << value
+              << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+inline long ParseIntFlag(const char* value, const char* flag) {
+  char* end = nullptr;
+  long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::cerr << "error: invalid integer for " << flag << ": '" << value
+              << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+inline uint64_t ParseUint64Flag(const char* value, const char* flag) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || value[0] == '-') {
+    std::cerr << "error: invalid integer for " << flag << ": '" << value
+              << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
 
 inline BenchOptions ParseOptions(int argc, char** argv,
                                  double default_scale = 0.5,
@@ -37,23 +87,35 @@ inline BenchOptions ParseOptions(int argc, char** argv,
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
-      opt.scale = std::atof(arg.c_str() + 8);
+      opt.scale = ParseDoubleFlag(arg.c_str() + 8, "--scale");
     } else if (arg.rfind("--runs=", 0) == 0) {
-      opt.runs = std::atoi(arg.c_str() + 7);
+      opt.runs = static_cast<int>(ParseIntFlag(arg.c_str() + 7, "--runs"));
     } else if (arg.rfind("--threads=", 0) == 0) {
-      opt.threads = std::atoi(arg.c_str() + 10);
+      opt.threads =
+          static_cast<int>(ParseIntFlag(arg.c_str() + 10, "--threads"));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = ParseUint64Flag(arg.c_str() + 7, "--seed");
+    } else if (arg.rfind("--store=", 0) == 0) {
+      opt.store = arg.substr(8);
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--help") {
-      std::cout << "usage: bench [--scale=f] [--runs=n] [--threads=n] "
-                   "[--csv]\n";
+      PrintBenchUsage(std::cout);
       std::exit(0);
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      PrintBenchUsage(std::cerr);
+      std::exit(2);
     }
   }
   return opt;
 }
 
-/// Runs one figure's sweep and prints it in the requested format.
+/// Runs one figure's sweep and prints it in the requested format. Used by
+/// benches whose metrics need bench-local state (e.g. the GNN training
+/// protocol); registry figures go through FigureBenchMain instead.
 inline void RunFigure(const std::string& title, const std::string& value_name,
                       const Graph& g, const std::vector<std::string>& sparsifiers,
                       const BenchOptions& opt, const MetricFn& metric,
@@ -64,6 +126,7 @@ inline void RunFigure(const std::string& title, const std::string& value_name,
   config.sparsifiers = sparsifiers;
   config.prune_rates = std::move(rates);
   config.runs_nondeterministic = opt.runs;
+  config.seed = opt.seed;
   // One engine per bench process (figures run several sweeps and would
   // otherwise pay pool setup/teardown for each); sized by the first call's
   // --threads, which is constant within a bench run.
@@ -74,6 +137,24 @@ inline void RunFigure(const std::string& title, const std::string& value_name,
   } else {
     PrintSeriesTable(std::cout, title, value_name, series, reference);
   }
+}
+
+/// Main body of the thin per-figure bench wrappers: parses the standard
+/// bench flags and runs the listed registry figures (src/cli/figures.h)
+/// through the resumable sweep engine. --scale defaults to each figure's
+/// own default, so converted benches keep their historical sizing.
+inline int FigureBenchMain(int argc, char** argv,
+                           const std::vector<std::string>& figure_ids) {
+  BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.0);
+  cli::FigureRunOptions fopt;
+  fopt.scale = opt.scale;
+  fopt.runs = opt.runs;
+  fopt.threads = opt.threads;
+  fopt.seed = opt.seed;
+  fopt.csv = opt.csv;
+  fopt.store_dir = opt.store;
+  fopt.resume = opt.resume;
+  return cli::RunFigures(figure_ids, fopt, std::cout);
 }
 
 }  // namespace sparsify::bench

@@ -5,35 +5,11 @@
 // by preserving connectivity; SF / SP-t do even better (connectivity
 // identical to the original); RD and GS inflate the community count as the
 // graph shatters; RN drifts upward steadily.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 8`.
 #include "bench/bench_common.h"
-#include "src/metrics/louvain.h"
-
-namespace sparsify {
-namespace {
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.5, 3);
-  Dataset d = LoadDatasetScaled("com-DBLP", opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n\n";
-
-  Rng ref_rng(21);
-  double truth = LouvainCommunities(d.graph, ref_rng).num_clusters;
-  bench::RunFigure(
-      "Figure 8: Number of Communities (Louvain) on com-DBLP", "#comm",
-      d.graph,
-      {"RN", "KN", "LD", "RD", "SF", "SP-3", "SP-5", "SP-7", "GS"}, opt,
-      [](const Graph&, const Graph& sparsified, Rng& rng) {
-        return static_cast<double>(
-            LouvainCommunities(sparsified, rng).num_clusters);
-      },
-      truth);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"8"});
 }

@@ -4,44 +4,12 @@
 // Expected shape (paper section 4.1): KN / LD / LSim / ER keep both ratios
 // low; SF and SP-t preserve connectivity exactly; RN degrades steadily;
 // GS and SCAN are the worst because they keep intra-community edges.
+//
+// Thin wrapper: the figure specs live in src/cli/figures.cc; the same
+// sweeps run via `sparsify_cli figure 1a 1b` (optionally against a
+// persistent --store).
 #include "bench/bench_common.h"
-#include "src/metrics/components.h"
-
-namespace sparsify {
-namespace {
-
-const std::vector<std::string> kAll = {"RN", "KN",   "RD",   "LD",  "SF",
-                                       "SP-3", "SP-5", "SP-7", "FF",  "LS",
-                                       "GS", "LSim", "SCAN", "ER-uw"};
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.5, 3);
-  Dataset d = LoadDatasetScaled("ca-AstroPh", opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n";
-  std::cout << "Stand-in: " << d.info.standin << "\n\n";
-
-  bench::RunFigure(
-      "Figure 1a: Pair Unreachable Ratio on ca-AstroPh", "unreach", d.graph,
-      kAll, opt,
-      [](const Graph&, const Graph& sparsified, Rng&) {
-        return UnreachableRatio(sparsified);
-      },
-      UnreachableRatio(d.graph));
-
-  bench::RunFigure(
-      "Figure 1b: Vertex Isolated Ratio on ca-AstroPh", "isolated", d.graph,
-      kAll, opt,
-      [](const Graph&, const Graph& sparsified, Rng&) {
-        return IsolatedRatio(sparsified);
-      },
-      IsolatedRatio(d.graph));
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"1a", "1b"});
 }

@@ -5,32 +5,11 @@
 // sampling keeps the distribution's shape); Local Degree, Rank Degree,
 // K-Neighbor, and Forest Fire under-perform because their selection is
 // biased by degree.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 2`.
 #include "bench/bench_common.h"
-#include "src/metrics/basic.h"
-
-namespace sparsify {
-namespace {
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.5, 3);
-  Dataset d = LoadDatasetScaled("ogbn-proteins", opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n\n";
-
-  bench::RunFigure(
-      "Figure 2: Degree Distribution Bhattacharyya Distance on "
-      "ogbn-proteins",
-      "Bd", d.graph, {"RN", "KN", "LD", "RD", "FF"}, opt,
-      [](const Graph& original, const Graph& sparsified, Rng&) {
-        return DegreeDistributionDistance(original, sparsified);
-      },
-      0.0);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"2"});
 }

@@ -9,65 +9,12 @@
 // Expected shape (paper section 4.2): LD and RD track stretch ~1 the
 // longest (they keep hub edges that lie on many shortest paths); SP-t obeys
 // its stretch bound but is coarser; GS and SCAN blow up early.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 4a 4a-unreach 4b 4c`.
 #include "bench/bench_common.h"
-#include "src/metrics/distance.h"
-
-namespace sparsify {
-namespace {
-
-const std::vector<std::string> kAll = {"RN", "KN",   "RD",   "LD",  "SF",
-                                       "SP-3", "SP-5", "SP-7", "FF",  "LS",
-                                       "GS", "LSim", "SCAN", "ER-uw"};
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.4, 3);
-  Dataset astro = LoadDatasetScaled("ca-AstroPh", opt.scale);
-  std::cout << "Dataset: " << astro.info.name << " ("
-            << astro.graph.Summary() << ")\n\n";
-
-  bench::RunFigure(
-      "Figure 4a: SPSP Mean Stretch Factor on ca-AstroPh", "stretch",
-      astro.graph, kAll, opt,
-      [](const Graph& original, const Graph& sparsified, Rng& rng) {
-        return SpspStretch(original, sparsified, 2000, rng).mean_stretch;
-      },
-      1.0);
-
-  bench::RunFigure(
-      "Figure 4a (companion): SPSP unreachable fraction", "unreach",
-      astro.graph, kAll, opt,
-      [](const Graph& original, const Graph& sparsified, Rng& rng) {
-        return SpspStretch(original, sparsified, 2000, rng).unreachable;
-      },
-      0.0);
-
-  bench::RunFigure(
-      "Figure 4b: Eccentricity Mean Stretch Factor on ca-AstroPh",
-      "stretch", astro.graph, kAll, opt,
-      [](const Graph& original, const Graph& sparsified, Rng& rng) {
-        return EccentricityStretch(original, sparsified, 60, rng)
-            .mean_stretch;
-      },
-      1.0);
-
-  Dataset fb = LoadDatasetScaled("ego-Facebook", opt.scale);
-  std::cout << "Dataset: " << fb.info.name << " (" << fb.graph.Summary()
-            << ")\n\n";
-  Rng diam_rng(7);
-  double truth = ApproxDiameter(fb.graph, 6, diam_rng);
-  bench::RunFigure(
-      "Figure 4c: Diameter on ego-Facebook", "diameter", fb.graph, kAll,
-      opt,
-      [](const Graph&, const Graph& sparsified, Rng& rng) {
-        return ApproxDiameter(sparsified, 4, rng);
-      },
-      truth);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv,
+                                          {"4a", "4a-unreach", "4b", "4c"});
 }

@@ -99,17 +99,31 @@ void Run(int argc, char** argv) {
   for (const auto& [name, fn] : MatrixMetrics()) metric_names.push_back(name);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--scale=", 0) == 0) scale = std::atof(arg.c_str() + 8);
-    if (arg.rfind("--runs=", 0) == 0) runs = std::atoi(arg.c_str() + 7);
-    if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 10);
-    }
-    if (arg.rfind("--outdir=", 0) == 0) outdir = arg.substr(9);
-    if (arg.rfind("--datasets=", 0) == 0) {
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale = bench::ParseDoubleFlag(arg.c_str() + 8, "--scale");
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runs = static_cast<int>(bench::ParseIntFlag(arg.c_str() + 7, "--runs"));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<int>(
+          bench::ParseIntFlag(arg.c_str() + 10, "--threads"));
+    } else if (arg.rfind("--outdir=", 0) == 0) {
+      outdir = arg.substr(9);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
       datasets = SplitCsvList(arg.substr(11));
-    }
-    if (arg.rfind("--metrics=", 0) == 0) {
+    } else if (arg.rfind("--metrics=", 0) == 0) {
       metric_names = SplitCsvList(arg.substr(10));
+    } else if (arg == "--help") {
+      std::cout << "usage: bench_full_matrix [--scale=f] [--runs=n] "
+                   "[--threads=n] [--outdir=dir] [--datasets=a,b] "
+                   "[--metrics=x,y]\n";
+      std::exit(0);
+    } else {
+      // A typo like --thread=8 must abort, not silently run the defaults.
+      std::cerr << "error: unknown option '" << arg << "'\n"
+                << "usage: bench_full_matrix [--scale=f] [--runs=n] "
+                   "[--threads=n] [--outdir=dir] [--datasets=a,b] "
+                   "[--metrics=x,y]\n";
+      std::exit(2);
     }
   }
   if (!outdir.empty()) std::filesystem::create_directories(outdir);

@@ -6,31 +6,11 @@
 // preserves the Laplacian spectrum, and min-cuts are spectral objects);
 // KN and FF are decent; ER-unweighted loses to ER-weighted because removed
 // capacity is not compensated; GS and SCAN under-perform.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 12`.
 #include "bench/bench_common.h"
-#include "src/metrics/maxflow.h"
-
-namespace sparsify {
-namespace {
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.35, 3);
-  Dataset d = LoadDatasetScaled("ca-HepPh", opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n\n";
-
-  bench::RunFigure(
-      "Figure 12: Min-cut/Max-flow Mean Stretch Factor on ca-HepPh",
-      "ratio", d.graph, {"RN", "KN", "FF", "ER-w", "ER-uw"}, opt,
-      [](const Graph& original, const Graph& sparsified, Rng& rng) {
-        return MaxFlowStretch(original, sparsified, 60, rng).mean_ratio;
-      },
-      1.0);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"12"});
 }

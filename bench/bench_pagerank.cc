@@ -7,42 +7,11 @@
 // structure of the symmetrized graph); KN and RN are strong at low prune
 // rates; LD under-performs on directed graphs but is fine on undirected
 // ones; GS and SCAN under-perform everywhere.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 11a 11b`.
 #include "bench/bench_common.h"
-#include "src/metrics/centrality.h"
-
-namespace sparsify {
-namespace {
-
-constexpr int kTopK = 100;
-
-void RunOne(const std::string& dataset, const std::string& figure,
-            const bench::BenchOptions& opt) {
-  Dataset d = LoadDatasetScaled(dataset, opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n\n";
-  std::vector<double> reference = PageRank(d.graph);
-  bench::RunFigure(
-      figure, "prec", d.graph,
-      {"RN", "KN", "LD", "RD", "GS", "SCAN", "ER-w", "ER-uw"}, opt,
-      [&reference](const Graph&, const Graph& sparsified, Rng&) {
-        return TopKPrecision(reference, PageRank(sparsified), kTopK);
-      },
-      1.0);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::bench::BenchOptions opt =
-      sparsify::bench::ParseOptions(argc, argv, 0.4, 3);
-  sparsify::RunOne("web-Google",
-                   "Figure 11a: PageRank Top-100 Precision on web-Google "
-                   "(directed)",
-                   opt);
-  sparsify::RunOne("ego-Facebook",
-                   "Figure 11b: PageRank Top-100 Precision on ego-Facebook "
-                   "(undirected)",
-                   opt);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"11a", "11b"});
 }

@@ -4,31 +4,11 @@
 // Expected shape (paper section 4.1): ER-weighted stays near 1 at every
 // prune rate — it is the only sparsifier designed to preserve the quadratic
 // form. Random (and everything else) decays like the kept-edge fraction.
+//
+// Thin wrapper over the figure registry (src/cli/figures.cc); equivalent
+// to `sparsify_cli figure 3`.
 #include "bench/bench_common.h"
-#include "src/metrics/basic.h"
-
-namespace sparsify {
-namespace {
-
-void Run(int argc, char** argv) {
-  bench::BenchOptions opt = bench::ParseOptions(argc, argv, 0.5, 3);
-  Dataset d = LoadDatasetScaled("com-Amazon", opt.scale);
-  std::cout << "Dataset: " << d.info.name << " (" << d.graph.Summary()
-            << ")\n\n";
-
-  bench::RunFigure(
-      "Figure 3: Laplacian Quadratic Form Similarity on com-Amazon",
-      "qf_sim", d.graph, {"RN", "ER-w", "ER-uw"}, opt,
-      [](const Graph& original, const Graph& sparsified, Rng& rng) {
-        return QuadraticFormSimilarity(original, sparsified, 50, rng);
-      },
-      1.0);
-}
-
-}  // namespace
-}  // namespace sparsify
 
 int main(int argc, char** argv) {
-  sparsify::Run(argc, argv);
-  return 0;
+  return sparsify::bench::FigureBenchMain(argc, argv, {"3"});
 }

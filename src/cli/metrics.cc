@@ -1,0 +1,129 @@
+#include "src/cli/metrics.h"
+
+#include <stdexcept>
+
+#include "src/metrics/basic.h"
+#include "src/metrics/centrality.h"
+#include "src/metrics/clustering.h"
+#include "src/metrics/components.h"
+#include "src/metrics/distance.h"
+#include "src/metrics/louvain.h"
+#include "src/metrics/maxflow.h"
+
+namespace sparsify::cli {
+
+const std::map<std::string, MetricFn>& NamedMetrics() {
+  static const std::map<std::string, MetricFn> registry = {
+      // Connectivity damage (paper fig 1).
+      {"connectivity",
+       [](const Graph&, const Graph& h, Rng&) {
+         return UnreachableRatio(h);
+       }},
+      {"isolated",
+       [](const Graph&, const Graph& h, Rng&) { return IsolatedRatio(h); }},
+      // Degree-distribution Bhattacharyya distance (fig 2).
+      {"degree",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return DegreeDistributionDistance(g, h);
+       }},
+      // Laplacian quadratic-form similarity, 50 probe vectors (fig 3).
+      {"quadratic",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return QuadraticFormSimilarity(g, h, 50, rng);
+       }},
+      // SPSP stretch over 2000 sampled pairs (fig 4a).
+      {"spsp",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return SpspStretch(g, h, 2000, rng).mean_stretch;
+       }},
+      {"spsp_unreachable",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return SpspStretch(g, h, 2000, rng).unreachable;
+       }},
+      // Eccentricity stretch over 50 sampled vertices (fig 4b).
+      {"eccentricity",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return EccentricityStretch(g, h, 50, rng).mean_stretch;
+       }},
+      // 4-sweep approximate diameter of the sparsified graph (fig 4c).
+      {"diameter",
+       [](const Graph&, const Graph& h, Rng& rng) {
+         return ApproxDiameter(h, 4, rng);
+       }},
+      // Centrality top-100 precisions (figs 5-7, 11). The reference is
+      // recomputed on `original` per cell; the figure registry precomputes
+      // it instead where the paper's protocol allows.
+      {"betweenness",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         Rng ref_rng = rng.Fork();
+         auto ref = ApproxBetweennessCentrality(g, 300, ref_rng);
+         return TopKPrecision(ref, ApproxBetweennessCentrality(h, 300, rng),
+                              100);
+       }},
+      {"closeness",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(ClosenessCentrality(g), ClosenessCentrality(h),
+                              100);
+       }},
+      {"eigenvector",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(EigenvectorCentrality(g),
+                              EigenvectorCentrality(h), 100);
+       }},
+      {"katz",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(KatzCentrality(g), KatzCentrality(h), 100);
+       }},
+      {"pagerank",
+       [](const Graph& g, const Graph& h, Rng&) {
+         return TopKPrecision(PageRank(g), PageRank(h), 100);
+       }},
+      // Community structure (figs 8, 10).
+      {"communities",
+       [](const Graph&, const Graph& h, Rng& rng) {
+         return static_cast<double>(LouvainCommunities(h, rng).num_clusters);
+       }},
+      {"f1",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         Rng ref_rng = rng.Fork();
+         Clustering ref = LouvainCommunities(g, ref_rng);
+         return ClusteringF1(LouvainCommunities(h, rng).label, ref.label);
+       }},
+      // Clustering coefficients (fig 9).
+      {"mcc",
+       [](const Graph&, const Graph& h, Rng&) {
+         return MeanClusteringCoefficient(h);
+       }},
+      {"gcc",
+       [](const Graph&, const Graph& h, Rng&) {
+         return GlobalClusteringCoefficient(h);
+       }},
+      // Min-cut/max-flow stretch over 50 sampled pairs (fig 12).
+      {"maxflow",
+       [](const Graph& g, const Graph& h, Rng& rng) {
+         return MaxFlowStretch(g, h, 50, rng).mean_ratio;
+       }},
+  };
+  return registry;
+}
+
+std::vector<std::string> MetricNames() {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : NamedMetrics()) names.push_back(name);
+  return names;
+}
+
+const MetricFn& FindMetric(const std::string& name) {
+  auto it = NamedMetrics().find(name);
+  if (it == NamedMetrics().end()) {
+    std::string known;
+    for (const auto& [n, fn] : NamedMetrics()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::invalid_argument("unknown metric '" + name + "' (known: " +
+                                known + ")");
+  }
+  return it->second;
+}
+
+}  // namespace sparsify::cli

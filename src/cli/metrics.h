@@ -1,0 +1,31 @@
+// Named metric registry shared by the CLI driver, the bench figure specs,
+// and any store-backed sweep: a stable metric NAME is what a CellKey
+// records, so every consumer must agree on what that name computes.
+//
+// Sample counts are fixed canonical values (documented per metric in the
+// .cc); changing one changes numeric output and therefore requires a
+// kResultCodeRev bump.
+#ifndef SPARSIFY_CLI_METRICS_H_
+#define SPARSIFY_CLI_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/eval/experiment.h"
+
+namespace sparsify::cli {
+
+/// All named metrics, keyed by registry name.
+const std::map<std::string, MetricFn>& NamedMetrics();
+
+/// Names only, registry order (alphabetical — std::map iteration).
+std::vector<std::string> MetricNames();
+
+/// Looks a metric up; throws std::invalid_argument with the known names
+/// listed when `name` is absent.
+const MetricFn& FindMetric(const std::string& name);
+
+}  // namespace sparsify::cli
+
+#endif  // SPARSIFY_CLI_METRICS_H_

@@ -1,0 +1,397 @@
+#include "src/cli/sparsify_cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cli/figures.h"
+#include "src/cli/metrics.h"
+#include "src/cli/store_export.h"
+#include "src/engine/resumable_sweep.h"
+#include "src/graph/datasets.h"
+#include "src/graph/io.h"
+#include "src/sparsifiers/sparsifier.h"
+#include "src/store/result_store.h"
+#include "src/util/timer.h"
+
+namespace sparsify::cli {
+namespace {
+
+// Strict numeric parsing: a malformed value must abort the run, not
+// silently become 0 (the same discipline as unknown flag names). Each
+// throws std::invalid_argument, which RunSparsifyCli reports as an error.
+double ParseDoubleValue(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("invalid number for --" + key + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+long ParseIntValue(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("invalid integer for --" + key + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+uint64_t ParseUint64Value(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  if (value.empty() || value[0] == '-') {
+    throw std::invalid_argument("invalid seed for --" + key + ": '" + value +
+                                "'");
+  }
+  uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("invalid integer for --" + key + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+struct Args {
+  std::map<std::string, std::string> named;
+  std::vector<std::string> positional;
+
+  bool Has(const std::string& key) const { return named.contains(key); }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : ParseDoubleValue(key, it->second);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = named.find(key);
+    return it == named.end()
+               ? fallback
+               : static_cast<int>(ParseIntValue(key, it->second));
+  }
+  uint64_t GetUint64(const std::string& key, uint64_t fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : ParseUint64Value(key, it->second);
+  }
+};
+
+// Flags that never take a value. They must not consume a following token
+// (`figure --resume 1a` would otherwise silently swallow the figure id).
+const std::set<std::string>& BooleanKeys() {
+  static const std::set<std::string> keys = {"csv", "resume", "directed",
+                                             "weighted"};
+  return keys;
+}
+
+/// Parses `--key=value`, `--key value`, and bare `--flag` forms. Any key
+/// not in `allowed` is an error (typos must not silently change a run).
+bool ParseArgs(int argc, char** argv, int first,
+               const std::set<std::string>& allowed, Args* args,
+               std::string* error) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args->positional.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    if (!allowed.contains(key)) {
+      *error = "unknown option '--" + key + "' (allowed:";
+      for (const std::string& k : allowed) *error += " --" + k;
+      *error += ")";
+      return false;
+    }
+    if (!has_value) {
+      if (BooleanKeys().contains(key)) {
+        value = "true";
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        // `--store` with the value forgotten must not silently become the
+        // string "true" (and, say, write a store directory named true/).
+        *error = "option '--" + key + "' requires a value";
+        return false;
+      }
+    }
+    args->named[key] = value;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::istringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+std::vector<double> SplitCsvDoubles(const std::string& s) {
+  std::vector<double> parts;
+  for (const std::string& p : SplitCsv(s)) {
+    parts.push_back(ParseDoubleValue("rates", p));
+  }
+  return parts;
+}
+
+int Usage() {
+  std::cout
+      << "usage: sparsify_cli <command> [--key=value ...]\n"
+         "\n"
+         "  list                       sparsifiers, datasets, metrics, "
+         "figures\n"
+         "  sparsify   --algo=LD --rate=0.5 --input=g.txt --output=h.txt\n"
+         "             [--directed] [--weighted] [--seed=42]\n"
+         "  evaluate   --metric=pagerank --input=g.txt --sparsified=h.txt\n"
+         "             [--directed] [--weighted] [--seed=42]\n"
+         "  sweep      --dataset=ca-AstroPh[,..] --metric=connectivity[,..]\n"
+         "             [--algos=RN,LD,..] [--rates=0.1,..] [--runs=3]\n"
+         "             [--scale=0.5] [--seed=42] [--threads=0] [--csv]\n"
+         "             [--store=DIR] [--resume]\n"
+         "  export     --store=DIR [--format=csv|table] [--dataset=..]\n"
+         "             [--metric=..]\n"
+         "  ls         --store=DIR\n"
+         "  figure     <id ...> [--scale=f] [--runs=3] [--threads=0]\n"
+         "             [--seed=42] [--csv] [--store=DIR] [--resume]\n"
+         "\n"
+         "A sweep with --store appends every completed cell to\n"
+         "DIR/results.jsonl (one flushed JSONL record per cell); with\n"
+         "--resume it first replays the store and schedules only the\n"
+         "missing cells, reproducing the uninterrupted output\n"
+         "bit-identically. Run `sparsify_cli list` for names.\n";
+  return 1;
+}
+
+int CmdList() {
+  std::cout << "Sparsifiers (paper Table 2 + extensions):\n";
+  for (const SparsifierInfo& info : AllSparsifierInfos()) {
+    std::cout << "  " << info.short_name << "\t" << info.name
+              << (info.extension ? "  [extension]" : "") << "\n";
+  }
+  std::cout << "\nDatasets (synthetic stand-ins for paper Table 3):\n";
+  for (const std::string& name : DatasetNames()) {
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "\nMetrics:\n";
+  for (const std::string& name : MetricNames()) {
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "\nFigures (sparsify_cli figure <id>):\n";
+  for (const FigureSpec& f : AllFigures()) {
+    std::cout << "  " << f.id << "\t" << f.title << "\n";
+  }
+  return 0;
+}
+
+Graph LoadInput(const Args& args, const std::string& key) {
+  return ReadEdgeList(args.Get(key), args.Has("directed"),
+                      args.Has("weighted"));
+}
+
+int CmdSparsify(const Args& args) {
+  if (!args.Has("algo") || !args.Has("input") || !args.Has("output")) {
+    std::cerr << "sparsify requires --algo, --input, --output\n";
+    return 1;
+  }
+  Graph g = LoadInput(args, "input");
+  auto sparsifier = CreateSparsifier(args.Get("algo"));
+  const SparsifierInfo& info = sparsifier->Info();
+  if (g.IsDirected() && !info.supports_directed) {
+    std::cerr << "note: " << info.name
+              << " needs undirected input; symmetrizing (paper sec 3.1)\n";
+    g = g.Symmetrized();
+  }
+  Rng rng(args.GetUint64("seed", 42));
+  Timer timer;
+  Graph h = sparsifier->Sparsify(g, args.GetDouble("rate", 0.5), rng);
+  std::cout << "sparsified in " << timer.Seconds() << " s: " << h.Summary()
+            << " (achieved prune rate "
+            << Sparsifier::AchievedPruneRate(g, h) << ")\n";
+  WriteEdgeList(h, args.Get("output"));
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  if (!args.Has("metric") || !args.Has("input") || !args.Has("sparsified")) {
+    std::cerr << "evaluate requires --metric, --input, --sparsified\n";
+    return 1;
+  }
+  const MetricFn& metric = FindMetric(args.Get("metric"));
+  Graph g = LoadInput(args, "input");
+  Graph h = LoadInput(args, "sparsified");
+  Rng rng(args.GetUint64("seed", 42));
+  std::cout << args.Get("metric") << " = " << metric(g, h, rng) << "\n";
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  if (!args.Has("dataset") || !args.Has("metric")) {
+    std::cerr << "sweep requires --dataset and --metric (comma-separated "
+                 "lists accepted)\n";
+    return 1;
+  }
+  std::vector<std::string> datasets = SplitCsv(args.Get("dataset"));
+  std::vector<std::string> metrics = SplitCsv(args.Get("metric"));
+  double scale = args.GetDouble("scale", 0.5);
+  bool csv = args.Has("csv");
+  bool resume = args.Has("resume");
+
+  SweepConfig config;
+  if (args.Has("algos")) config.sparsifiers = SplitCsv(args.Get("algos"));
+  if (args.Has("rates")) {
+    config.prune_rates = SplitCsvDoubles(args.Get("rates"));
+  }
+  config.runs_nondeterministic = args.GetInt("runs", 3);
+  config.seed = args.GetUint64("seed", 42);
+
+  BatchRunner runner(args.GetInt("threads", 0));
+  std::unique_ptr<ResultStore> store;
+  if (args.Has("store")) {
+    store = std::make_unique<ResultStore>(
+        ResultStore::PathInDir(args.Get("store")));
+  }
+
+  for (const std::string& dataset_name : datasets) {
+    Dataset d = LoadDatasetScaled(dataset_name, scale);
+    std::string dataset_key = DatasetCellName(dataset_name, scale);
+    for (const std::string& metric_name : metrics) {
+      const MetricFn& metric = FindMetric(metric_name);
+      ResumableSweep sweep(runner, store.get());
+      sweep.set_reuse_cached(resume);
+      ResumableSweepStats stats;
+      std::vector<SweepSeries> series = sweep.Run(
+          d.graph, dataset_key, metric_name, config, metric, &stats);
+      std::cout << "# sweep " << dataset_key << " " << metric_name
+                << ": total=" << stats.total_cells
+                << " cached=" << stats.cached_cells
+                << " submitted=" << stats.submitted_cells << "\n";
+      std::string title = metric_name + " on " + dataset_key;
+      if (csv) {
+        PrintSeriesCsv(std::cout, title, series);
+      } else {
+        PrintSeriesTable(std::cout, title, metric_name, series);
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  if (!args.Has("store")) {
+    std::cerr << "export requires --store=DIR\n";
+    return 1;
+  }
+  std::string format = args.Get("format", "csv");
+  if (format != "csv" && format != "table") {
+    std::cerr << "unknown --format '" << format << "' (csv or table)\n";
+    return 1;
+  }
+  ResultStore store(ResultStore::PathInDir(args.Get("store")));
+  ExportStore(store, std::cout, format == "csv", args.Get("dataset"),
+              args.Get("metric"));
+  return 0;
+}
+
+int CmdLs(const Args& args) {
+  if (!args.Has("store")) {
+    std::cerr << "ls requires --store=DIR\n";
+    return 1;
+  }
+  ResultStore store(ResultStore::PathInDir(args.Get("store")));
+  SummarizeStore(store, std::cout);
+  return 0;
+}
+
+int CmdFigure(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "figure requires at least one figure id (see "
+                 "`sparsify_cli list`)\n";
+    return 1;
+  }
+  FigureRunOptions opt;
+  opt.scale = args.GetDouble("scale", 0.0);
+  opt.runs = args.GetInt("runs", 3);
+  opt.threads = args.GetInt("threads", 0);
+  opt.seed = args.GetUint64("seed", 42);
+  opt.csv = args.Has("csv");
+  opt.store_dir = args.Get("store");
+  opt.resume = args.Has("resume");
+  return RunFigures(args.positional, opt, std::cout);
+}
+
+const std::map<std::string, std::set<std::string>>& AllowedKeys() {
+  static const std::map<std::string, std::set<std::string>> allowed = {
+      {"list", {}},
+      {"sparsify",
+       {"algo", "rate", "input", "output", "directed", "weighted", "seed"}},
+      {"evaluate",
+       {"metric", "input", "sparsified", "directed", "weighted", "seed"}},
+      {"sweep",
+       {"dataset", "metric", "algos", "rates", "runs", "scale", "seed",
+        "threads", "csv", "store", "resume"}},
+      {"export", {"store", "format", "dataset", "metric"}},
+      {"ls", {"store"}},
+      {"figure",
+       {"scale", "runs", "threads", "seed", "csv", "store", "resume"}},
+  };
+  return allowed;
+}
+
+}  // namespace
+
+int RunSparsifyCli(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    Usage();
+    return 0;
+  }
+  auto allowed_it = AllowedKeys().find(cmd);
+  if (allowed_it == AllowedKeys().end()) {
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return Usage();
+  }
+  Args args;
+  std::string error;
+  if (!ParseArgs(argc, argv, 2, allowed_it->second, &args, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return Usage();
+  }
+  try {
+    if (cmd == "list") return CmdList();
+    if (cmd == "sparsify") return CmdSparsify(args);
+    if (cmd == "evaluate") return CmdEvaluate(args);
+    if (cmd == "sweep") return CmdSweep(args);
+    if (cmd == "export") return CmdExport(args);
+    if (cmd == "ls") return CmdLs(args);
+    if (cmd == "figure") return CmdFigure(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}
+
+}  // namespace sparsify::cli

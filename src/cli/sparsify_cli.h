@@ -1,0 +1,26 @@
+// The unified command-line driver (built as the `sparsify_cli` binary).
+//
+// Subcommands:
+//   list      enumerate sparsifiers, datasets, metrics, figures
+//   sparsify  one graph through one algorithm (file in, file out)
+//   evaluate  one metric on an (original, sparsified) file pair
+//   sweep     {sparsifier x prune-rate x run} grids, optionally persisted
+//             to a result store (--store=DIR) and resumable (--resume)
+//   export    result store -> CSV or pivot tables
+//   ls        summarize a result store
+//   figure    regenerate paper figures by id (same engine, same store flags)
+//
+// Kept as a library entry point so tests can drive the exact CLI paths.
+#ifndef SPARSIFY_CLI_SPARSIFY_CLI_H_
+#define SPARSIFY_CLI_SPARSIFY_CLI_H_
+
+namespace sparsify::cli {
+
+/// argv-level entry point; returns the process exit code. Unknown
+/// subcommands and unknown --flags print an error plus usage and return
+/// nonzero instead of being silently ignored.
+int RunSparsifyCli(int argc, char** argv);
+
+}  // namespace sparsify::cli
+
+#endif  // SPARSIFY_CLI_SPARSIFY_CLI_H_

@@ -1,0 +1,5 @@
+#include "src/cli/sparsify_cli.h"
+
+int main(int argc, char** argv) {
+  return sparsify::cli::RunSparsifyCli(argc, argv);
+}

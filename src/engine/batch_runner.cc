@@ -59,8 +59,13 @@ std::vector<BatchTask> BatchRunner::ExpandGrid(const BatchSpec& spec) {
 std::vector<BatchResult> BatchRunner::Run(const Graph& g,
                                           const BatchSpec& spec,
                                           const BatchMetricFn& metric) const {
+  return RunTasks(g, ExpandGrid(spec), spec.master_seed, metric);
+}
+
+std::vector<BatchResult> BatchRunner::RunTasks(
+    const Graph& g, const std::vector<BatchTask>& tasks, uint64_t master_seed,
+    const BatchMetricFn& metric, const ResultCallback& on_result) const {
   std::lock_guard<std::mutex> run_lock(impl_->run_mu);
-  std::vector<BatchTask> tasks = ExpandGrid(spec);
 
   // Symmetrize once if any selected sparsifier will need it; the copy is
   // shared read-only across workers like the original.
@@ -87,7 +92,7 @@ std::vector<BatchResult> BatchRunner::Run(const Graph& g,
     const Graph& input = *input_for.at(task.sparsifier);
     // All randomness flows from (master_seed, index): identical output at
     // any thread count, and any single cell can be re-run in isolation.
-    Rng task_rng(TaskSeed(spec.master_seed, task.index));
+    Rng task_rng(TaskSeed(master_seed, task.index));
     Rng sparsify_rng = task_rng.Fork();
     Rng metric_rng = task_rng.Fork();
     std::unique_ptr<Sparsifier> sparsifier = CreateSparsifier(task.sparsifier);
@@ -97,6 +102,7 @@ std::vector<BatchResult> BatchRunner::Run(const Graph& g,
     r.task = task;
     r.achieved_prune_rate = Sparsifier::AchievedPruneRate(input, sparsified);
     r.value = metric(input, sparsified, metric_rng);
+    if (on_result) on_result(r);
   });
   return results;
 }

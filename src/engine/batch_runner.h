@@ -78,6 +78,11 @@ class BatchRunner {
   /// Independent of thread count and execution order by construction.
   static uint64_t TaskSeed(uint64_t master_seed, uint64_t index);
 
+  /// Invoked as each task finishes, from the worker thread that ran it
+  /// (concurrently across workers — the callback must synchronize its own
+  /// state; ResultStore::Append already does).
+  using ResultCallback = std::function<void(const BatchResult&)>;
+
   /// Runs every task of `spec` on `g`, returning results in grid order.
   ///
   /// When `g` is directed, sparsifiers whose SparsifierInfo does not
@@ -90,6 +95,17 @@ class BatchRunner {
   /// each other (the pool's completion tracking is batch-global).
   std::vector<BatchResult> Run(const Graph& g, const BatchSpec& spec,
                                const BatchMetricFn& metric) const;
+
+  /// Runs an explicit task list — typically a subset of ExpandGrid's output
+  /// (the resumable sweep submits only the cells missing from its store).
+  /// Each task's RNG streams still derive from (master_seed, task.index),
+  /// so a subset run computes bit-identical values to the full grid.
+  /// Results are returned in `tasks` order; `on_result` (optional) fires
+  /// per completed cell.
+  std::vector<BatchResult> RunTasks(
+      const Graph& g, const std::vector<BatchTask>& tasks,
+      uint64_t master_seed, const BatchMetricFn& metric,
+      const ResultCallback& on_result = nullptr) const;
 
  private:
   struct Impl;

@@ -1,0 +1,80 @@
+#include "src/engine/resumable_sweep.h"
+
+#include <utility>
+
+namespace sparsify {
+
+ResumableSweep::ResumableSweep(BatchRunner& runner, ResultStore* store,
+                               std::string code_rev)
+    : runner_(runner), store_(store), code_rev_(std::move(code_rev)) {}
+
+std::vector<SweepSeries> ResumableSweep::Run(const Graph& g,
+                                             const std::string& dataset,
+                                             const std::string& metric_name,
+                                             const SweepConfig& config,
+                                             const MetricFn& metric,
+                                             ResumableSweepStats* stats) {
+  BatchSpec spec = ToBatchSpec(config);
+  std::vector<BatchTask> tasks = BatchRunner::ExpandGrid(spec);
+
+  auto key_of = [&](const BatchTask& task) {
+    CellKey key;
+    key.dataset = dataset;
+    key.sparsifier = task.sparsifier;
+    key.prune_rate = task.prune_rate;
+    key.run = task.run;
+    key.grid_index = task.index;
+    key.master_seed = spec.master_seed;
+    key.metric = metric_name;
+    key.code_rev = code_rev_;
+    return key;
+  };
+
+  // Partition the grid: cells already in the store become results
+  // directly; the rest are submitted to the engine with their original
+  // grid indices, so their RNG streams match a cold run's.
+  std::vector<BatchResult> results(tasks.size());
+  std::vector<BatchTask> missing;
+  std::vector<size_t> missing_pos;  // grid position of each missing task
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::optional<StoredCell> cached;
+    if (store_ != nullptr && reuse_cached_) {
+      cached = store_->Lookup(key_of(tasks[i]));
+    }
+    if (cached.has_value()) {
+      results[i].task = tasks[i];
+      results[i].achieved_prune_rate = cached->achieved_prune_rate;
+      results[i].value = cached->value;
+    } else {
+      missing.push_back(tasks[i]);
+      missing_pos.push_back(i);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->total_cells = tasks.size();
+    stats->cached_cells = tasks.size() - missing.size();
+    stats->submitted_cells = missing.size();
+  }
+
+  if (!missing.empty()) {
+    // Append as each cell completes: the store flushes per record, so a
+    // crash loses at most the in-flight line (see store/README.md). The
+    // callback runs on worker threads; Append serializes internally.
+    BatchRunner::ResultCallback on_result = nullptr;
+    if (store_ != nullptr) {
+      on_result = [&](const BatchResult& r) {
+        store_->Append(key_of(r.task), r.achieved_prune_rate, r.value);
+      };
+    }
+    std::vector<BatchResult> fresh =
+        runner_.RunTasks(g, missing, spec.master_seed, metric, on_result);
+    for (size_t j = 0; j < fresh.size(); ++j) {
+      results[missing_pos[j]] = fresh[j];
+    }
+  }
+
+  return FoldSweepResults(config, results);
+}
+
+}  // namespace sparsify

@@ -1,0 +1,65 @@
+// Crash-resumable sweep orchestration on top of BatchRunner + ResultStore.
+//
+// Expands the sweep grid, looks every cell up in a persistent store,
+// submits only the missing cells to the engine, appends each fresh result
+// to the store as it completes (flushed per record), and reassembles the
+// full SweepSeries from stored + fresh cells. Because every cell's RNG
+// streams derive from (master_seed, grid index), a resumed sweep is
+// bit-identical to a cold one.
+#ifndef SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_
+#define SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/batch_runner.h"
+#include "src/eval/experiment.h"
+#include "src/store/result_store.h"
+
+namespace sparsify {
+
+/// Scheduling counters of one resumable run — the test/CI hook asserting
+/// that a warm store leads to zero submitted cells.
+struct ResumableSweepStats {
+  size_t total_cells = 0;      // full grid size
+  size_t cached_cells = 0;     // served from the store
+  size_t submitted_cells = 0;  // scheduled on the BatchRunner
+};
+
+/// One sweep of one (dataset graph, metric) pair against a store.
+///
+/// The store may be null, in which case every cell is computed (a cold,
+/// non-persistent run — identical output, nothing written).
+class ResumableSweep {
+ public:
+  /// `code_rev` tags the cell keys (see kResultCodeRev); override it in
+  /// tests to isolate stores.
+  ResumableSweep(BatchRunner& runner, ResultStore* store,
+                 std::string code_rev = kResultCodeRev);
+
+  /// When false, the store is only written, never consulted: every cell is
+  /// recomputed and re-appended (last write wins on replay). This is the
+  /// CLI's `--store` without `--resume`. Default true.
+  void set_reuse_cached(bool reuse) { reuse_cached_ = reuse; }
+
+  /// Runs `metric` over the sweep grid of `config` on `g`. `dataset` and
+  /// `metric_name` become CellKey fields — callers must pick names that
+  /// uniquely identify the graph (include the scale) and the metric
+  /// function. Fresh cells are appended to the store as they complete; the
+  /// returned series are folded exactly like RunSweep's.
+  std::vector<SweepSeries> Run(const Graph& g, const std::string& dataset,
+                               const std::string& metric_name,
+                               const SweepConfig& config,
+                               const MetricFn& metric,
+                               ResumableSweepStats* stats = nullptr);
+
+ private:
+  BatchRunner& runner_;
+  ResultStore* store_;  // not owned; may be null
+  std::string code_rev_;
+  bool reuse_cached_ = true;
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_

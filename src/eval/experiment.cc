@@ -15,17 +15,25 @@ std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
   return RunSweep(g, config, metric, runner);
 }
 
-std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
-                                  const MetricFn& metric,
-                                  BatchRunner& runner) {
+BatchSpec ToBatchSpec(const SweepConfig& config) {
   BatchSpec spec;
   spec.sparsifiers = config.sparsifiers;
   spec.prune_rates = config.prune_rates;
   spec.runs = config.runs_nondeterministic;
   spec.master_seed = config.seed;
+  return spec;
+}
 
-  std::vector<BatchResult> results = runner.Run(g, spec, metric);
+std::vector<SweepSeries> RunSweep(const Graph& g, const SweepConfig& config,
+                                  const MetricFn& metric,
+                                  BatchRunner& runner) {
+  return FoldSweepResults(config,
+                          runner.Run(g, ToBatchSpec(config), metric));
+}
 
+std::vector<SweepSeries> FoldSweepResults(
+    const SweepConfig& config, const std::vector<BatchResult>& results) {
+  BatchSpec spec = ToBatchSpec(config);
   // Results arrive in grid order: sparsifier-major, then rate, then run.
   // Each requested entry's block size comes from ExpandGrid itself (on a
   // single-name spec), so the fold can never drift from the engine's

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/batch_runner.h"
 #include "src/graph/graph.h"
 #include "src/sparsifiers/sparsifier.h"
 #include "src/util/rng.h"
@@ -59,7 +60,18 @@ struct SweepConfig {
   int num_threads = 0;
 };
 
-class BatchRunner;
+/// Builds the engine grid spec equivalent to `config` (threads excluded —
+/// that is a runner property). The resumable sweep uses this to key store
+/// cells against exactly the grid RunSweep would run.
+BatchSpec ToBatchSpec(const SweepConfig& config);
+
+/// Folds full-grid engine results (grid order, one entry per ExpandGrid
+/// task) into per-sparsifier series: mean/stddev across runs per rate,
+/// requested rate replaced by the achieved mean for fixed-output
+/// algorithms. Shared by RunSweep and the resumable sweep so stored and
+/// fresh cells reassemble identically.
+std::vector<SweepSeries> FoldSweepResults(const SweepConfig& config,
+                                          const std::vector<BatchResult>& results);
 
 /// Runs the sweep of `metric` for every sparsifier in `config` on `g`,
 /// evaluating the {sparsifier x prune rate x run} grid in parallel on

@@ -1,0 +1,60 @@
+// Deterministic identity of one grid cell of the paper's N-to-N matrix.
+//
+// A cell is one (dataset, sparsifier, prune_rate, run) evaluation of one
+// metric under one master seed. Two processes that agree on a CellKey and
+// the code revision compute bit-identical values (every cell's RNG stream
+// derives from (master_seed, grid index) — see src/engine/README.md), which
+// is what makes stored results safely reusable across runs.
+#ifndef SPARSIFY_STORE_CELL_KEY_H_
+#define SPARSIFY_STORE_CELL_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sparsify {
+
+/// Revision tag of the numeric pipeline. Results stored under a different
+/// revision never match a CellKey built by this binary, so stale values are
+/// recomputed instead of reused. Bump whenever sparsifier, metric, or RNG
+/// semantics change in a way that alters numeric output.
+inline constexpr char kResultCodeRev[] = "r1";
+
+/// Key of one completed grid cell. Field semantics:
+///   dataset      caller-chosen graph identity; the CLI encodes the scale
+///                too ("ego-Facebook@0.2") because scaled stand-ins are
+///                different graphs
+///   sparsifier   short name (SparsifierNames)
+///   prune_rate   requested rate of the cell's grid entry (0.0 for
+///                fixed-output algorithms, mirroring ExpandGrid)
+///   run          0-based repeat index
+///   grid_index   the cell's position in the expanded grid. Part of the
+///                key because the cell's RNG streams derive from
+///                (master_seed, grid_index): the same (sparsifier, rate,
+///                run) cell at a different position — e.g. under a
+///                different --algos list — is a numerically different
+///                experiment and must not be reused
+///   master_seed  sweep-level seed the per-cell streams derive from
+///   metric       metric registry name
+///   code_rev     numeric-pipeline revision (kResultCodeRev)
+struct CellKey {
+  std::string dataset;
+  std::string sparsifier;
+  double prune_rate = 0.0;
+  int run = 0;
+  uint64_t grid_index = 0;
+  uint64_t master_seed = 0;
+  std::string metric;
+  std::string code_rev = kResultCodeRev;
+
+  /// Canonical string form used as the store's index key. Doubles are
+  /// rendered with round-trip precision so equal keys stringify equally.
+  std::string Canonical() const;
+
+  bool operator==(const CellKey& other) const {
+    return Canonical() == other.Canonical();
+  }
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_STORE_CELL_KEY_H_

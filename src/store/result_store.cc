@@ -1,0 +1,421 @@
+#include "src/store/result_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sparsify {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal flat-JSON line codec. The store both writes and reads every line,
+// so only the subset it emits must round-trip: one object per line, string
+// keys, values that are strings or numbers. Doubles use %.17g, which
+// round-trips every finite IEEE double (nan/inf are emitted bare and
+// accepted back).
+// ---------------------------------------------------------------------------
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+struct Field {
+  bool is_string = false;
+  std::string text;  // unescaped string, or the raw number token
+};
+
+using FieldMap = std::map<std::string, Field>;
+
+// Parses one flat JSON object. Returns false on any syntax error (the
+// caller decides whether that is a droppable tail or fatal corruption).
+bool ParseFlatObject(const std::string& line, FieldMap* out) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_string = [&](std::string* s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size()) {
+      char c = line[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        if (i + 1 >= line.size()) return false;
+        char esc = line[i + 1];
+        i += 2;
+        switch (esc) {
+          case '"': s->push_back('"'); break;
+          case '\\': s->push_back('\\'); break;
+          case '/': s->push_back('/'); break;
+          case 'n': s->push_back('\n'); break;
+          case 't': s->push_back('\t'); break;
+          case 'r': s->push_back('\r'); break;
+          case 'b': s->push_back('\b'); break;
+          case 'f': s->push_back('\f'); break;
+          case 'u': {
+            if (i + 4 > line.size()) return false;
+            char* end = nullptr;
+            std::string hex = line.substr(i, 4);
+            long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4 || code > 0xff) return false;
+            s->push_back(static_cast<char>(code));
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        s->push_back(c);
+        ++i;
+      }
+    }
+    return false;  // unterminated string
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return false;
+      ++i;
+      skip_ws();
+      Field field;
+      if (i < line.size() && line[i] == '"') {
+        field.is_string = true;
+        if (!parse_string(&field.text)) return false;
+      } else {
+        // Number (or nan/inf/true/false/null): take the bare token.
+        size_t start = i;
+        while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+               line[i] != ' ' && line[i] != '\t') {
+          ++i;
+        }
+        field.text = line.substr(start, i - start);
+        if (field.text.empty()) return false;
+      }
+      (*out)[key] = std::move(field);
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_ws();
+  return i == line.size();  // trailing garbage is a parse failure
+}
+
+bool GetString(const FieldMap& f, const std::string& key, std::string* out) {
+  auto it = f.find(key);
+  if (it == f.end() || !it->second.is_string) return false;
+  *out = it->second.text;
+  return true;
+}
+
+bool GetDouble(const FieldMap& f, const std::string& key, double* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.is_string) return false;
+  char* end = nullptr;
+  *out = std::strtod(it->second.text.c_str(), &end);
+  return end == it->second.text.c_str() + it->second.text.size();
+}
+
+bool GetUint64(const FieldMap& f, const std::string& key, uint64_t* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.is_string) return false;
+  char* end = nullptr;
+  *out = std::strtoull(it->second.text.c_str(), &end, 10);
+  return end == it->second.text.c_str() + it->second.text.size();
+}
+
+bool GetInt(const FieldMap& f, const std::string& key, int* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.is_string) return false;
+  char* end = nullptr;
+  long v = std::strtol(it->second.text.c_str(), &end, 10);
+  if (end != it->second.text.c_str() + it->second.text.size()) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+constexpr char kFormatName[] = "sparsify-result-store";
+
+std::string SerializeHeader() {
+  std::string line = "{\"format\":\"";
+  line += kFormatName;
+  line += "\",\"version\":" + std::to_string(ResultStore::kFormatVersion) +
+          "}\n";
+  return line;
+}
+
+std::string SerializeRecord(const StoredCell& cell) {
+  std::string line = "{\"dataset\":";
+  AppendEscaped(&line, cell.key.dataset);
+  line += ",\"sparsifier\":";
+  AppendEscaped(&line, cell.key.sparsifier);
+  line += ",\"prune_rate\":" + FormatDouble(cell.key.prune_rate);
+  line += ",\"run\":" + std::to_string(cell.key.run);
+  line += ",\"grid_index\":" + std::to_string(cell.key.grid_index);
+  line += ",\"master_seed\":" + std::to_string(cell.key.master_seed);
+  line += ",\"metric\":";
+  AppendEscaped(&line, cell.key.metric);
+  line += ",\"code_rev\":";
+  AppendEscaped(&line, cell.key.code_rev);
+  line += ",\"achieved_prune_rate\":" + FormatDouble(cell.achieved_prune_rate);
+  line += ",\"value\":" + FormatDouble(cell.value);
+  line += "}\n";
+  return line;
+}
+
+bool ParseRecord(const std::string& line, StoredCell* cell) {
+  FieldMap fields;
+  if (!ParseFlatObject(line, &fields)) return false;
+  return GetString(fields, "dataset", &cell->key.dataset) &&
+         GetString(fields, "sparsifier", &cell->key.sparsifier) &&
+         GetDouble(fields, "prune_rate", &cell->key.prune_rate) &&
+         GetInt(fields, "run", &cell->key.run) &&
+         GetUint64(fields, "grid_index", &cell->key.grid_index) &&
+         GetUint64(fields, "master_seed", &cell->key.master_seed) &&
+         GetString(fields, "metric", &cell->key.metric) &&
+         GetString(fields, "code_rev", &cell->key.code_rev) &&
+         GetDouble(fields, "achieved_prune_rate",
+                   &cell->achieved_prune_rate) &&
+         GetDouble(fields, "value", &cell->value);
+}
+
+bool ParseHeader(const std::string& line) {
+  FieldMap fields;
+  if (!ParseFlatObject(line, &fields)) return false;
+  std::string format;
+  int version = 0;
+  if (!GetString(fields, "format", &format) ||
+      !GetInt(fields, "version", &version)) {
+    return false;
+  }
+  if (format != kFormatName) return false;
+  if (version != ResultStore::kFormatVersion) {
+    throw std::runtime_error("result store: unsupported version " +
+                             std::to_string(version));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CellKey::Canonical() const {
+  // '\x1f' (unit separator) cannot appear in the names the framework uses,
+  // so joined fields never collide.
+  std::string s;
+  s.reserve(dataset.size() + sparsifier.size() + metric.size() +
+            code_rev.size() + 48);
+  s += dataset;
+  s.push_back('\x1f');
+  s += sparsifier;
+  s.push_back('\x1f');
+  s += FormatDouble(prune_rate);
+  s.push_back('\x1f');
+  s += std::to_string(run);
+  s.push_back('\x1f');
+  s += std::to_string(grid_index);
+  s.push_back('\x1f');
+  s += std::to_string(master_seed);
+  s.push_back('\x1f');
+  s += metric;
+  s.push_back('\x1f');
+  s += code_rev;
+  return s;
+}
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  Replay();
+}
+
+std::string ResultStore::PathInDir(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  return (std::filesystem::path(dir) / DefaultFileName()).string();
+}
+
+ResultStore ResultStore::OpenInDir(const std::string& dir) {
+  return ResultStore(PathInDir(dir));
+}
+
+void ResultStore::Replay() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    file_exists_ = false;
+    return;  // missing file = empty store; header written on first Append
+  }
+  file_exists_ = true;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  if (content.empty()) return;  // empty file: treat like a fresh store
+
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < content.size()) {
+    size_t nl = content.find('\n', pos);
+    bool terminated = nl != std::string::npos;
+    size_t end = terminated ? nl : content.size();
+    std::string line = content.substr(pos, end - pos);
+    bool is_tail = !terminated;
+
+    bool ok;
+    StoredCell cell;
+    if (line_no == 0) {
+      ok = ParseHeader(line);
+      if (!ok && !is_tail) {
+        throw std::runtime_error("result store: " + path_ +
+                                 " is not a result-store log (bad header)");
+      }
+    } else {
+      ok = ParseRecord(line, &cell);
+      if (!ok && !is_tail) {
+        throw std::runtime_error(
+            "result store: corrupt record at line " +
+            std::to_string(line_no + 1) + " of " + path_);
+      }
+      if (ok) InsertLocked(std::move(cell));
+    }
+    if (!ok) {
+      // Unterminated and unparseable: the torn tail of a crashed append.
+      // Everything before it is intact; the tail is cut off before the
+      // next append.
+      dropped_tail_bytes_ = content.size() - pos;
+      ends_with_newline_ = true;
+      return;
+    }
+    valid_bytes_ = terminated ? end + 1 : end;
+    ends_with_newline_ = terminated;
+    pos = end + (terminated ? 1 : 0);
+    ++line_no;
+  }
+}
+
+size_t ResultStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+bool ResultStore::Contains(const CellKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.contains(key.Canonical());
+}
+
+std::optional<StoredCell> ResultStore::Lookup(const CellKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.Canonical());
+  if (it == index_.end()) return std::nullopt;
+  return cells_[it->second];
+}
+
+std::vector<StoredCell> ResultStore::Cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_;
+}
+
+void ResultStore::InsertLocked(StoredCell cell) {
+  std::string canonical = cell.key.Canonical();
+  auto it = index_.find(canonical);
+  if (it != index_.end()) {
+    cells_[it->second] = std::move(cell);  // last write wins, keeps position
+  } else {
+    index_.emplace(std::move(canonical), cells_.size());
+    cells_.push_back(std::move(cell));
+  }
+}
+
+void ResultStore::EnsureWritable() {
+  if (out_.is_open()) return;
+  if (file_exists_ && dropped_tail_bytes_ > 0) {
+    // Cut the torn tail so the file returns to whole-line form.
+    std::filesystem::resize_file(path_, valid_bytes_);
+    dropped_tail_bytes_ = 0;
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("result store: cannot open " + path_ +
+                             " for append");
+  }
+  if (!file_exists_ || valid_bytes_ == 0) {
+    out_ << SerializeHeader();
+  } else if (!ends_with_newline_) {
+    // Valid final record that lost only its newline in a crash.
+    out_ << '\n';
+  }
+  ends_with_newline_ = true;
+  file_exists_ = true;
+}
+
+void ResultStore::Append(const CellKey& key, double achieved_prune_rate,
+                         double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureWritable();
+  StoredCell cell;
+  cell.key = key;
+  cell.achieved_prune_rate = achieved_prune_rate;
+  cell.value = value;
+  out_ << SerializeRecord(cell);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("result store: write failure on " + path_);
+  }
+  InsertLocked(std::move(cell));
+}
+
+}  // namespace sparsify

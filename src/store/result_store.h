@@ -1,0 +1,102 @@
+// Append-only persistent store of completed experiment cells.
+//
+// One JSONL file: a self-describing header line followed by one flat JSON
+// object per completed grid cell. Records are appended and flushed one at a
+// time, so after a crash the log is a valid prefix plus at most one
+// truncated tail line; replay detects and drops that tail (it is not
+// fatal), while corruption anywhere before the tail is. See README.md in
+// this directory for the format and the crash-recovery contract.
+#ifndef SPARSIFY_STORE_RESULT_STORE_H_
+#define SPARSIFY_STORE_RESULT_STORE_H_
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/store/cell_key.h"
+
+namespace sparsify {
+
+/// One replayed or appended record: the key plus the cell's results.
+struct StoredCell {
+  CellKey key;
+  double achieved_prune_rate = 0.0;
+  double value = 0.0;
+};
+
+/// Durable map from CellKey to results, backed by an append-only JSONL log.
+///
+/// Thread-safety: all methods are internally synchronized; Append is safe
+/// to call from engine worker threads (the store is the single writer of
+/// its file and serializes appends internally). Two ResultStore instances
+/// (or processes) must not write the same file concurrently.
+class ResultStore {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// Conventional file name inside a store directory.
+  static std::string DefaultFileName() { return "results.jsonl"; }
+
+  /// Opens (and replays) the log at `path`. A missing file is an empty
+  /// store; the header is written on the first Append. Throws
+  /// std::runtime_error when the file exists but is not a result-store log
+  /// (bad header) or is corrupt before the final line.
+  explicit ResultStore(std::string path);
+
+  /// Creates `dir` if needed and returns the conventional log path inside
+  /// it (for callers that heap-allocate the store themselves).
+  static std::string PathInDir(const std::string& dir);
+
+  /// Creates `dir` if needed and opens `dir`/results.jsonl.
+  static ResultStore OpenInDir(const std::string& dir);
+
+  // Not movable (internal mutex); OpenInDir relies on guaranteed elision.
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  const std::string& Path() const { return path_; }
+
+  /// Number of distinct keys currently stored.
+  size_t Size() const;
+
+  bool Contains(const CellKey& key) const;
+
+  std::optional<StoredCell> Lookup(const CellKey& key) const;
+
+  /// All cells in first-seen order. A key appended twice keeps its original
+  /// position with the latest values (last write wins on replay too).
+  std::vector<StoredCell> Cells() const;
+
+  /// Bytes of truncated tail dropped during replay (0 for a clean log).
+  size_t DroppedTailBytes() const { return dropped_tail_bytes_; }
+
+  /// Durably appends one record: the line is written and flushed before
+  /// returning, and the in-memory index is updated. On the first append
+  /// after replaying a crashed log, the truncated tail is cut off first so
+  /// the file stays a sequence of whole lines.
+  void Append(const CellKey& key, double achieved_prune_rate, double value);
+
+ private:
+  void Replay();
+  void EnsureWritable();  // opens out_, repairing the tail if needed
+
+  void InsertLocked(StoredCell cell);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::ofstream out_;
+  std::vector<StoredCell> cells_;
+  std::unordered_map<std::string, size_t> index_;  // Canonical() -> cells_ idx
+  size_t valid_bytes_ = 0;         // replayed prefix length incl. header
+  size_t dropped_tail_bytes_ = 0;  // garbage after the valid prefix
+  bool file_exists_ = false;
+  bool ends_with_newline_ = true;  // valid prefix ends in '\n'
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_STORE_RESULT_STORE_H_

@@ -1,0 +1,121 @@
+// binary_io truncation/corruption round-trips: every malformed input must
+// raise a clean std::runtime_error from the reader — never a partial Graph,
+// never a crash. Complements the happy-path coverage in test_kcore_and_io.
+#include <sstream>
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+#include "src/graph/binary_io.h"
+
+namespace sparsify {
+namespace {
+
+Graph MakeWeightedGraph() {
+  std::vector<Edge> edges = {{0, 1, 2.5}, {1, 2, 0.75}, {2, 3, 1.0},
+                             {0, 3, 4.25}};
+  return Graph::FromEdges(4, std::move(edges), /*directed=*/false,
+                          /*weighted=*/true);
+}
+
+Graph MakeUnweightedGraph() {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  return Graph::FromEdges(3, std::move(edges), /*directed=*/true,
+                          /*weighted=*/false);
+}
+
+std::string Serialize(const Graph& g) {
+  std::ostringstream out(std::ios::binary);
+  WriteBinaryGraphStream(g, out);
+  return out.str();
+}
+
+Graph Deserialize(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return ReadBinaryGraphStream(in);
+}
+
+TEST(BinaryIoCorruptionTest, RoundTripSanity) {
+  Graph g = MakeWeightedGraph();
+  Graph h = Deserialize(Serialize(g));
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  EXPECT_TRUE(h.IsWeighted());
+  EXPECT_FALSE(h.IsDirected());
+}
+
+TEST(BinaryIoCorruptionTest, HeaderCutMidMagic) {
+  std::string bytes = Serialize(MakeUnweightedGraph());
+  EXPECT_THROW(Deserialize(bytes.substr(0, 0)), std::runtime_error);
+  EXPECT_THROW(Deserialize(bytes.substr(0, 2)), std::runtime_error);
+  EXPECT_THROW(Deserialize(bytes.substr(0, 3)), std::runtime_error);
+}
+
+TEST(BinaryIoCorruptionTest, HeaderCutMidVersionOrCounts) {
+  std::string bytes = Serialize(MakeUnweightedGraph());
+  EXPECT_THROW(Deserialize(bytes.substr(0, 5)), std::runtime_error);   // version
+  EXPECT_THROW(Deserialize(bytes.substr(0, 9)), std::runtime_error);   // flags
+  EXPECT_THROW(Deserialize(bytes.substr(0, 12)), std::runtime_error);  // n
+  EXPECT_THROW(Deserialize(bytes.substr(0, 16)), std::runtime_error);  // m
+}
+
+TEST(BinaryIoCorruptionTest, EdgeArrayCutMidRecord) {
+  std::string bytes = Serialize(MakeUnweightedGraph());
+  // Header is 18 bytes (magic 4, version 4, flags 2, n 4, m 4); each edge
+  // is 8. Cut inside the second edge record.
+  EXPECT_THROW(Deserialize(bytes.substr(0, 18 + 8 + 3)), std::runtime_error);
+}
+
+TEST(BinaryIoCorruptionTest, WeightBlockMissingOrTruncated) {
+  Graph g = MakeWeightedGraph();
+  std::string bytes = Serialize(g);
+  size_t weights_start = bytes.size() - 8 * g.NumEdges();
+  // Weight block entirely absent.
+  EXPECT_THROW(Deserialize(bytes.substr(0, weights_start)),
+               std::runtime_error);
+  // Weight block cut mid-double.
+  EXPECT_THROW(Deserialize(bytes.substr(0, weights_start + 4)),
+               std::runtime_error);
+}
+
+// Exhaustive contract: EVERY strict prefix of a valid serialization is
+// rejected with std::runtime_error (reads are sequential and exact, so a
+// strict prefix can never parse as a complete graph).
+TEST(BinaryIoCorruptionTest, EveryStrictPrefixThrows) {
+  for (const Graph& g : {MakeWeightedGraph(), MakeUnweightedGraph()}) {
+    std::string bytes = Serialize(g);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_THROW(Deserialize(bytes.substr(0, len)), std::runtime_error)
+          << "prefix length " << len << " of " << bytes.size();
+    }
+    EXPECT_NO_THROW(Deserialize(bytes));
+  }
+}
+
+TEST(BinaryIoCorruptionTest, BadMagicRejected) {
+  std::string bytes = Serialize(MakeUnweightedGraph());
+  bytes[0] = 'X';
+  EXPECT_THROW(Deserialize(bytes), std::runtime_error);
+}
+
+TEST(BinaryIoCorruptionTest, UnsupportedVersionRejected) {
+  std::string bytes = Serialize(MakeUnweightedGraph());
+  bytes[4] = 99;  // little-endian u32 version
+  EXPECT_THROW(Deserialize(bytes), std::runtime_error);
+}
+
+TEST(BinaryIoCorruptionTest, EdgeEndpointOutOfRangeRejected) {
+  std::string bytes = Serialize(MakeUnweightedGraph());
+  // First edge's u (offset 18): point it far outside [0, n).
+  bytes[18] = static_cast<char>(0xff);
+  bytes[19] = static_cast<char>(0xff);
+  EXPECT_THROW(Deserialize(bytes), std::runtime_error);
+}
+
+TEST(BinaryIoCorruptionTest, TrailingGarbageIsIgnoredByStreamReader) {
+  // The stream reader consumes exactly one graph; callers may concatenate.
+  std::string bytes = Serialize(MakeUnweightedGraph()) + "garbage";
+  EXPECT_NO_THROW(Deserialize(bytes));
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -1,0 +1,142 @@
+// sparsify_cli driver: strict flag validation and the sweep/export/ls
+// subcommands end-to-end against a temp store (the same paths the binary
+// runs — RunSparsifyCli is the binary's main).
+#include "src/cli/sparsify_cli.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sparsify {
+namespace {
+
+namespace fs = std::filesystem;
+
+int RunCli(std::vector<std::string> args) {
+  args.insert(args.begin(), "sparsify_cli");
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  return cli::RunSparsifyCli(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string StoreDir() {
+  return (fs::path(::testing::TempDir()) / "cli_store").string();
+}
+
+TEST(CliTest, UnknownFlagIsAnErrorNotANoop) {
+  // The classic typo: --thread instead of --threads must abort.
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--thread=8"}),
+            0);
+  EXPECT_NE(RunCli({"export", "--stor=/tmp/x"}), 0);
+  EXPECT_NE(RunCli({"nonsense"}), 0);
+}
+
+TEST(CliTest, MalformedNumericValueIsAnError) {
+  // A garbage value must abort, not silently parse as 0.
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--scale=abc"}),
+            0);
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--runs=3x", "--scale=0.1"}),
+            0);
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--rates=0.1,oops", "--scale=0.1"}),
+            0);
+}
+
+TEST(CliTest, ValueFlagWithoutValueIsAnError) {
+  // `--store` with the value forgotten must not become a directory named
+  // "true".
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--scale=0.1", "--store"}),
+            0);
+  EXPECT_FALSE(fs::exists("true"));
+}
+
+TEST(CliTest, ListSucceeds) {
+  ::testing::internal::CaptureStdout();
+  int rc = RunCli({"list"});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("Sparsifiers"), std::string::npos);
+  EXPECT_NE(out.find("Figures"), std::string::npos);
+}
+
+TEST(CliTest, BooleanFlagDoesNotSwallowPositionalArg) {
+  // `figure --csv 2` must run figure 2, not consume "2" as --csv's value.
+  ::testing::internal::CaptureStdout();
+  int rc = RunCli({"figure", "--csv", "2", "--runs=1", "--scale=0.1"});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("Figure 2"), std::string::npos);
+}
+
+TEST(CliTest, SeedAboveIntMaxIsPreserved) {
+  std::string dir =
+      (fs::path(::testing::TempDir()) / "bigseed_store").string();
+  fs::remove_all(dir);
+  ASSERT_EQ(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--algos=SF", "--runs=1", "--scale=0.1",
+                    "--seed=5000000000", "--store=" + dir}),
+            0);
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"ls", "--store=" + dir}), 0);
+  std::string ls = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(ls.find("seed=5000000000"), std::string::npos);
+}
+
+TEST(CliTest, UnknownMetricAndDatasetReportErrors) {
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=nope",
+                    "--scale=0.1"}),
+            0);
+  EXPECT_NE(RunCli({"sweep", "--dataset=no-such-dataset", "--metric=degree",
+                    "--scale=0.1"}),
+            0);
+}
+
+TEST(CliTest, SweepResumeExportLsEndToEnd) {
+  fs::remove_all(StoreDir());
+  std::vector<std::string> sweep_args = {
+      "sweep",       "--dataset=ego-Facebook", "--metric=degree",
+      "--algos=RN",  "--runs=2",               "--scale=0.1",
+      "--store=" + StoreDir(),                 "--resume",
+      "--csv"};
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli(sweep_args), 0);
+  std::string first = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(first.find("cached=0"), std::string::npos);
+  EXPECT_NE(first.find("submitted=18"), std::string::npos);
+
+  // Second run against the same store: everything cached, nothing
+  // scheduled, identical CSV below the scheduling banner.
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli(sweep_args), 0);
+  std::string second = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(second.find("cached=18"), std::string::npos);
+  EXPECT_NE(second.find("submitted=0"), std::string::npos);
+  EXPECT_EQ(first.substr(first.find('\n')), second.substr(second.find('\n')));
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"ls", "--store=" + StoreDir()}), 0);
+  std::string ls = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(ls.find("cells: 18"), std::string::npos);
+  EXPECT_NE(ls.find("ego-Facebook@0.1 degree"), std::string::npos);
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"export", "--store=" + StoreDir()}), 0);
+  std::string exported = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(exported.find("sparsifier,prune_rate,achieved_prune_rate,value,"
+                          "stddev,runs"),
+            std::string::npos);
+  EXPECT_NE(exported.find("RN,"), std::string::npos);
+
+  EXPECT_NE(RunCli({"export", "--store=" + StoreDir(), "--format=bogus"}),
+            0);
+}
+
+}  // namespace
+}  // namespace sparsify

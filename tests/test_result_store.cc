@@ -1,0 +1,259 @@
+// ResultStore: JSONL round-trip, replay semantics, and the crash-recovery
+// contract — a log truncated anywhere inside its last record must replay
+// to exactly the fully-written cells, never throw, and stay appendable.
+#include "src/store/result_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace sparsify {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+CellKey MakeKey(const std::string& sparsifier, double rate, int run) {
+  CellKey key;
+  key.dataset = "test-ds@0.5";
+  key.sparsifier = sparsifier;
+  key.prune_rate = rate;
+  key.run = run;
+  key.master_seed = 42;
+  key.metric = "degree";
+  key.code_rev = "test-rev";
+  return key;
+}
+
+TEST(ResultStoreTest, MissingFileIsEmptyStore) {
+  std::string path = TempPath("missing_store.jsonl");
+  fs::remove(path);
+  ResultStore store(path);
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_FALSE(store.Contains(MakeKey("RN", 0.1, 0)));
+}
+
+TEST(ResultStoreTest, AppendLookupRoundTrip) {
+  std::string path = TempPath("roundtrip_store.jsonl");
+  fs::remove(path);
+  {
+    ResultStore store(path);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1002, 0.123456789012345678);
+    store.Append(MakeKey("RN", 0.1, 1), 0.1002, -3.5e-12);
+    store.Append(MakeKey("LD", 0.9, 0), 0.9, 17.0);
+    EXPECT_EQ(store.Size(), 3u);
+  }
+  // Replay from disk: exact double round-trip and key identity.
+  ResultStore replayed(path);
+  EXPECT_EQ(replayed.Size(), 3u);
+  auto cell = replayed.Lookup(MakeKey("RN", 0.1, 0));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->value, 0.123456789012345678);
+  EXPECT_EQ(cell->achieved_prune_rate, 0.1002);
+  cell = replayed.Lookup(MakeKey("RN", 0.1, 1));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->value, -3.5e-12);
+  EXPECT_FALSE(replayed.Contains(MakeKey("RN", 0.2, 0)));
+  EXPECT_EQ(replayed.DroppedTailBytes(), 0u);
+}
+
+TEST(ResultStoreTest, NonFiniteValuesRoundTrip) {
+  std::string path = TempPath("nonfinite_store.jsonl");
+  fs::remove(path);
+  {
+    ResultStore store(path);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1,
+                 std::numeric_limits<double>::infinity());
+  }
+  ResultStore replayed(path);
+  auto cell = replayed.Lookup(MakeKey("RN", 0.1, 0));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->value, std::numeric_limits<double>::infinity());
+}
+
+TEST(ResultStoreTest, DuplicateKeyLastWriteWins) {
+  std::string path = TempPath("dup_store.jsonl");
+  fs::remove(path);
+  {
+    ResultStore store(path);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 2.0);
+    EXPECT_EQ(store.Size(), 1u);
+    EXPECT_EQ(store.Lookup(MakeKey("RN", 0.1, 0))->value, 2.0);
+  }
+  ResultStore replayed(path);
+  EXPECT_EQ(replayed.Size(), 1u);
+  EXPECT_EQ(replayed.Lookup(MakeKey("RN", 0.1, 0))->value, 2.0);
+  EXPECT_EQ(replayed.Cells().size(), 1u);
+}
+
+TEST(ResultStoreTest, EscapedStringsRoundTrip) {
+  std::string path = TempPath("escape_store.jsonl");
+  fs::remove(path);
+  CellKey key = MakeKey("RN", 0.5, 0);
+  key.dataset = "odd \"name\"\twith\\escapes\n";
+  {
+    ResultStore store(path);
+    store.Append(key, 0.5, 1.0);
+  }
+  ResultStore replayed(path);
+  EXPECT_TRUE(replayed.Contains(key));
+  EXPECT_EQ(replayed.Cells()[0].key.dataset, key.dataset);
+}
+
+TEST(ResultStoreTest, BadHeaderIsFatal) {
+  std::string path = TempPath("badheader_store.jsonl");
+  WriteFile(path, "{\"format\":\"something-else\",\"version\":1}\n");
+  EXPECT_THROW(ResultStore{path}, std::runtime_error);
+  WriteFile(path, "not json at all\n");
+  EXPECT_THROW(ResultStore{path}, std::runtime_error);
+}
+
+TEST(ResultStoreTest, UnsupportedVersionIsFatal) {
+  std::string path = TempPath("version_store.jsonl");
+  WriteFile(path, "{\"format\":\"sparsify-result-store\",\"version\":99}\n");
+  EXPECT_THROW(ResultStore{path}, std::runtime_error);
+}
+
+TEST(ResultStoreTest, MidFileCorruptionIsFatal) {
+  std::string path = TempPath("corrupt_store.jsonl");
+  fs::remove(path);
+  {
+    ResultStore store(path);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+    store.Append(MakeKey("RN", 0.2, 0), 0.2, 2.0);
+  }
+  std::string content = ReadFile(path);
+  // Corrupt the FIRST record (a complete, newline-terminated line): that is
+  // not a crash artifact, and replay must refuse rather than guess.
+  size_t first_record = content.find('\n') + 1;
+  content[first_record + 5] = '\x01';
+  WriteFile(path, content);
+  EXPECT_THROW(ResultStore{path}, std::runtime_error);
+}
+
+// The crash-simulation contract: truncating the log at EVERY byte boundary
+// of the last record must (a) never throw, (b) recover exactly the
+// fully-written records, and (c) leave the store appendable.
+TEST(ResultStoreTest, TruncationAtEveryByteOfLastRecordRecovers) {
+  std::string path = TempPath("crash_store.jsonl");
+  fs::remove(path);
+  {
+    ResultStore store(path);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.5);
+    store.Append(MakeKey("RN", 0.2, 0), 0.2, 2.5);
+    store.Append(MakeKey("LD", 0.3, 0), 0.3, 3.5);
+  }
+  std::string content = ReadFile(path);
+  ASSERT_EQ(content.back(), '\n');
+  // Start of the last record line.
+  size_t last_start = content.rfind('\n', content.size() - 2) + 1;
+  size_t last_json_end = content.size() - 1;  // position of closing newline
+
+  for (size_t cut = last_start; cut <= content.size(); ++cut) {
+    std::string prefix = content.substr(0, cut);
+    std::string trial = TempPath("crash_trial.jsonl");
+    WriteFile(trial, prefix);
+
+    // (a) replay never throws, (b) exact prefix of records recovered. A
+    // cut at or past the final '}' leaves a complete record that merely
+    // lost its newline; it must be recovered too.
+    size_t expected = cut >= last_json_end ? 3u : 2u;
+    ResultStore store(trial);
+    EXPECT_EQ(store.Size(), expected) << "cut=" << cut;
+    EXPECT_TRUE(store.Contains(MakeKey("RN", 0.1, 0))) << "cut=" << cut;
+    EXPECT_TRUE(store.Contains(MakeKey("RN", 0.2, 0))) << "cut=" << cut;
+    EXPECT_EQ(store.Contains(MakeKey("LD", 0.3, 0)), expected == 3u)
+        << "cut=" << cut;
+    if (expected == 2u) {
+      EXPECT_EQ(store.DroppedTailBytes(), cut - last_start) << "cut=" << cut;
+    }
+
+    // (c) appending after the crash repairs the file: a fresh replay sees
+    // the recovered records plus the new one, and no torn bytes remain.
+    store.Append(MakeKey("GS", 0.4, 0), 0.4, 4.5);
+    ResultStore reopened(trial);
+    EXPECT_EQ(reopened.Size(), expected + 1) << "cut=" << cut;
+    EXPECT_EQ(reopened.DroppedTailBytes(), 0u) << "cut=" << cut;
+    EXPECT_EQ(reopened.Lookup(MakeKey("GS", 0.4, 0))->value, 4.5)
+        << "cut=" << cut;
+  }
+}
+
+// A crash can also tear the header of a brand-new store; that must behave
+// like an empty store and be repaired by the first append.
+TEST(ResultStoreTest, TornHeaderOnlyFileRecoversEmpty) {
+  std::string path = TempPath("tornheader_store.jsonl");
+  WriteFile(path, "{\"format\":\"sparsify-re");  // no newline: torn tail
+  ResultStore store(path);
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_GT(store.DroppedTailBytes(), 0u);
+  store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+  ResultStore reopened(path);
+  EXPECT_EQ(reopened.Size(), 1u);
+  EXPECT_EQ(reopened.DroppedTailBytes(), 0u);
+}
+
+TEST(ResultStoreTest, OpenInDirCreatesDirectory) {
+  std::string dir = TempPath("store_dir/nested");
+  fs::remove_all(TempPath("store_dir"));
+  {
+    ResultStore store(ResultStore::PathInDir(dir));
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+  }
+  ResultStore reopened = ResultStore::OpenInDir(dir);
+  EXPECT_EQ(reopened.Size(), 1u);
+  EXPECT_EQ(reopened.Path(),
+            (fs::path(dir) / ResultStore::DefaultFileName()).string());
+}
+
+TEST(CellKeyTest, CanonicalDistinguishesEveryField) {
+  CellKey base = MakeKey("RN", 0.1, 0);
+  CellKey other = base;
+  EXPECT_EQ(base.Canonical(), other.Canonical());
+  other = base;
+  other.dataset = "x";
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.sparsifier = "LD";
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.prune_rate = 0.1 + 1e-15;
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.run = 1;
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.grid_index = 7;  // same cell at another grid position = different
+                         // RNG stream = different experiment
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.master_seed = 43;
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.metric = "mcc";
+  EXPECT_NE(base.Canonical(), other.Canonical());
+  other = base;
+  other.code_rev = "r2";
+  EXPECT_NE(base.Canonical(), other.Canonical());
+}
+
+}  // namespace
+}  // namespace sparsify
