@@ -18,6 +18,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,17 @@ inline uint64_t ParseUint64Flag(const char* value, const char* flag) {
     std::exit(2);
   }
   return v;
+}
+
+/// Splits a comma-separated flag value; empty tokens are dropped.
+inline std::vector<std::string> SplitCsvFlag(const std::string& s) {
+  std::vector<std::string> parts;
+  std::istringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
 }
 
 inline BenchOptions ParseOptions(int argc, char** argv,

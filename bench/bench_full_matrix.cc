@@ -79,15 +79,7 @@ const std::map<std::string, MetricFn>& MatrixMetrics() {
   return metrics;
 }
 
-std::vector<std::string> SplitCsvList(const std::string& s) {
-  std::vector<std::string> parts;
-  std::istringstream ss(s);
-  std::string part;
-  while (std::getline(ss, part, ',')) {
-    if (!part.empty()) parts.push_back(part);
-  }
-  return parts;
-}
+using bench::SplitCsvFlag;
 
 void Run(int argc, char** argv) {
   double scale = 0.15;
@@ -109,9 +101,9 @@ void Run(int argc, char** argv) {
     } else if (arg.rfind("--outdir=", 0) == 0) {
       outdir = arg.substr(9);
     } else if (arg.rfind("--datasets=", 0) == 0) {
-      datasets = SplitCsvList(arg.substr(11));
+      datasets = SplitCsvFlag(arg.substr(11));
     } else if (arg.rfind("--metrics=", 0) == 0) {
-      metric_names = SplitCsvList(arg.substr(10));
+      metric_names = SplitCsvFlag(arg.substr(10));
     } else if (arg == "--help") {
       std::cout << "usage: bench_full_matrix [--scale=f] [--runs=n] "
                    "[--threads=n] [--outdir=dir] [--datasets=a,b] "

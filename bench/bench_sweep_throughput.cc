@@ -1,0 +1,215 @@
+// Sweep-throughput benchmark: quantifies the score-once engine win.
+//
+// For each selected sparsifier it runs the paper's 9-rate sweep grid twice
+// on the same BatchRunner —
+//   cold:   share_scores(false), the pre-sharing per-cell path (every cell
+//           rescoring from scratch), and
+//   shared: share_scores(true), one PrepareScores per (sparsifier, run)
+//           with the rate axis fanned out as MaskForRate tasks —
+// and emits BENCH_sweep.json with cells/sec, the score-vs-mask wall-clock
+// split, and the cold/shared speedup per algorithm. The committed
+// BENCH_sweep.json at the repo root is this benchmark's single-threaded
+// output; CI runs a small grid per push and asserts the shared mode
+// schedules fewer score computations than cells.
+//
+// Usage: bench_sweep_throughput [--dataset=ego-Facebook] [--scale=0.3]
+//          [--algos=LD,ER-uw,SCAN] [--runs=1] [--threads=1] [--seed=42]
+//          [--repeat=1] [--out=BENCH_sweep.json]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/engine/batch_runner.h"
+#include "src/graph/datasets.h"
+#include "src/util/timer.h"
+
+namespace sparsify::bench {
+namespace {
+
+struct SweepBenchOptions {
+  std::string dataset = "ego-Facebook";
+  double scale = 0.3;
+  std::vector<std::string> algos = {"LD", "ER-uw", "SCAN"};
+  int runs = 1;
+  int threads = 1;
+  int repeat = 1;  // timing repeats; the minimum is reported
+  uint64_t seed = 42;
+  std::string out = "BENCH_sweep.json";
+};
+
+struct AlgoResult {
+  std::string name;
+  size_t cells = 0;
+  size_t score_groups = 0;
+  double cold_seconds = 0.0;
+  double shared_seconds = 0.0;
+  double score_seconds = 0.0;
+  double mask_seconds = 0.0;
+};
+
+bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--dataset=", 10) == 0) {
+      opt->dataset = arg + 10;
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opt->scale = ParseDoubleFlag(arg + 8, "--scale");
+    } else if (std::strncmp(arg, "--algos=", 8) == 0) {
+      opt->algos = SplitCsvFlag(arg + 8);
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      opt->runs = static_cast<int>(ParseIntFlag(arg + 7, "--runs"));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt->threads = static_cast<int>(ParseIntFlag(arg + 10, "--threads"));
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      opt->repeat = static_cast<int>(ParseIntFlag(arg + 9, "--repeat"));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt->seed = ParseUint64Flag(arg + 7, "--seed");
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opt->out = arg + 6;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n"
+                << "usage: bench_sweep_throughput [--dataset=NAME] "
+                   "[--scale=f] [--algos=A,B] [--runs=n] [--threads=n] "
+                   "[--repeat=n] [--seed=n] [--out=FILE]\n";
+      return false;
+    }
+  }
+  if (opt->algos.empty() || opt->repeat < 1 || opt->runs < 1) {
+    std::cerr << "error: need at least one --algos entry, --repeat >= 1, "
+                 "and --runs >= 1\n";
+    return false;
+  }
+  return true;
+}
+
+std::string Json(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int SweepThroughputMain(int argc, char** argv) {
+  SweepBenchOptions opt;
+  if (!ParseSweepBenchArgs(argc, argv, &opt)) return 2;
+
+  Dataset d = LoadDatasetScaled(opt.dataset, opt.scale);
+  std::cout << "# " << opt.dataset << " @ " << opt.scale << ": "
+            << d.graph.Summary() << "\n";
+
+  // Cheap rng-free metric: the benchmark measures the engine, not a
+  // metric implementation.
+  BatchMetricFn metric = [](const Graph& orig, const Graph& sp, Rng&) {
+    return static_cast<double>(sp.NumEdges()) /
+           static_cast<double>(std::max<EdgeId>(1, orig.NumEdges()));
+  };
+
+  BatchRunner runner(opt.threads);
+  std::vector<AlgoResult> results;
+  for (const std::string& algo : opt.algos) {
+    BatchSpec spec;
+    spec.sparsifiers = {algo};
+    spec.runs = opt.runs;
+    spec.master_seed = opt.seed;
+    std::vector<BatchTask> tasks = BatchRunner::ExpandGrid(spec);
+
+    AlgoResult r;
+    r.name = algo;
+    r.cells = tasks.size();
+    for (int rep = 0; rep < opt.repeat; ++rep) {
+      runner.set_share_scores(false);
+      Timer cold_timer;
+      runner.RunTasks(d.graph, tasks, spec.master_seed, metric);
+      double cold = cold_timer.Seconds();
+
+      runner.set_share_scores(true);
+      BatchRunStats stats;
+      Timer shared_timer;
+      runner.RunTasks(d.graph, tasks, spec.master_seed, metric, nullptr,
+                      &stats);
+      double shared = shared_timer.Seconds();
+
+      if (rep == 0 || cold < r.cold_seconds) r.cold_seconds = cold;
+      if (rep == 0 || shared < r.shared_seconds) {
+        r.shared_seconds = shared;
+        r.score_seconds = stats.score_seconds;
+        r.mask_seconds = stats.mask_seconds;
+      }
+      r.score_groups = stats.score_groups;
+    }
+    double speedup =
+        r.shared_seconds > 0 ? r.cold_seconds / r.shared_seconds : 0.0;
+    std::printf(
+        "%-6s cells=%zu score_groups=%zu cold=%.3fs shared=%.3fs "
+        "(score %.3fs + mask %.3fs) speedup=%.2fx %.1f cells/s\n",
+        algo.c_str(), r.cells, r.score_groups, r.cold_seconds,
+        r.shared_seconds, r.score_seconds, r.mask_seconds, speedup,
+        r.shared_seconds > 0 ? static_cast<double>(r.cells) /
+                                   r.shared_seconds
+                             : 0.0);
+    results.push_back(std::move(r));
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"sweep_throughput\",\n";
+  json << "  \"dataset\": \"" << opt.dataset << "\",\n";
+  json << "  \"scale\": " << Json(opt.scale) << ",\n";
+  json << "  \"graph\": {\"vertices\": " << d.graph.NumVertices()
+       << ", \"edges\": " << d.graph.NumEdges() << "},\n";
+  json << "  \"threads\": " << opt.threads << ",\n";
+  json << "  \"runs\": " << opt.runs << ",\n";
+  json << "  \"repeat\": " << opt.repeat << ",\n";
+  json << "  \"seed\": " << opt.seed << ",\n";
+  json << "  \"algos\": [\n";
+  double total_cold = 0.0, total_shared = 0.0;
+  size_t total_cells = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const AlgoResult& r = results[i];
+    total_cold += r.cold_seconds;
+    total_shared += r.shared_seconds;
+    total_cells += r.cells;
+    json << "    {\"name\": \"" << r.name << "\", \"cells\": " << r.cells
+         << ", \"score_groups\": " << r.score_groups
+         << ", \"cold_seconds\": " << Json(r.cold_seconds)
+         << ", \"shared_seconds\": " << Json(r.shared_seconds)
+         << ", \"score_seconds\": " << Json(r.score_seconds)
+         << ", \"mask_seconds\": " << Json(r.mask_seconds)
+         << ", \"speedup\": "
+         << Json(r.shared_seconds > 0 ? r.cold_seconds / r.shared_seconds
+                                      : 0.0)
+         << ", \"cells_per_second_shared\": "
+         << Json(r.shared_seconds > 0
+                     ? static_cast<double>(r.cells) / r.shared_seconds
+                     : 0.0)
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"total\": {\"cells\": " << total_cells
+       << ", \"cold_seconds\": " << Json(total_cold)
+       << ", \"shared_seconds\": " << Json(total_shared)
+       << ", \"speedup\": "
+       << Json(total_shared > 0 ? total_cold / total_shared : 0.0) << "}\n";
+  json << "}\n";
+
+  std::ofstream out(opt.out, std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot write " << opt.out << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "# wrote " << opt.out << "\n";
+  return 0;
+}
+
+}  // namespace sparsify::bench
+
+int main(int argc, char** argv) {
+  return sparsify::bench::SweepThroughputMain(argc, argv);
+}

@@ -1,9 +1,13 @@
 #include "src/engine/batch_runner.h"
 
+#include <atomic>
+#include <map>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "src/util/thread_pool.h"
+#include "src/util/timer.h"
 
 namespace sparsify {
 
@@ -13,6 +17,7 @@ struct BatchRunner::Impl {
   // concurrent batches would wait on (and steal errors from) each other.
   std::mutex run_mu;
   mutable ThreadPool pool;
+  bool share_scores = true;
 };
 
 BatchRunner::BatchRunner(int num_threads)
@@ -22,14 +27,42 @@ BatchRunner::~BatchRunner() = default;
 
 int BatchRunner::NumThreads() const { return impl_->pool.NumThreads(); }
 
+void BatchRunner::set_share_scores(bool share) {
+  impl_->share_scores = share;
+}
+
+bool BatchRunner::share_scores() const { return impl_->share_scores; }
+
+namespace {
+
+uint64_t SplitMix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 uint64_t BatchRunner::TaskSeed(uint64_t master_seed, uint64_t index) {
   // SplitMix64 over the combined pair. The golden-ratio stride separates
   // consecutive indices far apart in the seed space; Rng's own seed mixing
   // then decorrelates the streams.
-  uint64_t z = master_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return SplitMix(master_seed + (index + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+uint64_t BatchRunner::GroupSeed(uint64_t master_seed,
+                                const std::string& sparsifier, int run) {
+  // FNV-1a over the name, folded with the run index, then the same
+  // SplitMix finalizer as TaskSeed. Intentionally independent of grid
+  // shape and cell indices: any subset of a group's rate cells prepares
+  // the same ScoreState.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : sparsifier) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h += (static_cast<uint64_t>(run) + 1) * 0x9e3779b97f4a7c15ULL;
+  return SplitMix(master_seed ^ SplitMix(h));
 }
 
 std::vector<BatchTask> BatchRunner::ExpandGrid(const BatchSpec& spec) {
@@ -64,7 +97,8 @@ std::vector<BatchResult> BatchRunner::Run(const Graph& g,
 
 std::vector<BatchResult> BatchRunner::RunTasks(
     const Graph& g, const std::vector<BatchTask>& tasks, uint64_t master_seed,
-    const BatchMetricFn& metric, const ResultCallback& on_result) const {
+    const BatchMetricFn& metric, const ResultCallback& on_result,
+    BatchRunStats* stats) const {
   std::lock_guard<std::mutex> run_lock(impl_->run_mu);
 
   // Symmetrize once if any selected sparsifier will need it; the copy is
@@ -87,23 +121,156 @@ std::vector<BatchResult> BatchRunner::RunTasks(
   }
 
   std::vector<BatchResult> results(tasks.size());
-  ParallelFor(impl_->pool, tasks.size(), [&](size_t i) {
-    const BatchTask& task = tasks[i];
-    const Graph& input = *input_for.at(task.sparsifier);
-    // All randomness flows from (master_seed, index): identical output at
-    // any thread count, and any single cell can be re-run in isolation.
-    Rng task_rng(TaskSeed(master_seed, task.index));
-    Rng sparsify_rng = task_rng.Fork();
-    Rng metric_rng = task_rng.Fork();
-    std::unique_ptr<Sparsifier> sparsifier = CreateSparsifier(task.sparsifier);
-    Graph sparsified = sparsifier->Sparsify(input, task.prune_rate,
-                                            sparsify_rng);
-    BatchResult& r = results[i];
-    r.task = task;
-    r.achieved_prune_rate = Sparsifier::AchievedPruneRate(input, sparsified);
-    r.value = metric(input, sparsified, metric_rng);
-    if (on_result) on_result(r);
-  });
+
+  if (!impl_->share_scores) {
+    // Legacy per-cell execution: every cell rescoring from scratch with
+    // its own (master_seed, index)-derived stream. Kept as the throughput
+    // benchmark's baseline.
+    ParallelFor(impl_->pool, tasks.size(), [&](size_t i) {
+      const BatchTask& task = tasks[i];
+      const Graph& input = *input_for.at(task.sparsifier);
+      Rng task_rng(TaskSeed(master_seed, task.index));
+      Rng sparsify_rng = task_rng.Fork();
+      Rng metric_rng = task_rng.Fork();
+      std::unique_ptr<Sparsifier> sparsifier =
+          CreateSparsifier(task.sparsifier);
+      Graph sparsified =
+          sparsifier->Sparsify(input, task.prune_rate, sparsify_rng);
+      BatchResult& r = results[i];
+      r.task = task;
+      r.achieved_prune_rate = Sparsifier::AchievedPruneRate(input, sparsified);
+      r.value = metric(input, sparsified, metric_rng);
+      if (on_result) on_result(r);
+    });
+    if (stats != nullptr) {
+      // No phase split exists in this mode: scoring and masking are fused
+      // inside each cell's Sparsify call, so both timings stay zero.
+      *stats = BatchRunStats{};
+      stats->cells = tasks.size();
+      stats->score_groups = tasks.size();
+    }
+    return results;
+  }
+
+  // Group the cells by (sparsifier, run): one ScoreState per group, shared
+  // read-only across that group's rate cells. std::map keeps group order
+  // deterministic (not that it matters numerically — every group's RNG
+  // stream derives from its own GroupSeed).
+  struct Group {
+    std::string sparsifier;
+    int run = 0;
+    const Graph* input = nullptr;
+    std::unique_ptr<Sparsifier> instance;
+    std::unique_ptr<ScoreState> state;
+  };
+  std::vector<Group> groups;
+  std::vector<size_t> group_of(tasks.size());
+  std::map<std::pair<std::string, int>, size_t> group_index;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    auto key = std::make_pair(tasks[i].sparsifier, tasks[i].run);
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) {
+      Group group;
+      group.sparsifier = tasks[i].sparsifier;
+      group.run = tasks[i].run;
+      group.input = input_for.at(tasks[i].sparsifier);
+      group.instance = CreateSparsifier(tasks[i].sparsifier);
+      groups.push_back(std::move(group));
+    }
+    group_of[i] = it->second;
+  }
+  std::vector<std::vector<size_t>> cells_of(groups.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    cells_of[group_of[i]].push_back(i);
+  }
+
+  // Pipelined execution — no barrier between scoring and masking. Every
+  // group's scoring task is queued up front; the moment a group's state is
+  // ready, its cells are pushed to the FRONT of the queue (SubmitUrgent)
+  // so they drain before further groups start scoring. Consequences:
+  //   - peak ScoreState residency is bounded by the groups actually in
+  //     flight (~thread count), not the whole grid (ER's state alone is
+  //     three |E|-length arrays per run);
+  //   - cheap groups' cells never stall behind an expensive group's
+  //     scoring (ER's CG solves), and a single-group grid still fans its
+  //     cells across all workers;
+  //   - the last cell of each group frees the group's state.
+  // Determinism is untouched by any of this scheduling: group scoring
+  // streams derive from (master_seed, sparsifier, run) — deterministic
+  // sparsifiers ignore them entirely, keeping their cells bit-identical
+  // to the per-cell path — and each cell's metric stream derives from
+  // (master_seed, cell index) exactly as before (the sparsify fork is
+  // consumed to keep the per-cell stream layout). MaskForRate is const
+  // and re-entrant, so one group's cells can threshold the shared state
+  // concurrently.
+  std::vector<std::atomic<size_t>> cells_left(groups.size());
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    cells_left[gi].store(cells_of[gi].size(), std::memory_order_relaxed);
+  }
+  std::atomic<bool> failed{false};
+  std::mutex stats_mu;
+  double score_seconds = 0.0, mask_seconds = 0.0;
+
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    impl_->pool.Submit([&, gi] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      Group& group = groups[gi];
+      Timer score_timer;
+      try {
+        Rng group_rng(GroupSeed(master_seed, group.sparsifier, group.run));
+        group.state = group.instance->PrepareScores(*group.input, group_rng);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;  // recorded as the pool's first error, rethrown by Wait
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        score_seconds += score_timer.Seconds();
+      }
+      for (size_t i : cells_of[gi]) {
+        impl_->pool.SubmitUrgent([&, gi, i] {
+          if (failed.load(std::memory_order_relaxed)) return;
+          Group& cell_group = groups[gi];
+          Timer cell_timer;
+          try {
+            const BatchTask& task = tasks[i];
+            Rng task_rng(TaskSeed(master_seed, task.index));
+            Rng sparsify_rng = task_rng.Fork();
+            (void)sparsify_rng;
+            Rng metric_rng = task_rng.Fork();
+            RateMask mask = cell_group.instance->MaskForRate(
+                *cell_group.state, task.prune_rate);
+            Graph sparsified = Sparsifier::Apply(*cell_group.input, mask);
+            BatchResult& r = results[i];
+            r.task = task;
+            r.achieved_prune_rate =
+                Sparsifier::AchievedPruneRate(*cell_group.input, sparsified);
+            r.value = metric(*cell_group.input, sparsified, metric_rng);
+            if (on_result) on_result(r);
+          } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;
+          }
+          {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            mask_seconds += cell_timer.Seconds();
+          }
+          if (cells_left[gi].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            cell_group.state.reset();
+          }
+        });
+      }
+    });
+  }
+  impl_->pool.Wait();
+
+  if (stats != nullptr) {
+    *stats = BatchRunStats{};
+    stats->cells = tasks.size();
+    stats->score_groups = groups.size();
+    stats->score_seconds = score_seconds;
+    stats->mask_seconds = mask_seconds;
+  }
   return results;
 }
 

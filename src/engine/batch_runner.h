@@ -1,10 +1,15 @@
 // Parallel batch-sparsification engine.
 //
 // Expands an {algorithm x prune_rate x run} grid over one shared immutable
-// Graph and evaluates every cell concurrently on a ThreadPool. Each cell's
-// RNG streams are derived purely from (master_seed, cell index), so the
-// numeric output is bit-identical at any thread count. See README.md in
-// this directory for the design rationale.
+// Graph and evaluates every cell concurrently on a ThreadPool. Scoring is
+// shared along the rate axis: cells are grouped by (sparsifier, run), each
+// group's expensive ScoreState (degree rankings, similarity scores,
+// effective resistances) is computed ONCE on the pool, and the rate cells
+// fan out as near-free MaskForRate tasks. Each cell's metric RNG stream
+// derives purely from (master_seed, cell index) and each group's scoring
+// RNG from (master_seed, sparsifier, run), so the numeric output is
+// bit-identical at any thread count and for any submitted subset of the
+// grid. See README.md in this directory for the design rationale.
 #ifndef SPARSIFY_ENGINE_BATCH_RUNNER_H_
 #define SPARSIFY_ENGINE_BATCH_RUNNER_H_
 
@@ -28,10 +33,10 @@ using BatchMetricFn =
 
 /// One expanded cell of the grid.
 struct BatchTask {
-  uint64_t index = 0;        // position in the expanded grid; seeds derive
-                             // from this, never from execution order
+  uint64_t index = 0;        // position in the expanded grid; metric seeds
+                             // derive from this, never from execution order
   std::string sparsifier;    // short name (see SparsifierNames)
-  double prune_rate = 0.0;   // requested rate passed to Sparsify
+  double prune_rate = 0.0;   // requested rate passed to MaskForRate
   int run = 0;               // 0-based repeat index for this cell
 };
 
@@ -54,11 +59,25 @@ struct BatchSpec {
   uint64_t master_seed = 42;
 };
 
+/// Scheduling counters of one RunTasks call: how much scoring work the
+/// rate-axis sharing saved, and where the time went. The CI perf smoke
+/// asserts score_groups < cells on a multi-rate grid. The timings are
+/// summed task durations across workers (single-threaded they equal wall
+/// clock) and exist only in shared-score mode; with share_scores(false)
+/// scoring and masking are fused inside each cell and both stay zero.
+struct BatchRunStats {
+  size_t cells = 0;          // tasks executed
+  size_t score_groups = 0;   // PrepareScores computations scheduled
+  double score_seconds = 0;  // summed duration of group scoring tasks
+  double mask_seconds = 0;   // summed duration of mask + metric tasks
+};
+
 /// Evaluates batch grids on a fixed-size thread pool.
 ///
 /// The input Graph is shared read-only across all workers (Graph is
-/// immutable after construction); each task creates its own Sparsifier
-/// instance and forks private Rng streams, so no worker state is shared.
+/// immutable after construction); each group creates its own Sparsifier
+/// instance and ScoreState, each cell forks private Rng streams, and
+/// MaskForRate is const and re-entrant, so no worker state is shared.
 class BatchRunner {
  public:
   /// `num_threads` <= 0 selects the hardware concurrency.
@@ -70,6 +89,15 @@ class BatchRunner {
 
   int NumThreads() const;
 
+  /// When false, every cell recomputes its scores with the legacy
+  /// per-cell RNG scheme (seed = (master_seed, cell index)) instead of
+  /// sharing one ScoreState per (sparsifier, run). This is the pre-sharing
+  /// execution model, kept for the throughput benchmark's baseline and for
+  /// A/B debugging; note randomized sparsifiers produce different (equally
+  /// valid) samples in the two modes. Default true.
+  void set_share_scores(bool share);
+  bool share_scores() const;
+
   /// Expands `spec` into the task grid. Deterministic and thread-free;
   /// exposed so callers can inspect or shard the grid.
   static std::vector<BatchTask> ExpandGrid(const BatchSpec& spec);
@@ -77,6 +105,13 @@ class BatchRunner {
   /// Seed of task `index` under `master_seed` (SplitMix64 of the pair).
   /// Independent of thread count and execution order by construction.
   static uint64_t TaskSeed(uint64_t master_seed, uint64_t index);
+
+  /// Seed of the shared scoring stream of group (sparsifier, run) under
+  /// `master_seed`. Depends only on these three values — not on the grid
+  /// shape or on which cells are submitted — so a subset run prepares
+  /// bit-identical ScoreStates to the full grid's.
+  static uint64_t GroupSeed(uint64_t master_seed,
+                            const std::string& sparsifier, int run);
 
   /// Invoked as each task finishes, from the worker thread that ran it
   /// (concurrently across workers — the callback must synchronize its own
@@ -98,14 +133,16 @@ class BatchRunner {
 
   /// Runs an explicit task list — typically a subset of ExpandGrid's output
   /// (the resumable sweep submits only the cells missing from its store).
-  /// Each task's RNG streams still derive from (master_seed, task.index),
-  /// so a subset run computes bit-identical values to the full grid.
-  /// Results are returned in `tasks` order; `on_result` (optional) fires
-  /// per completed cell.
+  /// Cell metric streams derive from (master_seed, task.index) and group
+  /// scoring streams from (master_seed, sparsifier, run), so a subset run
+  /// computes bit-identical values to the full grid. Results are returned
+  /// in `tasks` order; `on_result` (optional) fires per completed cell;
+  /// `stats` (optional) receives the scheduling counters.
   std::vector<BatchResult> RunTasks(
       const Graph& g, const std::vector<BatchTask>& tasks,
       uint64_t master_seed, const BatchMetricFn& metric,
-      const ResultCallback& on_result = nullptr) const;
+      const ResultCallback& on_result = nullptr,
+      BatchRunStats* stats = nullptr) const;
 
  private:
   struct Impl;

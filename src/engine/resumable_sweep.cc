@@ -55,6 +55,7 @@ std::vector<SweepSeries> ResumableSweep::Run(const Graph& g,
     stats->total_cells = tasks.size();
     stats->cached_cells = tasks.size() - missing.size();
     stats->submitted_cells = missing.size();
+    stats->score_groups = 0;  // overwritten below when cells are submitted
   }
 
   if (!missing.empty()) {
@@ -67,11 +68,13 @@ std::vector<SweepSeries> ResumableSweep::Run(const Graph& g,
         store_->Append(key_of(r.task), r.achieved_prune_rate, r.value);
       };
     }
-    std::vector<BatchResult> fresh =
-        runner_.RunTasks(g, missing, spec.master_seed, metric, on_result);
+    BatchRunStats run_stats;
+    std::vector<BatchResult> fresh = runner_.RunTasks(
+        g, missing, spec.master_seed, metric, on_result, &run_stats);
     for (size_t j = 0; j < fresh.size(); ++j) {
       results[missing_pos[j]] = fresh[j];
     }
+    if (stats != nullptr) stats->score_groups = run_stats.score_groups;
   }
 
   return FoldSweepResults(config, results);

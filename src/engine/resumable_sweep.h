@@ -24,6 +24,10 @@ struct ResumableSweepStats {
   size_t total_cells = 0;      // full grid size
   size_t cached_cells = 0;     // served from the store
   size_t submitted_cells = 0;  // scheduled on the BatchRunner
+  // Scoring work the engine actually scheduled for the submitted cells:
+  // with rate-axis sharing this is one PrepareScores per (sparsifier, run)
+  // group, strictly fewer than submitted_cells on a multi-rate grid.
+  size_t score_groups = 0;
 };
 
 /// One sweep of one (dataset graph, metric) pair against a store.

@@ -134,25 +134,47 @@ double Graph::TotalEdgeWeight() const {
   return total;
 }
 
+Graph Graph::FromCanonicalEdges(NodeId num_vertices, std::vector<Edge> edges,
+                                bool directed, bool weighted) {
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.directed_ = directed;
+  g.weighted_ = weighted;
+  g.edges_ = std::move(edges);
+  g.BuildCsr();
+  return g;
+}
+
 Graph Graph::Subgraph(const std::vector<uint8_t>& keep) const {
   assert(keep.size() == edges_.size());
+  // This graph's canonical edge array is already normalized (sorted,
+  // deduplicated, loop-free), and filtering preserves all of that, so the
+  // subgraph skips NormalizeEdges' re-sort — this is the per-cell hot path
+  // of every sweep.
+  size_t count = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) count += keep[e] != 0;
   std::vector<Edge> kept;
+  kept.reserve(count);
   for (EdgeId e = 0; e < edges_.size(); ++e) {
     if (keep[e]) kept.push_back(edges_[e]);
   }
-  return FromEdges(num_vertices_, std::move(kept), directed_, weighted_);
+  return FromCanonicalEdges(num_vertices_, std::move(kept), directed_,
+                            weighted_);
 }
 
 Graph Graph::ReweightedSubgraph(const std::vector<uint8_t>& keep,
                                 const std::vector<double>& new_weights) const {
   assert(keep.size() == edges_.size());
   assert(new_weights.size() == edges_.size());
+  size_t count = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) count += keep[e] != 0;
   std::vector<Edge> kept;
+  kept.reserve(count);
   for (EdgeId e = 0; e < edges_.size(); ++e) {
     if (keep[e]) kept.push_back({edges_[e].u, edges_[e].v, new_weights[e]});
   }
-  return FromEdges(num_vertices_, std::move(kept), directed_,
-                   /*weighted=*/true);
+  return FromCanonicalEdges(num_vertices_, std::move(kept), directed_,
+                            /*weighted=*/true);
 }
 
 Graph Graph::Symmetrized() const {
@@ -169,6 +191,7 @@ Graph Graph::Symmetrized() const {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
   std::vector<Edge> merged;
+  merged.reserve(es.size());
   for (size_t i = 0; i < es.size();) {
     Edge m = es[i];
     size_t j = i + 1;

@@ -142,6 +142,15 @@ class Graph {
   std::string Summary() const;
 
  private:
+  /// Builds without NormalizeEdges: `edges` must already be canonical
+  /// (sorted by (u, v), deduplicated, loop-free, u <= v when undirected).
+  /// Subgraph/ReweightedSubgraph use this — their inputs are filtered
+  /// canonical arrays — to keep the per-sweep-cell hot path allocation-
+  /// and sort-free.
+  static Graph FromCanonicalEdges(NodeId num_vertices,
+                                  std::vector<Edge> edges, bool directed,
+                                  bool weighted);
+
   NodeId num_vertices_ = 0;
   bool directed_ = false;
   bool weighted_ = false;

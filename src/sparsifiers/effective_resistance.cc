@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <numeric>
 #include <stdexcept>
 
 #include "src/linalg/cg.h"
@@ -71,9 +73,26 @@ Graph EffectiveResistanceSparsifier::Sparsify(const Graph& g,
         "Effective Resistance requires an undirected graph; symmetrize "
         "first");
   }
+  // TargetKeepCount first: an out-of-range rate must throw even when the
+  // keep-everything fast path (which also covers m == 0) would apply.
   const EdgeId m = g.NumEdges();
-  EdgeId target = TargetKeepCount(m, prune_rate);
-  if (target >= m || m == 0) return g;
+  if (TargetKeepCount(m, prune_rate) >= m) return g;
+  return Sparsifier::Sparsify(g, prune_rate, rng);
+}
+
+std::unique_ptr<ScoreState> EffectiveResistanceSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
+  if (g.IsDirected()) {
+    throw std::invalid_argument(
+        "Effective Resistance requires an undirected graph; symmetrize "
+        "first");
+  }
+  const EdgeId m = g.NumEdges();
+  if (m == 0) {
+    return std::make_unique<ErSampleState>(&g, std::vector<EdgeId>{},
+                                           std::vector<uint64_t>{},
+                                           std::vector<double>{});
+  }
 
   std::vector<double> resistance = ApproxEffectiveResistances(g, rng);
   // Sampling probabilities p_e proportional to w_e * R_e (Spielman &
@@ -86,58 +105,91 @@ Graph EffectiveResistanceSparsifier::Sparsify(const Graph& g,
   }
   for (double& pe : p) pe /= total;
 
-  // Sample with replacement until `target` distinct edges are hit,
-  // accumulating per-edge hit counts; the weighted variant then assigns
-  // w'_e = c_e * w_e / (q p_e), the unbiased Horvitz-Thompson weight of the
-  // with-replacement estimator (q = total draws).
+  // Sample with replacement until every edge has been hit once, recording
+  // the first-hit order and the draw count at each prefix. The draw
+  // sequence does not depend on any prune rate, so the first T entries of
+  // the order are exactly the distinct set a run stopped at target T would
+  // have kept.
   std::vector<double> cum(m);
   double acc = 0.0;
   for (EdgeId e = 0; e < m; ++e) {
     acc += p[e];
     cum[e] = acc;
   }
-  std::vector<uint32_t> hits(m, 0);
-  std::vector<uint8_t> keep(m, 0);
+  std::vector<uint8_t> hit(m, 0);
+  std::vector<EdgeId> hit_order;
+  std::vector<uint64_t> draws_at;
+  hit_order.reserve(m);
+  draws_at.reserve(m);
   EdgeId distinct = 0;
   uint64_t draws = 0;
   const uint64_t max_draws = 400ULL * m + 1000000ULL;
-  while (distinct < target && draws < max_draws) {
+  while (distinct < m && draws < max_draws) {
     double r = rng.NextDouble() * acc;
     auto it = std::lower_bound(cum.begin(), cum.end(), r);
     EdgeId e = static_cast<EdgeId>(it - cum.begin());
     if (e >= m) e = m - 1;
     ++draws;
-    ++hits[e];
-    if (!keep[e]) {
-      keep[e] = 1;
+    if (!hit[e]) {
+      hit[e] = 1;
+      hit_order.push_back(e);
+      draws_at.push_back(draws);
       ++distinct;
     }
   }
-  // Extremely skewed p can stall the distinct count; top up with the
-  // highest-probability unkept edges.
-  if (distinct < target) {
-    std::vector<double> topup(m, 0.0);
-    for (EdgeId e = 0; e < m; ++e) topup[e] = keep[e] ? -1.0 : p[e];
-    std::vector<uint8_t> extra = KeepTopScoring(topup, target - distinct);
+  // Extremely skewed p can stall the race before every edge is hit; top up
+  // with the remaining edges by descending probability (ties by id).
+  if (distinct < m) {
+    std::vector<EdgeId> rest;
     for (EdgeId e = 0; e < m; ++e) {
-      if (extra[e] && !keep[e]) {
-        keep[e] = 1;
-        ++hits[e];
-        ++draws;
-      }
+      if (!hit[e]) rest.push_back(e);
+    }
+    std::sort(rest.begin(), rest.end(), [&](EdgeId a, EdgeId b) {
+      return p[a] != p[b] ? p[a] > p[b] : a < b;
+    });
+    for (EdgeId e : rest) {
+      ++draws;
+      hit_order.push_back(e);
+      draws_at.push_back(draws);
     }
   }
+  return std::make_unique<ErSampleState>(&g, std::move(hit_order),
+                                         std::move(draws_at), std::move(p));
+}
 
-  if (!reweight_) return g.Subgraph(keep);
-
-  std::vector<double> new_w(m, 0.0);
-  for (EdgeId e = 0; e < m; ++e) {
-    if (keep[e]) {
-      new_w[e] = static_cast<double>(hits[e]) * g.EdgeWeight(e) /
-                 (static_cast<double>(draws) * p[e]);
-    }
+RateMask EffectiveResistanceSparsifier::MaskForRate(const ScoreState& state,
+                                                    double prune_rate) const {
+  const auto& er = StateAs<ErSampleState>(state, "Effective Resistance");
+  const EdgeId m = static_cast<EdgeId>(er.hit_order().size());
+  EdgeId target = TargetKeepCount(m, prune_rate);
+  RateMask mask;
+  mask.keep.assign(m, 0);
+  if (m == 0 || target == 0) return mask;
+  if (target >= m) {
+    // Keeping everything is the identity: original weights survive even in
+    // the reweighted variant (matching the legacy fast path).
+    std::fill(mask.keep.begin(), mask.keep.end(), 1);
+    return mask;
   }
-  return g.ReweightedSubgraph(keep, new_w);
+  for (EdgeId i = 0; i < target; ++i) mask.keep[er.hit_order()[i]] = 1;
+  if (!reweight_) return mask;
+
+  // Horvitz-Thompson weights over the with-replacement race: the prefix of
+  // `target` distinct edges took s draws, and edge e's chance of being hit
+  // within s draws is pi_e = 1 - (1 - p_e)^s; w'_e = w_e / pi_e makes the
+  // sparsified Laplacian estimate the original without bias over the
+  // sampling marginal.
+  const Graph& g = er.graph();
+  const uint64_t s = er.draws_at()[target - 1];
+  mask.new_weights.assign(m, 0.0);
+  for (EdgeId i = 0; i < target; ++i) {
+    EdgeId e = er.hit_order()[i];
+    double pi = -std::expm1(static_cast<double>(s) *
+                            std::log1p(-std::min(er.p()[e], 1.0 - 1e-16)));
+    pi = std::clamp(pi, 1e-12, 1.0);
+    mask.new_weights[e] = g.EdgeWeight(e) / pi;
+  }
+  return mask;
 }
 
 }  // namespace sparsify

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 namespace sparsify {
@@ -56,11 +57,16 @@ const SparsifierInfo& TriangleSparsifier::Info() const {
   return info;
 }
 
-Graph TriangleSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                   Rng& rng) const {
+std::unique_ptr<ScoreState> TriangleSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
   (void)rng;  // deterministic
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
-  return g.Subgraph(KeepTopScoring(TriangleEdgeScores(g), target));
+  return std::make_unique<EdgeScoreState>(TriangleEdgeScores(g));
+}
+
+RateMask TriangleSparsifier::MaskForRate(const ScoreState& state,
+                                         double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "Triangle"),
+                        prune_rate);
 }
 
 // ---------------------------------------------------------------------------
@@ -82,14 +88,13 @@ const SparsifierInfo& SimmelianSparsifier::Info() const {
   return info;
 }
 
-Graph SimmelianSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                    Rng& rng) const {
+std::unique_ptr<ScoreState> SimmelianSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
   (void)rng;  // deterministic
   if (g.IsDirected()) {
     throw std::invalid_argument(
         "Simmelian backbone requires an undirected graph; symmetrize first");
   }
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
   std::vector<double> tri = TriangleEdgeScores(g);
 
   // Per vertex: neighbors ranked by triangle count (desc), truncated to
@@ -130,7 +135,13 @@ Graph SimmelianSparsifier::Sparsify(const Graph& g, double prune_rate,
     size_t uni = a.size() + b.size() - inter;
     score[e] = uni > 0 ? static_cast<double>(inter) / uni : 0.0;
   }
-  return g.Subgraph(KeepTopScoring(score, target));
+  return std::make_unique<EdgeScoreState>(std::move(score));
+}
+
+RateMask SimmelianSparsifier::MaskForRate(const ScoreState& state,
+                                          double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "Simmelian Backbone"),
+                        prune_rate);
 }
 
 // ---------------------------------------------------------------------------
@@ -187,20 +198,24 @@ const SparsifierInfo& AlgebraicDistanceSparsifier::Info() const {
   return info;
 }
 
-Graph AlgebraicDistanceSparsifier::Sparsify(const Graph& g,
-                                            double prune_rate,
-                                            Rng& rng) const {
+std::unique_ptr<ScoreState> AlgebraicDistanceSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
   if (g.IsDirected()) {
     throw std::invalid_argument(
         "Algebraic distance requires an undirected graph; symmetrize first");
   }
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
   std::vector<double> dist = AlgebraicDistances(g, num_vectors_, sweeps_,
                                                 rng);
   // Keep the algebraically CLOSEST edges: score = -distance.
   std::vector<double> score(dist.size());
   for (size_t i = 0; i < dist.size(); ++i) score[i] = -dist[i];
-  return g.Subgraph(KeepTopScoring(score, target));
+  return std::make_unique<EdgeScoreState>(std::move(score));
+}
+
+RateMask AlgebraicDistanceSparsifier::MaskForRate(const ScoreState& state,
+                                                  double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "Algebraic Distance"),
+                        prune_rate);
 }
 
 }  // namespace sparsify

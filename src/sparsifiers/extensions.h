@@ -18,6 +18,9 @@
 //                          vectors; edges between algebraically close
 //                          vertices score high. A cheap spectral proxy for
 //                          the ER family.
+//
+// All three are pure edge-scoring algorithms: the score vector is computed
+// once in PrepareScores and every rate is a global top-k threshold.
 #ifndef SPARSIFY_SPARSIFIERS_EXTENSIONS_H_
 #define SPARSIFY_SPARSIFIERS_EXTENSIONS_H_
 
@@ -31,7 +34,10 @@ std::vector<double> TriangleEdgeScores(const Graph& g);
 class TriangleSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 };
 
 class SimmelianSparsifier : public Sparsifier {
@@ -40,7 +46,10 @@ class SimmelianSparsifier : public Sparsifier {
   /// the overlap computation.
   explicit SimmelianSparsifier(int max_rank = 10) : max_rank_(max_rank) {}
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
  private:
   int max_rank_;
@@ -56,7 +65,10 @@ class AlgebraicDistanceSparsifier : public Sparsifier {
   AlgebraicDistanceSparsifier(int num_vectors = 8, int sweeps = 10)
       : num_vectors_(num_vectors), sweeps_(sweeps) {}
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
  private:
   int num_vectors_;

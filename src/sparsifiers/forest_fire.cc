@@ -1,6 +1,6 @@
 #include "src/sparsifiers/forest_fire.h"
 
-#include <algorithm>
+#include <memory>
 #include <queue>
 
 namespace sparsify {
@@ -20,13 +20,12 @@ const SparsifierInfo& ForestFireSparsifier::Info() const {
   return info;
 }
 
-Graph ForestFireSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                     Rng& rng) const {
+std::unique_ptr<ScoreState> ForestFireSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
   const EdgeId m = g.NumEdges();
-  EdgeId target = TargetKeepCount(m, prune_rate);
-  if (m == 0) return g;
-
   std::vector<double> burns(m, 0.0);
+  if (m == 0) return std::make_unique<EdgeScoreState>(std::move(burns));
+
   std::vector<uint8_t> visited(g.NumVertices(), 0);
   std::vector<NodeId> visited_list;
   const uint64_t total_burn_target =
@@ -66,7 +65,13 @@ Graph ForestFireSparsifier::Sparsify(const Graph& g, double prune_rate,
   // Random jitter breaks ties among equally-burned edges so repeated runs
   // differ (the algorithm is non-deterministic, Table 2).
   for (double& b : burns) b += 0.5 * rng.NextDouble();
-  return g.Subgraph(KeepTopScoring(burns, target));
+  return std::make_unique<EdgeScoreState>(std::move(burns));
+}
+
+RateMask ForestFireSparsifier::MaskForRate(const ScoreState& state,
+                                           double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "Forest Fire"),
+                        prune_rate);
 }
 
 }  // namespace sparsify

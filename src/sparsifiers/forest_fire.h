@@ -4,6 +4,10 @@
 // probability p; each edge's score is how often it burned. The highest-
 // scoring edges are kept, giving fine-grained prune-rate control subject to
 // burn coverage.
+//
+// The burn process never depended on the prune rate, so it maps directly
+// onto the two-phase interface: PrepareScores runs the fires once,
+// MaskForRate thresholds the burn counts.
 #ifndef SPARSIFY_SPARSIFIERS_FOREST_FIRE_H_
 #define SPARSIFY_SPARSIFIERS_FOREST_FIRE_H_
 
@@ -21,7 +25,10 @@ class ForestFireSparsifier : public Sparsifier {
       : burn_probability_(burn_probability), coverage_(coverage) {}
 
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
  private:
   double burn_probability_;

@@ -3,6 +3,13 @@
 // weight (uniform for unweighted graphs). Guarantees min(k, deg(v)) incident
 // edges per vertex, so it preserves connectivity well. Prune-rate control is
 // coarse: k is calibrated by binary search.
+//
+// Two-phase form: PrepareScores draws one Efraimidis-Spirakis key per
+// adjacency entry and records, per edge, the best rank it attains in either
+// endpoint's key ordering; an edge is kept at knob k iff that rank < k.
+// Kept counts per k collapse to a histogram prefix sum, so MaskForRate's
+// binary search costs O(log maxdeg) lookups instead of fresh sampling
+// passes (the legacy path resampled per probe with forked rngs).
 #ifndef SPARSIFY_SPARSIFIERS_K_NEIGHBOR_H_
 #define SPARSIFY_SPARSIFIERS_K_NEIGHBOR_H_
 
@@ -10,13 +17,34 @@
 
 namespace sparsify {
 
+/// ScoreState of K-Neighbor: per-edge best rank and cumulative kept counts.
+class KNeighborState : public ScoreState {
+ public:
+  KNeighborState(std::vector<NodeId> best_rank, std::vector<EdgeId> count_at_k)
+      : best_rank_(std::move(best_rank)), count_at_k_(std::move(count_at_k)) {}
+
+  /// best_rank()[e] = min over endpoints of e's 0-based position in the
+  /// endpoint's key-descending adjacency ordering.
+  const std::vector<NodeId>& best_rank() const { return best_rank_; }
+
+  /// count_at_k()[k] = number of edges kept at knob k (monotone in k);
+  /// size MaxDegree() + 1, count_at_k()[0] = 0.
+  const std::vector<EdgeId>& count_at_k() const { return count_at_k_; }
+
+ private:
+  std::vector<NodeId> best_rank_;
+  std::vector<EdgeId> count_at_k_;
+};
+
 class KNeighborSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-
-  /// Calibrates k to the target prune rate (binary search, since the kept
-  /// edge count is monotone in k), then applies one pass with the best k.
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  /// Calibrates k to the target prune rate (binary search over the state's
+  /// exact per-k kept counts), then keeps edges with best rank < k.
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
   /// Single pass with a fixed k; exposed for direct use and tests.
   Graph SparsifyWithK(const Graph& g, NodeId k, Rng& rng) const;

@@ -1,8 +1,9 @@
 #include "src/sparsifiers/local_degree.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
+#include <memory>
+
+#include "src/sparsifiers/vertex_ranked.h"
 
 namespace sparsify {
 
@@ -21,64 +22,62 @@ const SparsifierInfo& LocalDegreeSparsifier::Info() const {
   return info;
 }
 
-std::vector<uint8_t> LocalDegreeSparsifier::KeepMaskForAlpha(
-    const Graph& g, double alpha) const {
-  std::vector<uint8_t> keep(g.NumEdges(), 0);
-  std::vector<std::pair<NodeId, EdgeId>> ranked;  // (neighbor degree, edge)
-  for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
-    if (nbrs.empty()) continue;
-    size_t take = static_cast<size_t>(
-        std::ceil(std::pow(static_cast<double>(nbrs.size()), alpha)));
-    take = std::clamp<size_t>(take, 1, nbrs.size());
-    ranked.clear();
-    for (const AdjEntry& a : nbrs) {
-      ranked.emplace_back(g.OutDegree(a.node), a.edge);
-    }
-    // Deterministic: ties broken by edge id via pair comparison.
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
-    for (size_t i = 0; i < take; ++i) keep[ranked[i].second] = 1;
-  }
-  return keep;
-}
-
-Graph LocalDegreeSparsifier::SparsifyWithAlpha(const Graph& g,
-                                               double alpha) const {
-  return g.Subgraph(KeepMaskForAlpha(g, alpha));
-}
-
-Graph LocalDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                      Rng& rng) const {
+std::unique_ptr<ScoreState> LocalDegreeSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
   (void)rng;  // deterministic
+  return std::make_unique<VertexRankedState>(
+      g, [&g](NodeId, const AdjEntry& a) {
+        return static_cast<double>(g.OutDegree(a.node));
+      });
+}
+
+RateMask LocalDegreeSparsifier::MaskForRate(const ScoreState& state,
+                                            double prune_rate) const {
+  const auto& ranked = StateAs<VertexRankedState>(state, "Local Degree");
+  const Graph& g = ranked.graph();
   EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
-  auto count_for = [&](double alpha) -> EdgeId {
-    std::vector<uint8_t> keep = KeepMaskForAlpha(g, alpha);
-    return static_cast<EdgeId>(
-        std::accumulate(keep.begin(), keep.end(), uint64_t{0}));
-  };
-  // Kept count is monotone nondecreasing in alpha.
+  // Kept count is monotone nondecreasing in alpha. The endpoint counts are
+  // cached as the search observes them instead of being recomputed with
+  // two extra full passes afterwards.
   double lo = 0.0, hi = 1.0;
+  EdgeId clo = 0, chi = 0;
+  bool have_clo = false, have_chi = false;
   for (int it = 0; it < 40; ++it) {
     double mid = 0.5 * (lo + hi);
-    if (count_for(mid) >= target) {
+    EdgeId c = ranked.CountForExponent(mid);
+    if (c >= target) {
       hi = mid;
+      chi = c;
+      have_chi = true;
     } else {
       lo = mid;
+      clo = c;
+      have_clo = true;
     }
   }
+  if (!have_chi) chi = ranked.CountForExponent(hi);
+  if (!have_clo) clo = ranked.CountForExponent(lo);
   // Pick the closer endpoint. alpha has a kept-count floor (every vertex
   // keeps >= 1 edge), so high prune rates saturate at the algorithm's
   // maximum prune rate, as the paper notes (section 3.2).
-  EdgeId chi = count_for(hi);
-  EdgeId clo = count_for(lo);
   double alpha =
       (chi >= target && (chi - target) <= (target - std::min(target, clo)))
           ? hi
           : lo;
   if (clo >= target) alpha = lo;
-  return SparsifyWithAlpha(g, alpha);
+  RateMask mask;
+  ranked.FillMaskForExponent(alpha, &mask.keep);
+  return mask;
+}
+
+Graph LocalDegreeSparsifier::SparsifyWithAlpha(const Graph& g,
+                                               double alpha) const {
+  Rng unused(0);
+  auto state = PrepareScores(g, unused);
+  RateMask mask;
+  StateAs<VertexRankedState>(*state, "Local Degree")
+      .FillMaskForExponent(alpha, &mask.keep);
+  return g.Subgraph(mask.keep);
 }
 
 }  // namespace sparsify

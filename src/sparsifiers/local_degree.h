@@ -3,6 +3,12 @@
 // highest-degree neighbors. Guarantees >= 1 incident edge per non-isolated
 // vertex, so it preserves both connectivity and hub edges. alpha in [0, 1]
 // is calibrated to the requested prune rate by binary search.
+//
+// Two-phase split: PrepareScores ranks every vertex's neighborhood by
+// neighbor degree ONCE and folds the ranks into sorted per-edge alpha
+// thresholds (vertex_ranked.h); MaskForRate binary-searches alpha with
+// each kept-count probe a single O(log |E|) lower_bound, caching the
+// endpoint counts it observes instead of rebuilding masks afterwards.
 #ifndef SPARSIFY_SPARSIFIERS_LOCAL_DEGREE_H_
 #define SPARSIFY_SPARSIFIERS_LOCAL_DEGREE_H_
 
@@ -13,13 +19,13 @@ namespace sparsify {
 class LocalDegreeSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
   /// Single deterministic pass with a fixed alpha; exposed for tests.
   Graph SparsifyWithAlpha(const Graph& g, double alpha) const;
-
- private:
-  std::vector<uint8_t> KeepMaskForAlpha(const Graph& g, double alpha) const;
 };
 
 }  // namespace sparsify

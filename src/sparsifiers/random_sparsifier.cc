@@ -1,5 +1,7 @@
 #include "src/sparsifiers/random_sparsifier.h"
 
+#include <memory>
+
 namespace sparsify {
 
 const SparsifierInfo& RandomSparsifier::Info() const {
@@ -17,14 +19,16 @@ const SparsifierInfo& RandomSparsifier::Info() const {
   return info;
 }
 
-Graph RandomSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                 Rng& rng) const {
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
-  std::vector<uint8_t> keep(g.NumEdges(), 0);
-  for (uint64_t e : rng.SampleWithoutReplacement(g.NumEdges(), target)) {
-    keep[e] = 1;
-  }
-  return g.Subgraph(keep);
+std::unique_ptr<ScoreState> RandomSparsifier::PrepareScores(const Graph& g,
+                                                            Rng& rng) const {
+  std::vector<double> priority(g.NumEdges());
+  for (double& p : priority) p = rng.NextDouble();
+  return std::make_unique<EdgeScoreState>(std::move(priority));
+}
+
+RateMask RandomSparsifier::MaskForRate(const ScoreState& state,
+                                       double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "Random"), prune_rate);
 }
 
 }  // namespace sparsify

@@ -2,6 +2,11 @@
 // edges. The naive baseline every figure includes; preserves relative,
 // distribution-based properties (degree distribution, centrality rankings)
 // but no absolute ones.
+//
+// Two-phase form: PrepareScores draws one uniform priority per edge;
+// MaskForRate keeps the `target` highest-priority edges. Nested prefixes of
+// one priority draw are themselves uniform samples, so all rates of a sweep
+// share a single pass over the rng.
 #ifndef SPARSIFY_SPARSIFIERS_RANDOM_SPARSIFIER_H_
 #define SPARSIFY_SPARSIFIERS_RANDOM_SPARSIFIER_H_
 
@@ -12,7 +17,10 @@ namespace sparsify {
 class RandomSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 };
 
 }  // namespace sparsify

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 namespace sparsify {
 
@@ -20,14 +21,21 @@ const SparsifierInfo& RankDegreeSparsifier::Info() const {
   return info;
 }
 
-Graph RankDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                     Rng& rng) const {
-  const EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
-  std::vector<uint8_t> keep(g.NumEdges(), 0);
+std::unique_ptr<ScoreState> RankDegreeSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
+  // Runs the growth with target = |E|: because the process up to its T-th
+  // kept edge is identical for every target >= T (control flow and rng
+  // draws only diverge after the T-th keep), the prefix of the recorded
+  // order is exactly the set a target-T run would keep.
+  const EdgeId m = g.NumEdges();
+  const EdgeId target = m;
+  std::vector<uint8_t> keep(m, 0);
+  std::vector<EdgeId> order;
+  order.reserve(m);
   EdgeId kept = 0;
 
   const NodeId n = g.NumVertices();
-  if (n == 0 || target == 0) return g.Subgraph(keep);
+  if (n == 0 || target == 0) return std::make_unique<KeepOrderState>(order);
 
   NodeId num_seeds =
       std::max<NodeId>(1, static_cast<NodeId>(seed_fraction_ * n));
@@ -60,6 +68,7 @@ Graph RankDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
         EdgeId e = g.FindEdge(s, t);
         if (e != kInvalidEdge && !keep[e]) {
           keep[e] = 1;
+          order.push_back(e);
           ++kept;
           progressed = true;
         }
@@ -80,9 +89,10 @@ Graph RankDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
         in_frontier[s] = 1;
       }
       if (!progressed) {
-        for (EdgeId e = 0; e < g.NumEdges() && kept < target; ++e) {
+        for (EdgeId e = 0; e < m && kept < target; ++e) {
           if (!keep[e]) {
             keep[e] = 1;
+            order.push_back(e);
             ++kept;
           }
         }
@@ -91,7 +101,19 @@ Graph RankDegreeSparsifier::Sparsify(const Graph& g, double prune_rate,
     }
     seeds = std::move(next);
   }
-  return g.Subgraph(keep);
+  return std::make_unique<KeepOrderState>(std::move(order));
+}
+
+RateMask RankDegreeSparsifier::MaskForRate(const ScoreState& state,
+                                           double prune_rate) const {
+  const auto& keep_order = StateAs<KeepOrderState>(state, "Rank Degree");
+  const std::vector<EdgeId>& order = keep_order.order();
+  const EdgeId m = static_cast<EdgeId>(order.size());
+  EdgeId target = TargetKeepCount(m, prune_rate);
+  RateMask mask;
+  mask.keep.assign(m, 0);
+  for (EdgeId i = 0; i < target; ++i) mask.keep[order[i]] = 1;
+  return mask;
 }
 
 }  // namespace sparsify

@@ -3,12 +3,30 @@
 // to a seed's top-degree neighbors; those neighbors become the next seeds.
 // Biased toward hub vertices, so it excels at distance and centrality
 // metrics. Fine-grained control: growth stops at the target edge count.
+//
+// Two-phase form: the growth process is prefix-consistent — the first T
+// edges it keeps do not depend on the target T — so PrepareScores runs the
+// growth to exhaustion once, recording the keep ORDER, and MaskForRate for
+// any rate keeps the first TargetKeepCount edges of that order.
 #ifndef SPARSIFY_SPARSIFIERS_RANK_DEGREE_H_
 #define SPARSIFY_SPARSIFIERS_RANK_DEGREE_H_
 
 #include "src/sparsifiers/sparsifier.h"
 
 namespace sparsify {
+
+/// ScoreState of Rank Degree: every canonical edge id, in the order the
+/// growth process kept it (growth edges first, then the deterministic
+/// fallback fill).
+class KeepOrderState : public ScoreState {
+ public:
+  explicit KeepOrderState(std::vector<EdgeId> order)
+      : order_(std::move(order)) {}
+  const std::vector<EdgeId>& order() const { return order_; }
+
+ private:
+  std::vector<EdgeId> order_;
+};
 
 class RankDegreeSparsifier : public Sparsifier {
  public:
@@ -20,7 +38,10 @@ class RankDegreeSparsifier : public Sparsifier {
       : seed_fraction_(seed_fraction), top_fraction_(top_fraction) {}
 
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
  private:
   double seed_fraction_;

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <memory>
 
 #include "src/sparsifiers/minhash.h"
+#include "src/sparsifiers/vertex_ranked.h"
 
 namespace sparsify {
 
@@ -26,6 +27,14 @@ size_t IntersectionSize(std::span<const AdjEntry> a,
     }
   }
   return count;
+}
+
+// Per-vertex Jaccard ranking: the ScoreState shared by L-Spar's exact and
+// min-hash variants.
+std::unique_ptr<ScoreState> RankByJaccard(const Graph& g,
+                                          const std::vector<double>& jac) {
+  return std::make_unique<VertexRankedState>(
+      g, [&jac](NodeId, const AdjEntry& a) { return jac[a.edge]; });
 }
 
 }  // namespace
@@ -84,11 +93,15 @@ const SparsifierInfo& GSparSparsifier::Info() const {
   return info;
 }
 
-Graph GSparSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                Rng& rng) const {
+std::unique_ptr<ScoreState> GSparSparsifier::PrepareScores(const Graph& g,
+                                                           Rng& rng) const {
   (void)rng;  // deterministic
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
-  return g.Subgraph(KeepTopScoring(JaccardEdgeScores(g), target));
+  return std::make_unique<EdgeScoreState>(JaccardEdgeScores(g));
+}
+
+RateMask GSparSparsifier::MaskForRate(const ScoreState& state,
+                                      double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "G-Spar"), prune_rate);
 }
 
 // --------------------------------------------------------------------------
@@ -109,11 +122,15 @@ const SparsifierInfo& ScanSparsifier::Info() const {
   return info;
 }
 
-Graph ScanSparsifier::Sparsify(const Graph& g, double prune_rate,
-                               Rng& rng) const {
+std::unique_ptr<ScoreState> ScanSparsifier::PrepareScores(const Graph& g,
+                                                          Rng& rng) const {
   (void)rng;  // deterministic
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
-  return g.Subgraph(KeepTopScoring(ScanEdgeScores(g), target));
+  return std::make_unique<EdgeScoreState>(ScanEdgeScores(g));
+}
+
+RateMask ScanSparsifier::MaskForRate(const ScoreState& state,
+                                     double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "SCAN"), prune_rate);
 }
 
 // --------------------------------------------------------------------------
@@ -146,52 +163,47 @@ const SparsifierInfo& LSparSparsifier::Info() const {
   return use_minhash_ ? minhash_info : exact_info;
 }
 
-std::vector<uint8_t> LSparSparsifier::KeepMaskForExponent(
-    const Graph& g, double c, const std::vector<double>& jac) const {
-  std::vector<uint8_t> keep(g.NumEdges(), 0);
-  std::vector<std::pair<double, EdgeId>> ranked;
-  for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
-    if (nbrs.empty()) continue;
-    size_t take = static_cast<size_t>(
-        std::ceil(std::pow(static_cast<double>(nbrs.size()), c)));
-    take = std::clamp<size_t>(take, 1, nbrs.size());
-    ranked.clear();
-    for (const AdjEntry& a : nbrs) ranked.emplace_back(jac[a.edge], a.edge);
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
-    for (size_t i = 0; i < take; ++i) keep[ranked[i].second] = 1;
-  }
-  return keep;
-}
-
-Graph LSparSparsifier::SparsifyWithExponent(const Graph& g, double c) const {
-  return g.Subgraph(KeepMaskForExponent(g, c, JaccardEdgeScores(g)));
-}
-
-Graph LSparSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                Rng& rng) const {
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
+std::unique_ptr<ScoreState> LSparSparsifier::PrepareScores(const Graph& g,
+                                                           Rng& rng) const {
   std::vector<double> jac = use_minhash_
                                 ? MinHashJaccardEdgeScores(g, num_hashes_, rng)
                                 : JaccardEdgeScores(g);
-  auto count_for = [&](double c) -> EdgeId {
-    std::vector<uint8_t> keep = KeepMaskForExponent(g, c, jac);
-    return static_cast<EdgeId>(
-        std::accumulate(keep.begin(), keep.end(), uint64_t{0}));
-  };
+  return RankByJaccard(g, jac);
+}
+
+RateMask LSparSparsifier::MaskForRate(const ScoreState& state,
+                                      double prune_rate) const {
+  const auto& ranked = StateAs<VertexRankedState>(state, "L-Spar");
+  const Graph& g = ranked.graph();
+  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
   double lo = 0.0, hi = 1.0;
+  EdgeId clo = 0;
+  bool have_clo = false;
   for (int it = 0; it < 40; ++it) {
     double mid = 0.5 * (lo + hi);
-    if (count_for(mid) >= target) {
+    EdgeId count = ranked.CountForExponent(mid);
+    if (count >= target) {
       hi = mid;
     } else {
       lo = mid;
+      clo = count;
+      have_clo = true;
     }
   }
-  double c = count_for(lo) >= target ? lo : hi;
-  return g.Subgraph(KeepMaskForExponent(g, c, jac));
+  if (!have_clo) clo = ranked.CountForExponent(lo);
+  double c = clo >= target ? lo : hi;
+  RateMask mask;
+  ranked.FillMaskForExponent(c, &mask.keep);
+  return mask;
+}
+
+Graph LSparSparsifier::SparsifyWithExponent(const Graph& g, double c) const {
+  std::vector<double> jac = JaccardEdgeScores(g);
+  auto state = RankByJaccard(g, jac);
+  RateMask mask;
+  StateAs<VertexRankedState>(*state, "L-Spar")
+      .FillMaskForExponent(c, &mask.keep);
+  return g.Subgraph(mask.keep);
 }
 
 // --------------------------------------------------------------------------
@@ -212,10 +224,9 @@ const SparsifierInfo& LocalSimilaritySparsifier::Info() const {
   return info;
 }
 
-Graph LocalSimilaritySparsifier::Sparsify(const Graph& g, double prune_rate,
-                                          Rng& rng) const {
+std::unique_ptr<ScoreState> LocalSimilaritySparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
   (void)rng;  // deterministic
-  EdgeId target = TargetKeepCount(g.NumEdges(), prune_rate);
   std::vector<double> jac = JaccardEdgeScores(g);
   // score(e) = max over endpoints v of 1 - log(rank_v(e)) / log(deg(v)):
   // the edge's best local-rank position, normalized per vertex.
@@ -235,7 +246,13 @@ Graph LocalSimilaritySparsifier::Sparsify(const Graph& g, double prune_rate,
       score[ranked[r].second] = std::max(score[ranked[r].second], s);
     }
   }
-  return g.Subgraph(KeepTopScoring(score, target));
+  return std::make_unique<EdgeScoreState>(std::move(score));
+}
+
+RateMask LocalSimilaritySparsifier::MaskForRate(const ScoreState& state,
+                                                double prune_rate) const {
+  return MaskFromScores(StateAs<EdgeScoreState>(state, "Local Similarity"),
+                        prune_rate);
 }
 
 }  // namespace sparsify

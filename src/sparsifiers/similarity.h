@@ -19,6 +19,11 @@
 // These preserve local structure and clustering; global variants (GS, SCAN)
 // aggressively keep intra-community edges and therefore disconnect graphs
 // quickly, which is exactly the behaviour the paper's figures show.
+//
+// All four score once: the neighborhood intersections (the O(k |E|) part)
+// happen in PrepareScores; MaskForRate is a global top-k (GS, SCAN, LSim)
+// or a cheap exponent binary search over precomputed per-vertex rankings
+// (LS), so a 9-rate sweep pays for the intersections once.
 #ifndef SPARSIFY_SPARSIFIERS_SIMILARITY_H_
 #define SPARSIFY_SPARSIFIERS_SIMILARITY_H_
 
@@ -39,13 +44,19 @@ std::vector<double> CommonNeighborCounts(const Graph& g);
 class GSparSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 };
 
 class ScanSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 };
 
 class LSparSparsifier : public Sparsifier {
@@ -58,17 +69,16 @@ class LSparSparsifier : public Sparsifier {
       : use_minhash_(use_minhash), num_hashes_(num_hashes) {}
 
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
   /// Single deterministic pass keeping ceil(deg(v)^c) edges per vertex
   /// (always exact-Jaccard).
   Graph SparsifyWithExponent(const Graph& g, double c) const;
 
  private:
-  std::vector<uint8_t> KeepMaskForExponent(const Graph& g, double c,
-                                           const std::vector<double>& jac)
-      const;
-
   bool use_minhash_;
   int num_hashes_;
 };
@@ -76,7 +86,10 @@ class LSparSparsifier : public Sparsifier {
 class LocalSimilaritySparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 };
 
 }  // namespace sparsify

@@ -1,6 +1,7 @@
 #include "src/sparsifiers/spanning_forest.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
@@ -23,10 +24,9 @@ const SparsifierInfo& SpanningForestSparsifier::Info() const {
   return info;
 }
 
-Graph SpanningForestSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                         Rng& rng) const {
-  (void)prune_rate;  // no control (Table 2)
-  (void)rng;         // deterministic
+std::unique_ptr<ScoreState> SpanningForestSparsifier::PrepareScores(
+    const Graph& g, Rng& rng) const {
+  (void)rng;  // deterministic
   if (g.IsDirected()) {
     throw std::invalid_argument(
         "Spanning Forest requires an undirected graph; symmetrize first");
@@ -44,7 +44,13 @@ Graph SpanningForestSparsifier::Sparsify(const Graph& g, double prune_rate,
     const Edge& ed = g.CanonicalEdge(e);
     if (uf.Union(ed.u, ed.v)) keep[e] = 1;
   }
-  return g.Subgraph(keep);
+  return std::make_unique<FixedMaskState>(std::move(keep));
+}
+
+RateMask SpanningForestSparsifier::MaskForRate(const ScoreState& state,
+                                               double prune_rate) const {
+  (void)prune_rate;  // no control (Table 2)
+  return {StateAs<FixedMaskState>(state, "Spanning Forest").keep(), {}};
 }
 
 }  // namespace sparsify

@@ -1,7 +1,8 @@
 // Spanning Forest sparsifier (paper section 2.3.5): Kruskal's algorithm,
 // one minimum spanning tree per connected component. Undirected only. No
 // prune-rate control — the output always has |V| - #components edges — but
-// connectivity is preserved exactly.
+// connectivity is preserved exactly. The forest is built once in
+// PrepareScores; MaskForRate returns it unchanged at every rate.
 #ifndef SPARSIFY_SPARSIFIERS_SPANNING_FOREST_H_
 #define SPARSIFY_SPARSIFIERS_SPANNING_FOREST_H_
 
@@ -12,9 +13,12 @@ namespace sparsify {
 class SpanningForestSparsifier : public Sparsifier {
  public:
   const SparsifierInfo& Info() const override;
-  /// `prune_rate` is ignored (PruneRateControl::kNone). Throws
-  /// std::invalid_argument for directed graphs.
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  /// Throws std::invalid_argument for directed graphs.
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  /// `prune_rate` is ignored (PruneRateControl::kNone).
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 };
 
 }  // namespace sparsify

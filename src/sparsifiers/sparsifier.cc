@@ -25,6 +25,31 @@ double Sparsifier::AchievedPruneRate(const Graph& original,
                    static_cast<double>(original.NumEdges());
 }
 
+Graph Sparsifier::Sparsify(const Graph& g, double prune_rate,
+                           Rng& rng) const {
+  // Validate the rate before paying for the scoring phase (rate-free
+  // algorithms ignore it entirely, matching their historical behavior).
+  if (Info().prune_rate_control != PruneRateControl::kNone) {
+    (void)TargetKeepCount(g.NumEdges(), prune_rate);
+  }
+  std::unique_ptr<ScoreState> state = PrepareScores(g, rng);
+  return Apply(g, MaskForRate(*state, prune_rate));
+}
+
+Graph Sparsifier::Apply(const Graph& g, const RateMask& mask) {
+  if (!mask.new_weights.empty()) {
+    return g.ReweightedSubgraph(mask.keep, mask.new_weights);
+  }
+  return g.Subgraph(mask.keep);
+}
+
+RateMask MaskFromScores(const EdgeScoreState& state, double prune_rate) {
+  const std::vector<double>& scores = state.scores();
+  EdgeId target =
+      TargetKeepCount(static_cast<EdgeId>(scores.size()), prune_rate);
+  return {KeepTopScoring(scores, target), {}};
+}
+
 EdgeId TargetKeepCount(EdgeId num_edges, double prune_rate) {
   if (prune_rate < 0.0 || prune_rate >= 1.0) {
     throw std::invalid_argument("prune rate must be in [0, 1)");

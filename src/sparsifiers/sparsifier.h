@@ -2,8 +2,22 @@
 //
 // A sparsifier maps a graph G = (V, E) to a subgraph H = (V, E') with
 // |E'| = (1 - rho) |E| for a requested prune rate rho (paper Definition 1).
-// Vertices are never removed. Implementations receive the target prune rate
-// and an Rng; deterministic sparsifiers ignore the Rng.
+// Vertices are never removed.
+//
+// The interface is two-phase (see README.md in this directory):
+//
+//   PrepareScores(g, rng) -> ScoreState   the expensive part: degree
+//       rankings, similarity scores, effective resistances, spanner /
+//       forest structure. The ONLY phase that may consume the Rng.
+//   MaskForRate(state, rho) -> RateMask   cheap thresholding of the state
+//       at one prune rate. Deterministic, const, and re-entrant: the sweep
+//       engine calls it concurrently for many rates on one shared state.
+//
+// `Sparsify()` is a thin wrapper (prepare once, mask once) kept so
+// single-rate call sites stay valid. The paper's sweep protocol evaluates
+// every sparsifier at 9 prune rates; the batch engine prepares each
+// (sparsifier, run) group's state once and fans the rate axis out as
+// near-free MaskForRate tasks (src/engine/batch_runner.h).
 //
 // The registry carries the per-algorithm capability metadata of the paper's
 // Table 2 (directed/weighted/unconnected support, prune-rate control,
@@ -13,6 +27,7 @@
 #define SPARSIFY_SPARSIFIERS_SPARSIFIER_H_
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,23 +59,96 @@ struct SparsifierInfo {
   bool extension = false;
 };
 
-/// Base class for all 12 sparsification algorithms.
+/// Opaque result of a sparsifier's scoring phase. Each algorithm derives
+/// its own state type; states may hold a pointer to the scored graph, so a
+/// state must not outlive the Graph it was prepared on.
+class ScoreState {
+ public:
+  virtual ~ScoreState() = default;
+};
+
+/// Downcast helper with a diagnosable failure mode: passing one
+/// algorithm's state to another algorithm's MaskForRate is a caller bug.
+template <typename T>
+const T& StateAs(const ScoreState& state, const char* who) {
+  const T* typed = dynamic_cast<const T*>(&state);
+  if (typed == nullptr) {
+    throw std::invalid_argument(std::string(who) +
+                                ": ScoreState of the wrong type (state must "
+                                "come from this sparsifier's PrepareScores)");
+  }
+  return *typed;
+}
+
+/// Keep-decision for one prune rate. `new_weights` is empty except for
+/// weight-changing algorithms (ER-weighted), where it is indexed by the
+/// original canonical edge id like Graph::ReweightedSubgraph expects.
+struct RateMask {
+  std::vector<uint8_t> keep;
+  std::vector<double> new_weights;
+};
+
+/// ScoreState of the "score every edge once, keep the global top-k" family
+/// (RN, FF, GS, SCAN, LSim, TRI, SIMM, ALG). Shared so their MaskForRate
+/// is one common KeepTopScoring call.
+class EdgeScoreState : public ScoreState {
+ public:
+  explicit EdgeScoreState(std::vector<double> scores)
+      : scores_(std::move(scores)) {}
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  std::vector<double> scores_;
+};
+
+/// ScoreState of algorithms without prune-rate control (SF, SP-t): the
+/// keep-mask itself, returned unchanged at every rate.
+class FixedMaskState : public ScoreState {
+ public:
+  explicit FixedMaskState(std::vector<uint8_t> keep)
+      : keep_(std::move(keep)) {}
+  const std::vector<uint8_t>& keep() const { return keep_; }
+
+ private:
+  std::vector<uint8_t> keep_;
+};
+
+/// Base class for all registered sparsification algorithms.
 class Sparsifier {
  public:
   virtual ~Sparsifier() = default;
 
   virtual const SparsifierInfo& Info() const = 0;
 
-  /// Returns the sparsified graph over the same vertex set. `prune_rate` is
-  /// the requested fraction of edges to REMOVE (Definition 1); algorithms
-  /// with coarse or no control get as close as their knob allows. Must be
-  /// in [0, 1).
+  /// Phase 1: scores the graph. This is the expensive part and the only
+  /// phase that may draw from `rng` (deterministic algorithms ignore it).
+  /// The returned state may reference `g`; it must not outlive it.
   ///
-  /// Directed inputs to undirected-only algorithms (SF, SP-t, ER) are the
-  /// caller's responsibility to symmetrize first (paper section 3.1); such
-  /// algorithms throw std::invalid_argument on directed input.
-  virtual Graph Sparsify(const Graph& g, double prune_rate,
-                         Rng& rng) const = 0;
+  /// Directed inputs to undirected-only algorithms (SF, SP-t, ER, SIMM,
+  /// ALG) are the caller's responsibility to symmetrize first (paper
+  /// section 3.1); such algorithms throw std::invalid_argument here.
+  virtual std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                                    Rng& rng) const = 0;
+
+  /// Phase 2: thresholds `state` at one prune rate. Deterministic, cheap,
+  /// and re-entrant — the engine invokes it concurrently for many rates on
+  /// one shared state, so implementations must not mutate the state.
+  /// `prune_rate` is the requested fraction of edges to REMOVE
+  /// (Definition 1) and must be in [0, 1) unless Info() says kNone;
+  /// algorithms with coarse control get as close as their knob allows.
+  virtual RateMask MaskForRate(const ScoreState& state,
+                               double prune_rate) const = 0;
+
+  /// Returns the sparsified graph over the same vertex set: a thin
+  /// prepare-once, mask-once wrapper over the two-phase interface.
+  /// Virtual only so algorithms with a rate-dependent fast path can skip
+  /// the scoring phase for the single-rate call (ER returns `g` unchanged
+  /// when the target keeps every edge, without paying for its Laplacian
+  /// solves); overrides must stay semantically equal to the default.
+  virtual Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const;
+
+  /// Materializes a RateMask against the graph the state was prepared on.
+  static Graph Apply(const Graph& g, const RateMask& mask);
 
   /// Achieved prune rate of `sparsified` relative to `original`.
   static double AchievedPruneRate(const Graph& original,
@@ -86,6 +174,10 @@ std::vector<SparsifierInfo> AllSparsifierInfos();
 /// keep-mask.
 std::vector<uint8_t> KeepTopScoring(const std::vector<double>& scores,
                                     EdgeId target_keep);
+
+/// MaskForRate of the EdgeScoreState family: global top TargetKeepCount
+/// edges by score.
+RateMask MaskFromScores(const EdgeScoreState& state, double prune_rate);
 
 /// Number of edges to keep for a prune rate: round((1-rho)|E|), clamped to
 /// [0, |E|].

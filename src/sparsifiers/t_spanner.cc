@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
@@ -67,10 +68,9 @@ TSpannerSparsifier::TSpannerSparsifier(double t) : t_(t) {
 
 const SparsifierInfo& TSpannerSparsifier::Info() const { return info_; }
 
-Graph TSpannerSparsifier::Sparsify(const Graph& g, double prune_rate,
-                                   Rng& rng) const {
-  (void)prune_rate;  // no control (Table 2)
-  (void)rng;         // deterministic
+std::unique_ptr<ScoreState> TSpannerSparsifier::PrepareScores(const Graph& g,
+                                                              Rng& rng) const {
+  (void)rng;  // deterministic
   if (g.IsDirected()) {
     throw std::invalid_argument(
         "t-Spanner requires an undirected graph; symmetrize first");
@@ -96,7 +96,13 @@ Graph TSpannerSparsifier::Sparsify(const Graph& g, double prune_rate,
       spanner[ed.v].emplace_back(ed.u, ed.w);
     }
   }
-  return g.Subgraph(keep);
+  return std::make_unique<FixedMaskState>(std::move(keep));
+}
+
+RateMask TSpannerSparsifier::MaskForRate(const ScoreState& state,
+                                         double prune_rate) const {
+  (void)prune_rate;  // no control (Table 2)
+  return {StateAs<FixedMaskState>(state, "t-Spanner").keep(), {}};
 }
 
 }  // namespace sparsify

@@ -2,7 +2,8 @@
 // al.): produces a subgraph H such that d_H(u, v) <= t * d_G(u, v) for all
 // vertex pairs. Edges are scanned in ascending weight order; an edge (u, v)
 // is added only if the current spanner distance between u and v exceeds
-// t * w(u, v). Undirected only; no prune-rate control.
+// t * w(u, v). Undirected only; no prune-rate control. The spanner is built
+// once in PrepareScores; MaskForRate returns it unchanged at every rate.
 #ifndef SPARSIFY_SPARSIFIERS_T_SPANNER_H_
 #define SPARSIFY_SPARSIFIERS_T_SPANNER_H_
 
@@ -16,9 +17,12 @@ class TSpannerSparsifier : public Sparsifier {
   explicit TSpannerSparsifier(double t);
 
   const SparsifierInfo& Info() const override;
-  /// `prune_rate` is ignored (PruneRateControl::kNone). Throws
-  /// std::invalid_argument for directed graphs.
-  Graph Sparsify(const Graph& g, double prune_rate, Rng& rng) const override;
+  /// Throws std::invalid_argument for directed graphs.
+  std::unique_ptr<ScoreState> PrepareScores(const Graph& g,
+                                            Rng& rng) const override;
+  /// `prune_rate` is ignored (PruneRateControl::kNone).
+  RateMask MaskForRate(const ScoreState& state,
+                       double prune_rate) const override;
 
   double stretch() const { return t_; }
 

@@ -17,7 +17,18 @@ namespace sparsify {
 /// revision never match a CellKey built by this binary, so stale values are
 /// recomputed instead of reused. Bump whenever sparsifier, metric, or RNG
 /// semantics change in a way that alters numeric output.
-inline constexpr char kResultCodeRev[] = "r1";
+///
+/// History:
+///   r1  per-cell RNG streams: every cell's sparsify stream derived from
+///       (master_seed, grid index).
+///   r2  score-once engine: randomized sparsifiers draw their scoring
+///       stream from (master_seed, sparsifier, run), shared across the
+///       rate axis (BatchRunner::GroupSeed); KN calibrates on fixed keys;
+///       RN/ER switched to priority/first-hit sampling with ER-w on
+///       Horvitz-Thompson weights. Deterministic sparsifiers are
+///       numerically unchanged, but their cells' values are keyed by the
+///       same pipeline revision.
+inline constexpr char kResultCodeRev[] = "r2";
 
 /// Key of one completed grid cell. Field semantics:
 ///   dataset      caller-chosen graph identity; the CLI encodes the scale

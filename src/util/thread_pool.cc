@@ -33,6 +33,15 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitUrgent(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_front(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

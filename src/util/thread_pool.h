@@ -35,9 +35,17 @@ class ThreadPool {
 
   int NumThreads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task. Tasks must not themselves call Submit/Wait on this
-  /// pool (no nested parallelism).
+  /// Enqueues a task at the back of the queue. Tasks MAY submit further
+  /// tasks (Wait's completion tracking counts queued + executing, and the
+  /// submitter is still executing while it enqueues), but must never call
+  /// Wait themselves — that deadlocks the worker.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task at the FRONT of the queue: it runs before anything
+  /// already queued. The batch engine uses this to drain a scored group's
+  /// near-free mask tasks before further expensive scoring tasks start,
+  /// which bounds how many groups' score states are alive at once.
+  void SubmitUrgent(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. If any task threw,
   /// rethrows the first exception (the rest are dropped).

@@ -224,6 +224,34 @@ TEST(ResultStoreTest, OpenInDirCreatesDirectory) {
             (fs::path(dir) / ResultStore::DefaultFileName()).string());
 }
 
+TEST(ResultStoreTest, CodeRevBumpNeverReusesOldCells) {
+  // PR 3 moved randomized sparsifiers to shared per-(sparsifier, run) seed
+  // streams — a numeric change, isolated behind the kResultCodeRev bump:
+  // cells computed by the r1 pipeline must be cache misses for this
+  // binary, never silently mixed with r2 values.
+  ASSERT_STRNE(kResultCodeRev, "r1");
+  std::string path = TempPath("code_rev_store.jsonl");
+  fs::remove(path);
+  ResultStore store(path);
+
+  CellKey old_rev = MakeKey("RN", 0.1, 0);
+  old_rev.code_rev = "r1";
+  store.Append(old_rev, 0.1, 3.25);
+
+  CellKey current = MakeKey("RN", 0.1, 0);
+  current.code_rev = kResultCodeRev;
+  EXPECT_FALSE(store.Contains(current));
+  EXPECT_FALSE(store.Lookup(current).has_value());
+  // The old cell itself is still addressable under its own revision.
+  EXPECT_TRUE(store.Contains(old_rev));
+
+  // Both revisions coexist after this binary appends its own value.
+  store.Append(current, 0.1, 4.5);
+  EXPECT_EQ(store.Size(), 2u);
+  EXPECT_EQ(store.Lookup(current)->value, 4.5);
+  EXPECT_EQ(store.Lookup(old_rev)->value, 3.25);
+}
+
 TEST(CellKeyTest, CanonicalDistinguishesEveryField) {
   CellKey base = MakeKey("RN", 0.1, 0);
   CellKey other = base;
