@@ -1,20 +1,32 @@
-// Sweep-throughput benchmark: quantifies the score-once engine win.
+// Sweep-throughput benchmark: quantifies the two work-sharing axes of the
+// batch engine.
 //
-// For each selected sparsifier it runs the paper's 9-rate sweep grid twice
-// on the same BatchRunner —
+// Section 1 — rate axis (score-once). For each selected sparsifier it runs
+// the paper's 9-rate sweep grid twice on the same BatchRunner —
 //   cold:   share_scores(false), the pre-sharing per-cell path (every cell
 //           rescoring from scratch), and
 //   shared: share_scores(true), one PrepareScores per (sparsifier, run)
 //           with the rate axis fanned out as MaskForRate tasks —
-// and emits BENCH_sweep.json with cells/sec, the score-vs-mask wall-clock
-// split, and the cold/shared speedup per algorithm. The committed
-// BENCH_sweep.json at the repo root is this benchmark's single-threaded
-// output; CI runs a small grid per push and asserts the shared mode
-// schedules fewer score computations than cells.
+// and reports cells/sec, the score/subgraph/metric wall-clock split, and
+// the cold/shared speedup per algorithm.
+//
+// Section 2 — metric axis (sparsify-once). Over the full selected-algo grid
+// it evaluates a multi-metric set twice —
+//   per-metric: one single-metric engine pass per metric, i.e. each metric
+//               re-scores and re-materializes every subgraph (what a
+//               per-metric-keyed sweep loop used to do), and
+//   shared:     one RunTasksMulti pass materializing each cell's subgraph
+//               once and fanning the metrics out over it —
+// and reports the speedup plus the subgraph_builds vs cells×metrics
+// counters. CI asserts score_groups < cells and
+// subgraph_builds < cells_times_metrics via jq on the emitted JSON; the
+// committed BENCH_sweep.json at the repo root is this benchmark's
+// single-threaded output.
 //
 // Usage: bench_sweep_throughput [--dataset=ego-Facebook] [--scale=0.3]
-//          [--algos=LD,ER-uw,SCAN] [--runs=1] [--threads=1] [--seed=42]
-//          [--repeat=1] [--out=BENCH_sweep.json]
+//          [--algos=LD,ER-uw,SCAN] [--metrics=connectivity,isolated,..]
+//          [--runs=1] [--threads=1] [--seed=42] [--repeat=1]
+//          [--out=BENCH_sweep.json]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +36,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/cli/metrics.h"
 #include "src/engine/batch_runner.h"
 #include "src/graph/datasets.h"
 #include "src/util/timer.h"
@@ -35,6 +48,12 @@ struct SweepBenchOptions {
   std::string dataset = "ego-Facebook";
   double scale = 0.3;
   std::vector<std::string> algos = {"LD", "ER-uw", "SCAN"};
+  // The multi-metric section's set: cheap structural metrics, so the
+  // measured win is the eliminated scoring + subgraph work (the metric
+  // evaluations themselves run in both modes and dilute the ratio as they
+  // grow — swap in heavier metrics to see that regime).
+  std::vector<std::string> metrics = {"connectivity", "isolated", "degree",
+                                      "kcore"};
   int runs = 1;
   int threads = 1;
   int repeat = 1;  // timing repeats; the minimum is reported
@@ -49,7 +68,19 @@ struct AlgoResult {
   double cold_seconds = 0.0;
   double shared_seconds = 0.0;
   double score_seconds = 0.0;
-  double mask_seconds = 0.0;
+  double subgraph_seconds = 0.0;
+  double metric_seconds = 0.0;
+};
+
+struct MultiMetricResult {
+  size_t cells = 0;
+  size_t metric_units = 0;  // cells × metrics
+  size_t subgraph_builds = 0;
+  size_t score_groups = 0;
+  double per_metric_seconds = 0.0;  // one single-metric pass per metric
+  double shared_seconds = 0.0;      // one multi-metric pass
+  double subgraph_seconds = 0.0;
+  double metric_seconds = 0.0;
 };
 
 bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
@@ -61,6 +92,8 @@ bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
       opt->scale = ParseDoubleFlag(arg + 8, "--scale");
     } else if (std::strncmp(arg, "--algos=", 8) == 0) {
       opt->algos = SplitCsvFlag(arg + 8);
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      opt->metrics = SplitCsvFlag(arg + 10);
     } else if (std::strncmp(arg, "--runs=", 7) == 0) {
       opt->runs = static_cast<int>(ParseIntFlag(arg + 7, "--runs"));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -74,14 +107,15 @@ bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
     } else {
       std::cerr << "error: unknown option '" << arg << "'\n"
                 << "usage: bench_sweep_throughput [--dataset=NAME] "
-                   "[--scale=f] [--algos=A,B] [--runs=n] [--threads=n] "
-                   "[--repeat=n] [--seed=n] [--out=FILE]\n";
+                   "[--scale=f] [--algos=A,B] [--metrics=a,b] [--runs=n] "
+                   "[--threads=n] [--repeat=n] [--seed=n] [--out=FILE]\n";
       return false;
     }
   }
-  if (opt->algos.empty() || opt->repeat < 1 || opt->runs < 1) {
-    std::cerr << "error: need at least one --algos entry, --repeat >= 1, "
-                 "and --runs >= 1\n";
+  if (opt->algos.empty() || opt->metrics.empty() || opt->repeat < 1 ||
+      opt->runs < 1) {
+    std::cerr << "error: need at least one --algos and --metrics entry, "
+                 "--repeat >= 1, and --runs >= 1\n";
     return false;
   }
   return true;
@@ -93,6 +127,14 @@ std::string Json(double v) {
   return buf;
 }
 
+std::string JsonStringList(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    out += "\"" + items[i] + "\"" + (i + 1 < items.size() ? ", " : "");
+  }
+  return out + "]";
+}
+
 }  // namespace
 
 int SweepThroughputMain(int argc, char** argv) {
@@ -100,11 +142,11 @@ int SweepThroughputMain(int argc, char** argv) {
   if (!ParseSweepBenchArgs(argc, argv, &opt)) return 2;
 
   Dataset d = LoadDatasetScaled(opt.dataset, opt.scale);
-  std::cout << "# " << opt.dataset << " @ " << opt.scale << ": "
-            << d.graph.Summary() << "\n";
+  std::string dataset_key = cli::DatasetCellName(opt.dataset, opt.scale);
+  std::cout << "# " << dataset_key << ": " << d.graph.Summary() << "\n";
 
-  // Cheap rng-free metric: the benchmark measures the engine, not a
-  // metric implementation.
+  // Section 1 metric: cheap and rng-free — this section measures the
+  // scoring engine, not a metric implementation.
   BatchMetricFn metric = [](const Graph& orig, const Graph& sp, Rng&) {
     return static_cast<double>(sp.NumEdges()) /
            static_cast<double>(std::max<EdgeId>(1, orig.NumEdges()));
@@ -139,7 +181,8 @@ int SweepThroughputMain(int argc, char** argv) {
       if (rep == 0 || shared < r.shared_seconds) {
         r.shared_seconds = shared;
         r.score_seconds = stats.score_seconds;
-        r.mask_seconds = stats.mask_seconds;
+        r.subgraph_seconds = stats.subgraph_seconds;
+        r.metric_seconds = stats.metric_seconds;
       }
       r.score_groups = stats.score_groups;
     }
@@ -147,14 +190,74 @@ int SweepThroughputMain(int argc, char** argv) {
         r.shared_seconds > 0 ? r.cold_seconds / r.shared_seconds : 0.0;
     std::printf(
         "%-6s cells=%zu score_groups=%zu cold=%.3fs shared=%.3fs "
-        "(score %.3fs + mask %.3fs) speedup=%.2fx %.1f cells/s\n",
+        "(score %.3fs + subgraph %.3fs + metric %.3fs) speedup=%.2fx "
+        "%.1f cells/s\n",
         algo.c_str(), r.cells, r.score_groups, r.cold_seconds,
-        r.shared_seconds, r.score_seconds, r.mask_seconds, speedup,
+        r.shared_seconds, r.score_seconds, r.subgraph_seconds,
+        r.metric_seconds, speedup,
         r.shared_seconds > 0 ? static_cast<double>(r.cells) /
                                    r.shared_seconds
                              : 0.0);
     results.push_back(std::move(r));
   }
+
+  // Section 2 — metric axis: the full selected-algo grid, every metric.
+  BatchSpec multi_spec;
+  multi_spec.sparsifiers = opt.algos;
+  multi_spec.runs = opt.runs;
+  multi_spec.master_seed = opt.seed;
+  std::vector<BatchTask> multi_tasks = BatchRunner::ExpandGrid(multi_spec);
+  std::vector<BatchMetric> named_metrics;
+  for (const std::string& name : opt.metrics) {
+    named_metrics.push_back(BatchMetric{name, cli::FindMetric(name)});
+  }
+
+  MultiMetricResult mm;
+  mm.cells = multi_tasks.size();
+  runner.set_share_scores(true);
+  for (int rep = 0; rep < opt.repeat; ++rep) {
+    // Baseline: per-metric re-sparsification — each metric runs its own
+    // engine pass, re-scoring and re-materializing every subgraph (the
+    // pre-multi-metric sweep loop). Scoring is still shared along the
+    // rate axis, so this baseline is the post-PR-3 state of the art.
+    Timer per_metric_timer;
+    for (const BatchMetric& m : named_metrics) {
+      runner.RunTasksMulti(d.graph, dataset_key, multi_tasks, opt.seed, {m});
+    }
+    double per_metric = per_metric_timer.Seconds();
+
+    // Shared: one pass, each subgraph materialized once, metrics fanned
+    // out over it.
+    BatchRunStats stats;
+    Timer shared_timer;
+    runner.RunTasksMulti(d.graph, dataset_key, multi_tasks, opt.seed,
+                         named_metrics, nullptr, &stats);
+    double shared = shared_timer.Seconds();
+
+    if (rep == 0 || per_metric < mm.per_metric_seconds) {
+      mm.per_metric_seconds = per_metric;
+    }
+    if (rep == 0 || shared < mm.shared_seconds) {
+      mm.shared_seconds = shared;
+      mm.subgraph_seconds = stats.subgraph_seconds;
+      mm.metric_seconds = stats.metric_seconds;
+    }
+    mm.metric_units = stats.metric_units;
+    mm.subgraph_builds = stats.subgraph_builds;
+    mm.score_groups = stats.score_groups;
+  }
+  double mm_speedup =
+      mm.shared_seconds > 0 ? mm.per_metric_seconds / mm.shared_seconds : 0.0;
+  std::printf(
+      "multi  cells=%zu metrics=%zu units=%zu subgraph_builds=%zu "
+      "per-metric=%.3fs shared=%.3fs (subgraph %.3fs + metric %.3fs) "
+      "speedup=%.2fx %.1f units/s\n",
+      mm.cells, opt.metrics.size(), mm.metric_units, mm.subgraph_builds,
+      mm.per_metric_seconds, mm.shared_seconds, mm.subgraph_seconds,
+      mm.metric_seconds, mm_speedup,
+      mm.shared_seconds > 0
+          ? static_cast<double>(mm.metric_units) / mm.shared_seconds
+          : 0.0);
 
   std::ostringstream json;
   json << "{\n";
@@ -180,7 +283,8 @@ int SweepThroughputMain(int argc, char** argv) {
          << ", \"cold_seconds\": " << Json(r.cold_seconds)
          << ", \"shared_seconds\": " << Json(r.shared_seconds)
          << ", \"score_seconds\": " << Json(r.score_seconds)
-         << ", \"mask_seconds\": " << Json(r.mask_seconds)
+         << ", \"subgraph_seconds\": " << Json(r.subgraph_seconds)
+         << ", \"metric_seconds\": " << Json(r.metric_seconds)
          << ", \"speedup\": "
          << Json(r.shared_seconds > 0 ? r.cold_seconds / r.shared_seconds
                                       : 0.0)
@@ -195,7 +299,22 @@ int SweepThroughputMain(int argc, char** argv) {
        << ", \"cold_seconds\": " << Json(total_cold)
        << ", \"shared_seconds\": " << Json(total_shared)
        << ", \"speedup\": "
-       << Json(total_shared > 0 ? total_cold / total_shared : 0.0) << "}\n";
+       << Json(total_shared > 0 ? total_cold / total_shared : 0.0) << "},\n";
+  json << "  \"multi_metric\": {\"metrics\": "
+       << JsonStringList(opt.metrics) << ", \"cells\": " << mm.cells
+       << ", \"cells_times_metrics\": " << mm.metric_units
+       << ", \"subgraph_builds\": " << mm.subgraph_builds
+       << ", \"score_groups\": " << mm.score_groups
+       << ", \"per_metric_seconds\": " << Json(mm.per_metric_seconds)
+       << ", \"shared_seconds\": " << Json(mm.shared_seconds)
+       << ", \"subgraph_seconds\": " << Json(mm.subgraph_seconds)
+       << ", \"metric_seconds\": " << Json(mm.metric_seconds)
+       << ", \"speedup\": " << Json(mm_speedup)
+       << ", \"units_per_second_shared\": "
+       << Json(mm.shared_seconds > 0
+                   ? static_cast<double>(mm.metric_units) / mm.shared_seconds
+                   : 0.0)
+       << "}\n";
   json << "}\n";
 
   std::ofstream out(opt.out, std::ios::trunc);

@@ -7,109 +7,170 @@
 #include "src/metrics/clustering.h"
 #include "src/metrics/components.h"
 #include "src/metrics/distance.h"
+#include "src/metrics/kcore.h"
 #include "src/metrics/louvain.h"
 #include "src/metrics/maxflow.h"
 
 namespace sparsify::cli {
+namespace {
 
-const std::map<std::string, MetricFn>& NamedMetrics() {
-  static const std::map<std::string, MetricFn> registry = {
+NamedMetric Deterministic(MetricFn fn, std::string description) {
+  return NamedMetric{std::move(fn), std::move(description), /*sampled=*/false};
+}
+
+NamedMetric Sampled(MetricFn fn, std::string description) {
+  return NamedMetric{std::move(fn), std::move(description), /*sampled=*/true};
+}
+
+}  // namespace
+
+const std::map<std::string, NamedMetric>& NamedMetrics() {
+  static const std::map<std::string, NamedMetric> registry = {
       // Connectivity damage (paper fig 1).
       {"connectivity",
-       [](const Graph&, const Graph& h, Rng&) {
-         return UnreachableRatio(h);
-       }},
+       Deterministic(
+           [](const Graph&, const Graph& h, Rng&) {
+             return UnreachableRatio(h);
+           },
+           "pair unreachable ratio of the sparsified graph (fig 1a)")},
       {"isolated",
-       [](const Graph&, const Graph& h, Rng&) { return IsolatedRatio(h); }},
+       Deterministic(
+           [](const Graph&, const Graph& h, Rng&) { return IsolatedRatio(h); },
+           "isolated-vertex ratio of the sparsified graph (fig 1b)")},
       // Degree-distribution Bhattacharyya distance (fig 2).
       {"degree",
-       [](const Graph& g, const Graph& h, Rng&) {
-         return DegreeDistributionDistance(g, h);
-       }},
+       Deterministic(
+           [](const Graph& g, const Graph& h, Rng&) {
+             return DegreeDistributionDistance(g, h);
+           },
+           "degree-distribution Bhattacharyya distance vs original (fig 2)")},
       // Laplacian quadratic-form similarity, 50 probe vectors (fig 3).
       {"quadratic",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         return QuadraticFormSimilarity(g, h, 50, rng);
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             return QuadraticFormSimilarity(g, h, 50, rng);
+           },
+           "Laplacian quadratic-form similarity, 50 probe vectors (fig 3)")},
       // SPSP stretch over 2000 sampled pairs (fig 4a).
       {"spsp",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         return SpspStretch(g, h, 2000, rng).mean_stretch;
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             return SpspStretch(g, h, 2000, rng).mean_stretch;
+           },
+           "mean SPSP stretch over 2000 sampled pairs (fig 4a)")},
       {"spsp_unreachable",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         return SpspStretch(g, h, 2000, rng).unreachable;
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             return SpspStretch(g, h, 2000, rng).unreachable;
+           },
+           "fraction of sampled SPSP pairs made unreachable (fig 4a)")},
       // Eccentricity stretch over 50 sampled vertices (fig 4b).
       {"eccentricity",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         return EccentricityStretch(g, h, 50, rng).mean_stretch;
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             return EccentricityStretch(g, h, 50, rng).mean_stretch;
+           },
+           "mean eccentricity stretch over 50 sampled vertices (fig 4b)")},
       // 4-sweep approximate diameter of the sparsified graph (fig 4c).
       {"diameter",
-       [](const Graph&, const Graph& h, Rng& rng) {
-         return ApproxDiameter(h, 4, rng);
-       }},
+       Sampled(
+           [](const Graph&, const Graph& h, Rng& rng) {
+             return ApproxDiameter(h, 4, rng);
+           },
+           "4-sweep approximate diameter of the sparsified graph (fig 4c)")},
       // Centrality top-100 precisions (figs 5-7, 11). The reference is
       // recomputed on `original` per cell; the figure registry precomputes
       // it instead where the paper's protocol allows.
       {"betweenness",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         Rng ref_rng = rng.Fork();
-         auto ref = ApproxBetweennessCentrality(g, 300, ref_rng);
-         return TopKPrecision(ref, ApproxBetweennessCentrality(h, 300, rng),
-                              100);
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             Rng ref_rng = rng.Fork();
+             auto ref = ApproxBetweennessCentrality(g, 300, ref_rng);
+             return TopKPrecision(ref,
+                                  ApproxBetweennessCentrality(h, 300, rng),
+                                  100);
+           },
+           "top-100 betweenness precision, 300 sampled pivots (fig 5a)")},
       {"closeness",
-       [](const Graph& g, const Graph& h, Rng&) {
-         return TopKPrecision(ClosenessCentrality(g), ClosenessCentrality(h),
-                              100);
-       }},
+       Deterministic(
+           [](const Graph& g, const Graph& h, Rng&) {
+             return TopKPrecision(ClosenessCentrality(g),
+                                  ClosenessCentrality(h), 100);
+           },
+           "top-100 closeness-centrality precision (fig 5b)")},
       {"eigenvector",
-       [](const Graph& g, const Graph& h, Rng&) {
-         return TopKPrecision(EigenvectorCentrality(g),
-                              EigenvectorCentrality(h), 100);
-       }},
+       Deterministic(
+           [](const Graph& g, const Graph& h, Rng&) {
+             return TopKPrecision(EigenvectorCentrality(g),
+                                  EigenvectorCentrality(h), 100);
+           },
+           "top-100 eigenvector-centrality precision (fig 6)")},
       {"katz",
-       [](const Graph& g, const Graph& h, Rng&) {
-         return TopKPrecision(KatzCentrality(g), KatzCentrality(h), 100);
-       }},
+       Deterministic(
+           [](const Graph& g, const Graph& h, Rng&) {
+             return TopKPrecision(KatzCentrality(g), KatzCentrality(h), 100);
+           },
+           "top-100 Katz-centrality precision (fig 7)")},
       {"pagerank",
-       [](const Graph& g, const Graph& h, Rng&) {
-         return TopKPrecision(PageRank(g), PageRank(h), 100);
-       }},
+       Deterministic(
+           [](const Graph& g, const Graph& h, Rng&) {
+             return TopKPrecision(PageRank(g), PageRank(h), 100);
+           },
+           "top-100 PageRank precision (fig 11)")},
       // Community structure (figs 8, 10).
       {"communities",
-       [](const Graph&, const Graph& h, Rng& rng) {
-         return static_cast<double>(LouvainCommunities(h, rng).num_clusters);
-       }},
+       Sampled(
+           [](const Graph&, const Graph& h, Rng& rng) {
+             return static_cast<double>(
+                 LouvainCommunities(h, rng).num_clusters);
+           },
+           "Louvain community count, randomized visit order (fig 8)")},
       {"f1",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         Rng ref_rng = rng.Fork();
-         Clustering ref = LouvainCommunities(g, ref_rng);
-         return ClusteringF1(LouvainCommunities(h, rng).label, ref.label);
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             Rng ref_rng = rng.Fork();
+             Clustering ref = LouvainCommunities(g, ref_rng);
+             return ClusteringF1(LouvainCommunities(h, rng).label, ref.label);
+           },
+           "Louvain clustering F1 vs full-graph reference (fig 10)")},
+      // Structural robustness (extension — kcore.h was written for the
+      // registry; linear-time bucket peeling, so it is also the
+      // representative "cheap structural metric" of the multi-metric
+      // throughput bench).
+      {"kcore",
+       Deterministic(
+           [](const Graph&, const Graph& h, Rng&) {
+             return static_cast<double>(Degeneracy(h));
+           },
+           "degeneracy (largest k-core) of the sparsified graph "
+           "[extension]")},
       // Clustering coefficients (fig 9).
       {"mcc",
-       [](const Graph&, const Graph& h, Rng&) {
-         return MeanClusteringCoefficient(h);
-       }},
+       Deterministic(
+           [](const Graph&, const Graph& h, Rng&) {
+             return MeanClusteringCoefficient(h);
+           },
+           "mean local clustering coefficient (fig 9a)")},
       {"gcc",
-       [](const Graph&, const Graph& h, Rng&) {
-         return GlobalClusteringCoefficient(h);
-       }},
+       Deterministic(
+           [](const Graph&, const Graph& h, Rng&) {
+             return GlobalClusteringCoefficient(h);
+           },
+           "global clustering coefficient (fig 9b)")},
       // Min-cut/max-flow stretch over 50 sampled pairs (fig 12).
       {"maxflow",
-       [](const Graph& g, const Graph& h, Rng& rng) {
-         return MaxFlowStretch(g, h, 50, rng).mean_ratio;
-       }},
+       Sampled(
+           [](const Graph& g, const Graph& h, Rng& rng) {
+             return MaxFlowStretch(g, h, 50, rng).mean_ratio;
+           },
+           "mean max-flow stretch over 50 sampled s-t pairs (fig 12)")},
   };
   return registry;
 }
 
 std::vector<std::string> MetricNames() {
   std::vector<std::string> names;
-  for (const auto& [name, fn] : NamedMetrics()) names.push_back(name);
+  for (const auto& [name, metric] : NamedMetrics()) names.push_back(name);
   return names;
 }
 
@@ -117,13 +178,13 @@ const MetricFn& FindMetric(const std::string& name) {
   auto it = NamedMetrics().find(name);
   if (it == NamedMetrics().end()) {
     std::string known;
-    for (const auto& [n, fn] : NamedMetrics()) {
+    for (const auto& [n, metric] : NamedMetrics()) {
       known += known.empty() ? n : ", " + n;
     }
     throw std::invalid_argument("unknown metric '" + name + "' (known: " +
                                 known + ")");
   }
-  return it->second;
+  return it->second.fn;
 }
 
 }  // namespace sparsify::cli

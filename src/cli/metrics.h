@@ -1,6 +1,8 @@
 // Named metric registry shared by the CLI driver, the bench figure specs,
 // and any store-backed sweep: a stable metric NAME is what a CellKey
-// records, so every consumer must agree on what that name computes.
+// records AND what seeds the (cell, metric) RNG stream
+// (BatchRunner::MetricSeed), so every consumer must agree on what that
+// name computes.
 //
 // Sample counts are fixed canonical values (documented per metric in the
 // .cc); changing one changes numeric output and therefore requires a
@@ -16,8 +18,19 @@
 
 namespace sparsify::cli {
 
+/// One registered metric: the computation plus the metadata the `metrics`
+/// subcommand lists.
+struct NamedMetric {
+  MetricFn fn;
+  std::string description;  // one line, paper-figure reference included
+  // True when the metric consumes its per-cell RNG stream (sampled pairs,
+  // pivots, or visit orders); deterministic metrics ignore the stream and
+  // are numerically identical across pipeline RNG revisions.
+  bool sampled = false;
+};
+
 /// All named metrics, keyed by registry name.
-const std::map<std::string, MetricFn>& NamedMetrics();
+const std::map<std::string, NamedMetric>& NamedMetrics();
 
 /// Names only, registry order (alphabetical — std::map iteration).
 std::vector<std::string> MetricNames();

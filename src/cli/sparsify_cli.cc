@@ -1,5 +1,6 @@
 #include "src/cli/sparsify_cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -91,7 +92,7 @@ struct Args {
 // (`figure --resume 1a` would otherwise silently swallow the figure id).
 const std::set<std::string>& BooleanKeys() {
   static const std::set<std::string> keys = {"csv", "resume", "directed",
-                                             "weighted"};
+                                             "weighted", "paper"};
   return keys;
 }
 
@@ -157,32 +158,89 @@ std::vector<double> SplitCsvDoubles(const std::string& s) {
   return parts;
 }
 
+// `--scale` value: a default scale and/or per-dataset overrides, e.g.
+// "0.5", "web-Google=0.2", or "0.5,web-Google=0.2,ego-Twitter=0.1". The
+// paper's datasets span orders of magnitude, so one global scale either
+// starves the small graphs or drowns in the big ones — the `--paper`
+// preset relies on the overrides.
+struct ScaleSpec {
+  double default_scale = 0.5;
+  std::map<std::string, double> overrides;  // dataset name -> scale
+};
+
+ScaleSpec ParseScaleSpec(const std::string& value) {
+  ScaleSpec spec;
+  bool have_default = false;
+  for (const std::string& part : SplitCsv(value)) {
+    auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      if (have_default) {
+        throw std::invalid_argument("--scale lists more than one default "
+                                    "scale: '" + value + "'");
+      }
+      spec.default_scale = ParseDoubleValue("scale", part);
+      have_default = true;
+    } else {
+      std::string name = part.substr(0, eq);
+      if (name.empty()) {
+        throw std::invalid_argument("--scale override missing a dataset "
+                                    "name: '" + part + "'");
+      }
+      spec.overrides[name] = ParseDoubleValue("scale", part.substr(eq + 1));
+    }
+  }
+  return spec;
+}
+
 int Usage() {
   std::cout
       << "usage: sparsify_cli <command> [--key=value ...]\n"
          "\n"
          "  list                       sparsifiers, datasets, metrics, "
          "figures\n"
+         "  metrics                    metric registry with descriptions\n"
          "  sparsify   --algo=LD --rate=0.5 --input=g.txt --output=h.txt\n"
          "             [--directed] [--weighted] [--seed=42]\n"
          "  evaluate   --metric=pagerank --input=g.txt --sparsified=h.txt\n"
          "             [--directed] [--weighted] [--seed=42]\n"
-         "  sweep      --dataset=ca-AstroPh[,..] --metric=connectivity[,..]\n"
-         "             [--algos=RN,LD,..] [--rates=0.1,..] [--runs=3]\n"
-         "             [--scale=0.5] [--seed=42] [--threads=0] [--csv]\n"
-         "             [--store=DIR] [--resume]\n"
+         "  sweep      --dataset=ca-AstroPh[,..] --metrics=connectivity[,..]"
+         "|all\n"
+         "             [--paper] [--algos=RN,LD,..] [--rates=0.1,..]\n"
+         "             [--runs=3] [--scale=0.5[,web-Google=0.2,..]]\n"
+         "             [--seed=42] [--threads=0] [--csv] [--store=DIR]\n"
+         "             [--resume]\n"
          "  export     --store=DIR [--format=csv|table] [--dataset=..]\n"
          "             [--metric=..]\n"
          "  ls         --store=DIR\n"
          "  figure     <id ...> [--scale=f] [--runs=3] [--threads=0]\n"
          "             [--seed=42] [--csv] [--store=DIR] [--resume]\n"
          "\n"
-         "A sweep with --store appends every completed cell to\n"
-         "DIR/results.jsonl (one flushed JSONL record per cell); with\n"
+         "A multi-metric sweep sparsifies each (sparsifier, rate, run)\n"
+         "cell ONCE and evaluates every listed metric on that subgraph.\n"
+         "--paper presets the paper's full protocol (all datasets, all\n"
+         "metrics, runs=10); explicit flags override it, and --scale\n"
+         "accepts per-dataset overrides (--scale=0.5,web-Google=0.2).\n"
+         "A sweep with --store appends every completed (cell, metric)\n"
+         "unit to DIR/results.jsonl (one flushed JSONL record each); with\n"
          "--resume it first replays the store and schedules only the\n"
-         "missing cells, reproducing the uninterrupted output\n"
+         "missing units — resuming with MORE metrics schedules only the\n"
+         "new metrics' cells — reproducing the uninterrupted output\n"
          "bit-identically. Run `sparsify_cli list` for names.\n";
   return 1;
+}
+
+int CmdMetrics() {
+  std::cout << "Metrics (sparsify_cli sweep --metrics=a,b,.. or "
+               "--metrics=all):\n";
+  for (const auto& [name, metric] : NamedMetrics()) {
+    std::printf("  %-18s %-13s %s\n", name.c_str(),
+                metric.sampled ? "sampled" : "deterministic",
+                metric.description.c_str());
+  }
+  std::cout << "\nsampled = consumes the per-cell metric RNG stream "
+               "(MetricSeed);\ndeterministic = rng-free, unchanged across "
+               "RNG revisions.\n";
+  return 0;
 }
 
 int CmdList() {
@@ -195,7 +253,7 @@ int CmdList() {
   for (const std::string& name : DatasetNames()) {
     std::cout << "  " << name << "\n";
   }
-  std::cout << "\nMetrics:\n";
+  std::cout << "\nMetrics (details: sparsify_cli metrics):\n";
   for (const std::string& name : MetricNames()) {
     std::cout << "  " << name << "\n";
   }
@@ -248,14 +306,51 @@ int CmdEvaluate(const Args& args) {
 }
 
 int CmdSweep(const Args& args) {
-  if (!args.Has("dataset") || !args.Has("metric")) {
-    std::cerr << "sweep requires --dataset and --metric (comma-separated "
+  bool paper = args.Has("paper");
+  if (args.Has("metric") && args.Has("metrics")) {
+    std::cerr << "sweep takes either --metric or --metrics, not both\n";
+    return 1;
+  }
+
+  // --paper presets the paper's full protocol; explicit flags override it.
+  std::vector<std::string> datasets;
+  if (args.Has("dataset")) {
+    datasets = SplitCsv(args.Get("dataset"));
+  } else if (paper) {
+    datasets = DatasetNames();
+  } else {
+    std::cerr << "sweep requires --dataset (or --paper; comma-separated "
                  "lists accepted)\n";
     return 1;
   }
-  std::vector<std::string> datasets = SplitCsv(args.Get("dataset"));
-  std::vector<std::string> metrics = SplitCsv(args.Get("metric"));
-  double scale = args.GetDouble("scale", 0.5);
+  std::string metric_arg =
+      args.Has("metrics") ? args.Get("metrics") : args.Get("metric");
+  std::vector<std::string> metric_names;
+  if (metric_arg == "all" || (metric_arg.empty() && paper)) {
+    metric_names = MetricNames();
+  } else if (!metric_arg.empty()) {
+    metric_names = SplitCsv(metric_arg);
+  } else {
+    std::cerr << "sweep requires --metrics (or --paper; comma-separated "
+                 "lists accepted, or --metrics=all)\n";
+    return 1;
+  }
+  // Resolve every metric up front: an unknown name aborts with the
+  // registry listed before any work is scheduled.
+  std::vector<SweepMetric> metrics;
+  for (const std::string& name : metric_names) {
+    metrics.push_back(SweepMetric{name, FindMetric(name)});
+  }
+
+  ScaleSpec scales = ParseScaleSpec(args.Get("scale", "0.5"));
+  for (const auto& [name, scale] : scales.overrides) {
+    if (std::find(datasets.begin(), datasets.end(), name) ==
+        datasets.end()) {
+      std::cerr << "error: --scale override for '" << name
+                << "', which is not in this sweep's dataset list\n";
+      return 1;
+    }
+  }
   bool csv = args.Has("csv");
   bool resume = args.Has("resume");
 
@@ -264,7 +359,7 @@ int CmdSweep(const Args& args) {
   if (args.Has("rates")) {
     config.prune_rates = SplitCsvDoubles(args.Get("rates"));
   }
-  config.runs_nondeterministic = args.GetInt("runs", 3);
+  config.runs_nondeterministic = args.GetInt("runs", paper ? 10 : 3);
   config.seed = args.GetUint64("seed", 42);
 
   BatchRunner runner(args.GetInt("threads", 0));
@@ -274,37 +369,51 @@ int CmdSweep(const Args& args) {
         ResultStore::PathInDir(args.Get("store")));
   }
 
+  std::string joined_metrics;
+  for (const SweepMetric& m : metrics) {
+    joined_metrics += joined_metrics.empty() ? m.name : "," + m.name;
+  }
+
   for (const std::string& dataset_name : datasets) {
+    auto override_it = scales.overrides.find(dataset_name);
+    double scale = override_it != scales.overrides.end()
+                       ? override_it->second
+                       : scales.default_scale;
     Dataset d = LoadDatasetScaled(dataset_name, scale);
     std::string dataset_key = DatasetCellName(dataset_name, scale);
-    for (const std::string& metric_name : metrics) {
-      const MetricFn& metric = FindMetric(metric_name);
-      ResumableSweep sweep(runner, store.get());
-      sweep.set_reuse_cached(resume);
-      ResumableSweepStats stats;
-      Timer sweep_timer;
-      std::vector<SweepSeries> series = sweep.Run(
-          d.graph, dataset_key, metric_name, config, metric, &stats);
-      double seconds = sweep_timer.Seconds();
-      // Wall clock and throughput in the banner make resumed-vs-cold
-      // speedups visible without a profiler. Formatted into a buffer so
-      // the stream's float formatting state stays untouched.
-      char timing[64];
-      std::snprintf(timing, sizeof(timing), "%.1fs, %.1f cells/s", seconds,
-                    seconds > 0 ? static_cast<double>(stats.total_cells) /
-                                      seconds
-                                : 0.0);
-      std::cout << "# sweep " << dataset_key << " " << metric_name
-                << ": total=" << stats.total_cells
-                << " cached=" << stats.cached_cells
-                << " submitted=" << stats.submitted_cells
-                << " score_groups=" << stats.score_groups << ", " << timing
-                << "\n";
-      std::string title = metric_name + " on " + dataset_key;
+    // One multi-metric sweep per dataset: each (sparsifier, rate, run)
+    // cell is sparsified once and every missing metric evaluates on that
+    // one subgraph.
+    ResumableSweep sweep(runner, store.get());
+    sweep.set_reuse_cached(resume);
+    ResumableSweepStats stats;
+    Timer sweep_timer;
+    std::vector<MetricSweepSeries> per_metric =
+        sweep.RunMulti(d.graph, dataset_key, metrics, config, &stats);
+    double seconds = sweep_timer.Seconds();
+    // Wall clock, throughput, and the subgraph/metric time split in the
+    // banner make resumed-vs-cold and shared-vs-rebuilt speedups visible
+    // without a profiler. Formatted into a buffer so the stream's float
+    // formatting state stays untouched.
+    char timing[96];
+    std::snprintf(
+        timing, sizeof(timing),
+        "%.1fs, %.1f units/s (subgraph %.1fs, metric %.1fs)", seconds,
+        seconds > 0 ? static_cast<double>(stats.total_cells) / seconds : 0.0,
+        stats.subgraph_seconds, stats.metric_seconds);
+    std::cout << "# sweep " << dataset_key << " metrics=" << joined_metrics
+              << ": total=" << stats.total_cells
+              << " cached=" << stats.cached_cells
+              << " submitted=" << stats.submitted_cells
+              << " subgraph_builds=" << stats.subgraph_builds
+              << " score_groups=" << stats.score_groups << ", " << timing
+              << "\n";
+    for (const MetricSweepSeries& m : per_metric) {
+      std::string title = m.metric + " on " + dataset_key;
       if (csv) {
-        PrintSeriesCsv(std::cout, title, series);
+        PrintSeriesCsv(std::cout, title, m.series);
       } else {
-        PrintSeriesTable(std::cout, title, metric_name, series);
+        PrintSeriesTable(std::cout, title, m.metric, m.series);
       }
     }
   }
@@ -357,13 +466,14 @@ int CmdFigure(const Args& args) {
 const std::map<std::string, std::set<std::string>>& AllowedKeys() {
   static const std::map<std::string, std::set<std::string>> allowed = {
       {"list", {}},
+      {"metrics", {}},
       {"sparsify",
        {"algo", "rate", "input", "output", "directed", "weighted", "seed"}},
       {"evaluate",
        {"metric", "input", "sparsified", "directed", "weighted", "seed"}},
       {"sweep",
-       {"dataset", "metric", "algos", "rates", "runs", "scale", "seed",
-        "threads", "csv", "store", "resume"}},
+       {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
+        "scale", "seed", "threads", "csv", "store", "resume"}},
       {"export", {"store", "format", "dataset", "metric"}},
       {"ls", {"store"}},
       {"figure",
@@ -394,6 +504,7 @@ int RunSparsifyCli(int argc, char** argv) {
   }
   try {
     if (cmd == "list") return CmdList();
+    if (cmd == "metrics") return CmdMetrics();
     if (cmd == "sparsify") return CmdSparsify(args);
     if (cmd == "evaluate") return CmdEvaluate(args);
     if (cmd == "sweep") return CmdSweep(args);

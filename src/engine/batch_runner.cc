@@ -1,8 +1,11 @@
 #include "src/engine/batch_runner.h"
 
 #include <atomic>
+#include <cstring>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -65,6 +68,39 @@ uint64_t BatchRunner::GroupSeed(uint64_t master_seed,
   return SplitMix(master_seed ^ SplitMix(h));
 }
 
+uint64_t BatchRunner::MetricSeed(uint64_t master_seed,
+                                 const std::string& dataset,
+                                 const std::string& sparsifier,
+                                 double prune_rate, int run,
+                                 const std::string& metric) {
+  // FNV-1a over every identity component. Each string is closed with a
+  // fold of its LENGTH — a boundary no byte content can forge, so
+  // ("ab", "c") never collides with ("a", "bc") even for names holding
+  // arbitrary bytes; the rate enters via its IEEE-754 bits (grid rates
+  // are exact values, so bitwise identity is the right equality). Like
+  // GroupSeed, this is intentionally independent of grid shape, of the
+  // submitted subset, and of the metric-set composition.
+  uint64_t h = 1469598103934665603ULL;
+  auto fold_string = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= s.size() + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+  };
+  fold_string(dataset);
+  fold_string(sparsifier);
+  fold_string(metric);
+  uint64_t rate_bits = 0;
+  static_assert(sizeof(rate_bits) == sizeof(prune_rate));
+  std::memcpy(&rate_bits, &prune_rate, sizeof(rate_bits));
+  h ^= SplitMix(rate_bits);
+  h *= 1099511628211ULL;
+  h += (static_cast<uint64_t>(run) + 1) * 0x9e3779b97f4a7c15ULL;
+  return SplitMix(master_seed ^ SplitMix(h));
+}
+
 std::vector<BatchTask> BatchRunner::ExpandGrid(const BatchSpec& spec) {
   std::vector<std::string> names =
       spec.sparsifiers.empty() ? SparsifierNames() : spec.sparsifiers;
@@ -99,6 +135,43 @@ std::vector<BatchResult> BatchRunner::RunTasks(
     const Graph& g, const std::vector<BatchTask>& tasks, uint64_t master_seed,
     const BatchMetricFn& metric, const ResultCallback& on_result,
     BatchRunStats* stats) const {
+  // Thin wrapper over the multi-metric path: one anonymous metric, every
+  // task evaluating it (per-task subsets are a multi-metric concept).
+  std::vector<BatchTask> plain = tasks;
+  for (BatchTask& task : plain) task.metrics.clear();
+  std::vector<BatchMetric> metrics;
+  metrics.push_back(BatchMetric{std::string(), metric});
+  MetricResultCallback on_unit = nullptr;
+  if (on_result) {
+    on_unit = [&on_result](const BatchTask& task, double achieved, uint32_t,
+                           double value) {
+      BatchResult r;
+      r.task = task;
+      r.achieved_prune_rate = achieved;
+      r.value = value;
+      on_result(r);
+    };
+  }
+  std::vector<BatchMultiResult> multi =
+      RunTasksMulti(g, std::string(), plain, master_seed, metrics, on_unit,
+                    stats);
+  std::vector<BatchResult> results(multi.size());
+  for (size_t i = 0; i < multi.size(); ++i) {
+    results[i].task = std::move(multi[i].task);
+    results[i].achieved_prune_rate = multi[i].achieved_prune_rate;
+    results[i].value = multi[i].values[0].value;
+  }
+  return results;
+}
+
+std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
+    const Graph& g, const std::string& dataset,
+    const std::vector<BatchTask>& tasks, uint64_t master_seed,
+    const std::vector<BatchMetric>& metrics,
+    const MetricResultCallback& on_result, BatchRunStats* stats) const {
+  if (metrics.empty()) {
+    throw std::invalid_argument("RunTasksMulti: metric list is empty");
+  }
   std::lock_guard<std::mutex> run_lock(impl_->run_mu);
 
   // Symmetrize once if any selected sparsifier will need it; the copy is
@@ -120,34 +193,120 @@ std::vector<BatchResult> BatchRunner::RunTasks(
     }
   }
 
-  std::vector<BatchResult> results(tasks.size());
+  // Resolve each task's metric-id list (empty = every metric) and size the
+  // result slots so metric units can write them without synchronization.
+  std::vector<uint32_t> all_ids(metrics.size());
+  for (uint32_t m = 0; m < metrics.size(); ++m) all_ids[m] = m;
+  std::vector<const std::vector<uint32_t>*> ids_of(tasks.size());
+  size_t metric_units = 0;
+  std::vector<BatchMultiResult> results(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const std::vector<uint32_t>& ids =
+        tasks[i].metrics.empty() ? all_ids : tasks[i].metrics;
+    for (uint32_t m : ids) {
+      if (m >= metrics.size()) {
+        throw std::invalid_argument(
+            "RunTasksMulti: task names out-of-range metric id");
+      }
+    }
+    ids_of[i] = &ids;
+    metric_units += ids.size();
+    results[i].task = tasks[i];
+    results[i].values.resize(ids.size());
+  }
+
+  // Per-cell shared state for the metric fan-out: the materialized
+  // subgraph, freed by the cell's last metric unit.
+  std::vector<std::optional<Graph>> cell_graph(tasks.size());
+  std::vector<std::atomic<size_t>> units_left(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    units_left[i].store(ids_of[i]->size(), std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> failed{false};
+  std::mutex stats_mu;
+  double score_seconds = 0.0, subgraph_seconds = 0.0, metric_seconds = 0.0;
+
+  // Fans cell i's metrics out as independent evaluation units. Called from
+  // the task that materialized the cell's subgraph; SubmitUrgent puts the
+  // units ahead of every queued subgraph build and scoring task, so the
+  // subgraph is consumed and freed before more subgraphs pile up.
+  auto submit_metric_units = [&](size_t i) {
+    for (size_t slot = 0; slot < ids_of[i]->size(); ++slot) {
+      impl_->pool.SubmitUrgent([&, i, slot] {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const BatchTask& task = results[i].task;
+        uint32_t m = (*ids_of[i])[slot];
+        Timer unit_timer;
+        try {
+          Rng metric_rng(MetricSeed(master_seed, dataset, task.sparsifier,
+                                    task.prune_rate, task.run,
+                                    metrics[m].name));
+          // Expose the pool for the metric's own BFS-batch fan-out.
+          SubtaskPoolScope subtasks(&impl_->pool);
+          double value = metrics[m].fn(*input_for.at(task.sparsifier),
+                                       *cell_graph[i], metric_rng);
+          results[i].values[slot] = BatchMetricValue{m, value};
+          if (on_result) {
+            on_result(task, results[i].achieved_prune_rate, m, value);
+          }
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // recorded as the pool's first error, rethrown by Wait
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          metric_seconds += unit_timer.Seconds();
+        }
+        if (units_left[i].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          cell_graph[i].reset();  // last metric frees the subgraph
+        }
+      });
+    }
+  };
 
   if (!impl_->share_scores) {
-    // Legacy per-cell execution: every cell rescoring from scratch with
+    // Legacy per-cell scoring: every cell re-sparsifies from scratch with
     // its own (master_seed, index)-derived stream. Kept as the throughput
-    // benchmark's baseline.
-    ParallelFor(impl_->pool, tasks.size(), [&](size_t i) {
-      const BatchTask& task = tasks[i];
-      const Graph& input = *input_for.at(task.sparsifier);
-      Rng task_rng(TaskSeed(master_seed, task.index));
-      Rng sparsify_rng = task_rng.Fork();
-      Rng metric_rng = task_rng.Fork();
-      std::unique_ptr<Sparsifier> sparsifier =
-          CreateSparsifier(task.sparsifier);
-      Graph sparsified =
-          sparsifier->Sparsify(input, task.prune_rate, sparsify_rng);
-      BatchResult& r = results[i];
-      r.task = task;
-      r.achieved_prune_rate = Sparsifier::AchievedPruneRate(input, sparsified);
-      r.value = metric(input, sparsified, metric_rng);
-      if (on_result) on_result(r);
-    });
+    // benchmark's baseline and for A/B debugging; the metric fan-out (and
+    // its MetricSeed streams) is identical to the shared path, so
+    // deterministic sparsifiers stay bit-identical across modes.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      impl_->pool.Submit([&, i] {
+        if (failed.load(std::memory_order_relaxed)) return;
+        Timer build_timer;
+        try {
+          const BatchTask& task = results[i].task;
+          const Graph& input = *input_for.at(task.sparsifier);
+          Rng task_rng(TaskSeed(master_seed, task.index));
+          Rng sparsify_rng = task_rng.Fork();
+          std::unique_ptr<Sparsifier> sparsifier =
+              CreateSparsifier(task.sparsifier);
+          Graph sparsified =
+              sparsifier->Sparsify(input, task.prune_rate, sparsify_rng);
+          results[i].achieved_prune_rate =
+              Sparsifier::AchievedPruneRate(input, sparsified);
+          cell_graph[i].emplace(std::move(sparsified));
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          subgraph_seconds += build_timer.Seconds();
+        }
+        submit_metric_units(i);
+      });
+    }
+    impl_->pool.Wait();
     if (stats != nullptr) {
-      // No phase split exists in this mode: scoring and masking are fused
-      // inside each cell's Sparsify call, so both timings stay zero.
       *stats = BatchRunStats{};
       stats->cells = tasks.size();
-      stats->score_groups = tasks.size();
+      stats->metric_units = metric_units;
+      stats->score_groups = tasks.size();  // every cell rescored
+      stats->subgraph_builds = tasks.size();
+      stats->subgraph_seconds = subgraph_seconds;
+      stats->metric_seconds = metric_seconds;
     }
     return results;
   }
@@ -184,32 +343,31 @@ std::vector<BatchResult> BatchRunner::RunTasks(
     cells_of[group_of[i]].push_back(i);
   }
 
-  // Pipelined execution — no barrier between scoring and masking. Every
+  // Pipelined execution — no barrier between the three stages. Every
   // group's scoring task is queued up front; the moment a group's state is
-  // ready, its cells are pushed to the FRONT of the queue (SubmitUrgent)
-  // so they drain before further groups start scoring. Consequences:
+  // ready, its cells' subgraph builds jump the queue (SubmitUrgent), and
+  // the moment a subgraph lands its metric units jump the queue in turn.
+  // Consequences:
   //   - peak ScoreState residency is bounded by the groups actually in
   //     flight (~thread count), not the whole grid (ER's state alone is
-  //     three |E|-length arrays per run);
+  //     three |E|-length arrays per run), and peak Subgraph residency by
+  //     the cells in flight: the last cell of a group frees the group's
+  //     state, the last metric unit of a cell frees the cell's subgraph;
   //   - cheap groups' cells never stall behind an expensive group's
-  //     scoring (ER's CG solves), and a single-group grid still fans its
-  //     cells across all workers;
-  //   - the last cell of each group frees the group's state.
+  //     scoring (ER's CG solves), a single-group grid still fans its
+  //     cells across all workers, and a single-cell grid still fans its
+  //     metrics (and their BFS-batch subtasks) across all workers.
   // Determinism is untouched by any of this scheduling: group scoring
   // streams derive from (master_seed, sparsifier, run) — deterministic
   // sparsifiers ignore them entirely, keeping their cells bit-identical
-  // to the per-cell path — and each cell's metric stream derives from
-  // (master_seed, cell index) exactly as before (the sparsify fork is
-  // consumed to keep the per-cell stream layout). MaskForRate is const
-  // and re-entrant, so one group's cells can threshold the shared state
-  // concurrently.
+  // to the per-cell path — and each (cell, metric) unit's stream derives
+  // from MetricSeed. MaskForRate is const and re-entrant, so one group's
+  // cells can threshold the shared state concurrently; the subgraph is
+  // immutable once built, so one cell's metrics can read it concurrently.
   std::vector<std::atomic<size_t>> cells_left(groups.size());
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     cells_left[gi].store(cells_of[gi].size(), std::memory_order_relaxed);
   }
-  std::atomic<bool> failed{false};
-  std::mutex stats_mu;
-  double score_seconds = 0.0, mask_seconds = 0.0;
 
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     impl_->pool.Submit([&, gi] {
@@ -231,32 +389,26 @@ std::vector<BatchResult> BatchRunner::RunTasks(
         impl_->pool.SubmitUrgent([&, gi, i] {
           if (failed.load(std::memory_order_relaxed)) return;
           Group& cell_group = groups[gi];
-          Timer cell_timer;
+          Timer build_timer;
           try {
-            const BatchTask& task = tasks[i];
-            Rng task_rng(TaskSeed(master_seed, task.index));
-            Rng sparsify_rng = task_rng.Fork();
-            (void)sparsify_rng;
-            Rng metric_rng = task_rng.Fork();
+            const BatchTask& task = results[i].task;
             RateMask mask = cell_group.instance->MaskForRate(
                 *cell_group.state, task.prune_rate);
             Graph sparsified = Sparsifier::Apply(*cell_group.input, mask);
-            BatchResult& r = results[i];
-            r.task = task;
-            r.achieved_prune_rate =
+            results[i].achieved_prune_rate =
                 Sparsifier::AchievedPruneRate(*cell_group.input, sparsified);
-            r.value = metric(*cell_group.input, sparsified, metric_rng);
-            if (on_result) on_result(r);
+            cell_graph[i].emplace(std::move(sparsified));
           } catch (...) {
             failed.store(true, std::memory_order_relaxed);
             throw;
           }
           {
             std::lock_guard<std::mutex> lock(stats_mu);
-            mask_seconds += cell_timer.Seconds();
+            subgraph_seconds += build_timer.Seconds();
           }
+          submit_metric_units(i);
           if (cells_left[gi].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            cell_group.state.reset();
+            cell_group.state.reset();  // last cell frees the score state
           }
         });
       }
@@ -267,9 +419,12 @@ std::vector<BatchResult> BatchRunner::RunTasks(
   if (stats != nullptr) {
     *stats = BatchRunStats{};
     stats->cells = tasks.size();
+    stats->metric_units = metric_units;
     stats->score_groups = groups.size();
+    stats->subgraph_builds = tasks.size();
     stats->score_seconds = score_seconds;
-    stats->mask_seconds = mask_seconds;
+    stats->subgraph_seconds = subgraph_seconds;
+    stats->metric_seconds = metric_seconds;
   }
   return results;
 }

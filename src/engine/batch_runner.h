@@ -1,15 +1,21 @@
 // Parallel batch-sparsification engine.
 //
 // Expands an {algorithm x prune_rate x run} grid over one shared immutable
-// Graph and evaluates every cell concurrently on a ThreadPool. Scoring is
-// shared along the rate axis: cells are grouped by (sparsifier, run), each
-// group's expensive ScoreState (degree rankings, similarity scores,
-// effective resistances) is computed ONCE on the pool, and the rate cells
-// fan out as near-free MaskForRate tasks. Each cell's metric RNG stream
-// derives purely from (master_seed, cell index) and each group's scoring
-// RNG from (master_seed, sparsifier, run), so the numeric output is
-// bit-identical at any thread count and for any submitted subset of the
-// grid. See README.md in this directory for the design rationale.
+// Graph and evaluates every cell concurrently on a ThreadPool. Work is
+// shared along two axes:
+//   - the RATE axis: cells are grouped by (sparsifier, run), each group's
+//     expensive ScoreState (degree rankings, similarity scores, effective
+//     resistances) is computed ONCE, and the rate cells fan out as
+//     near-free MaskForRate tasks;
+//   - the METRIC axis: each cell's sparsified Subgraph is materialized
+//     ONCE, and the cell's metrics fan out as independent evaluation units
+//     over the shared read-only subgraph (RunTasksMulti).
+// Every RNG stream derives from a stable identity — group scoring from
+// (master_seed, sparsifier, run) and each (cell, metric) unit from
+// (master_seed, dataset, sparsifier, rate, run, metric) — so the numeric
+// output is bit-identical at any thread count, for any submitted subset of
+// the grid, and for any metric-set composition. See README.md in this
+// directory for the design rationale.
 #ifndef SPARSIFY_ENGINE_BATCH_RUNNER_H_
 #define SPARSIFY_ENGINE_BATCH_RUNNER_H_
 
@@ -31,13 +37,28 @@ using BatchMetricFn =
     std::function<double(const Graph& original, const Graph& sparsified,
                          Rng& rng)>;
 
+/// One named metric of a multi-metric run. The name participates in each
+/// (cell, metric) unit's RNG stream (MetricSeed) and is what a result
+/// store keys cells by, so it must be the stable registry name of the
+/// computation — not a display label.
+struct BatchMetric {
+  std::string name;
+  BatchMetricFn fn;
+};
+
 /// One expanded cell of the grid.
 struct BatchTask {
-  uint64_t index = 0;        // position in the expanded grid; metric seeds
-                             // derive from this, never from execution order
+  uint64_t index = 0;        // position in the expanded grid; legacy
+                             // per-cell seeds derive from this, never from
+                             // execution order
   std::string sparsifier;    // short name (see SparsifierNames)
   double prune_rate = 0.0;   // requested rate passed to MaskForRate
   int run = 0;               // 0-based repeat index for this cell
+  // RunTasksMulti only: indices into its metric list to evaluate on this
+  // cell; empty means every metric. The resumable sweep submits the
+  // per-cell subset missing from its store. Ignored by single-metric
+  // RunTasks. Ids must be distinct and in range.
+  std::vector<uint32_t> metrics;
 };
 
 /// Result of one task, in the same grid position.
@@ -45,6 +66,19 @@ struct BatchResult {
   BatchTask task;
   double achieved_prune_rate = 0.0;
   double value = 0.0;  // metric output
+};
+
+/// One metric's output on one cell of a multi-metric run.
+struct BatchMetricValue {
+  uint32_t metric = 0;  // index into RunTasksMulti's metric list
+  double value = 0.0;
+};
+
+/// All requested metric outputs of one task, in the same grid position.
+struct BatchMultiResult {
+  BatchTask task;
+  double achieved_prune_rate = 0.0;
+  std::vector<BatchMetricValue> values;  // in the task's metric-id order
 };
 
 /// Grid specification. Expansion mirrors the paper's sweep protocol:
@@ -59,17 +93,26 @@ struct BatchSpec {
   uint64_t master_seed = 42;
 };
 
-/// Scheduling counters of one RunTasks call: how much scoring work the
-/// rate-axis sharing saved, and where the time went. The CI perf smoke
-/// asserts score_groups < cells on a multi-rate grid. The timings are
-/// summed task durations across workers (single-threaded they equal wall
-/// clock) and exist only in shared-score mode; with share_scores(false)
-/// scoring and masking are fused inside each cell and both stay zero.
+/// Scheduling counters of one RunTasks/RunTasksMulti call: how much work
+/// the rate-axis (scoring) and metric-axis (subgraph) sharing saved, and
+/// where the time went. The CI perf smoke asserts score_groups < cells on
+/// a multi-rate grid and subgraph_builds < metric_units on a multi-metric
+/// one. The timings are summed task durations across workers
+/// (single-threaded they equal wall clock). With share_scores(false)
+/// every cell re-runs scoring fused into its Sparsify call: score_groups
+/// reports one group per cell and score_seconds stays zero (the fused
+/// time lands in subgraph_seconds).
 struct BatchRunStats {
-  size_t cells = 0;          // tasks executed
-  size_t score_groups = 0;   // PrepareScores computations scheduled
-  double score_seconds = 0;  // summed duration of group scoring tasks
-  double mask_seconds = 0;   // summed duration of mask + metric tasks
+  size_t cells = 0;            // tasks executed
+  size_t metric_units = 0;     // (cell, metric) evaluations scheduled
+  size_t score_groups = 0;     // PrepareScores computations scheduled
+  size_t subgraph_builds = 0;  // sparsified Subgraphs materialized (== cells;
+                               // the banner/bench contrast it with
+                               // metric_units)
+  double score_seconds = 0;     // summed duration of group scoring tasks
+  double subgraph_seconds = 0;  // summed mask + Apply (or fused Sparsify)
+                                // durations
+  double metric_seconds = 0;    // summed metric evaluation durations
 };
 
 /// Evaluates batch grids on a fixed-size thread pool.
@@ -104,6 +147,9 @@ class BatchRunner {
 
   /// Seed of task `index` under `master_seed` (SplitMix64 of the pair).
   /// Independent of thread count and execution order by construction.
+  /// Since the r3 pipeline revision this only feeds the per-cell sparsify
+  /// streams of the share_scores(false) baseline; metric streams come from
+  /// MetricSeed.
   static uint64_t TaskSeed(uint64_t master_seed, uint64_t index);
 
   /// Seed of the shared scoring stream of group (sparsifier, run) under
@@ -112,6 +158,15 @@ class BatchRunner {
   /// bit-identical ScoreStates to the full grid's.
   static uint64_t GroupSeed(uint64_t master_seed,
                             const std::string& sparsifier, int run);
+
+  /// Seed of one (cell, metric) evaluation unit. Depends only on the
+  /// listed identities — not on the grid shape, the submitted subset, or
+  /// which OTHER metrics are evaluated on the cell — so a multi-metric run
+  /// draws bit-identical metric samples to a single-metric run of each of
+  /// its metrics, which is what makes their store cells interchangeable.
+  static uint64_t MetricSeed(uint64_t master_seed, const std::string& dataset,
+                             const std::string& sparsifier, double prune_rate,
+                             int run, const std::string& metric);
 
   /// Invoked as each task finishes, from the worker thread that ran it
   /// (concurrently across workers — the callback must synchronize its own
@@ -131,17 +186,54 @@ class BatchRunner {
   std::vector<BatchResult> Run(const Graph& g, const BatchSpec& spec,
                                const BatchMetricFn& metric) const;
 
-  /// Runs an explicit task list — typically a subset of ExpandGrid's output
-  /// (the resumable sweep submits only the cells missing from its store).
-  /// Cell metric streams derive from (master_seed, task.index) and group
-  /// scoring streams from (master_seed, sparsifier, run), so a subset run
-  /// computes bit-identical values to the full grid. Results are returned
-  /// in `tasks` order; `on_result` (optional) fires per completed cell;
-  /// `stats` (optional) receives the scheduling counters.
+  /// Runs an explicit task list — typically a subset of ExpandGrid's
+  /// output. A thin wrapper over RunTasksMulti with one anonymous metric
+  /// (dataset "" and metric name "" in MetricSeed), kept for callers that
+  /// sweep a single unnamed metric (RunSweep, benches, tests); any
+  /// task.metrics subsets are ignored. Group scoring streams derive from
+  /// (master_seed, sparsifier, run) and metric streams from MetricSeed, so
+  /// a subset run computes bit-identical values to the full grid. Results
+  /// are returned in `tasks` order; `on_result` (optional) fires per
+  /// completed cell; `stats` (optional) receives the scheduling counters.
   std::vector<BatchResult> RunTasks(
       const Graph& g, const std::vector<BatchTask>& tasks,
       uint64_t master_seed, const BatchMetricFn& metric,
       const ResultCallback& on_result = nullptr,
+      BatchRunStats* stats = nullptr) const;
+
+  /// Invoked as each (cell, metric) unit finishes, from the worker thread
+  /// that ran it (concurrently across workers — the callback must
+  /// synchronize its own state). `metric` indexes the metric list.
+  using MetricResultCallback =
+      std::function<void(const BatchTask& task, double achieved_prune_rate,
+                         uint32_t metric, double value)>;
+
+  /// Multi-metric task runner: materializes each task's sparsified
+  /// Subgraph exactly once and fans the task's metrics out as independent
+  /// units of work on the pool. Pipelined like the score→mask sharing:
+  /// the moment a cell's subgraph lands its metric units jump the queue
+  /// (SubmitUrgent) and the last unit frees the subgraph, so peak subgraph
+  /// residency stays bounded by the cells in flight, not the grid.
+  ///
+  /// `dataset` is the caller's stable graph identity (the store's dataset
+  /// key, e.g. "ego-Facebook@0.5"); it only feeds MetricSeed. Each unit's
+  /// metric RNG stream derives from MetricSeed(master_seed, dataset,
+  /// sparsifier, rate, run, metric-name), so values are bit-identical at
+  /// any thread count, for any submitted subset, and for any metric-set
+  /// composition — a {a,b} run computes exactly the {a}-run and {b}-run
+  /// values. During each evaluation the engine's pool is exposed as
+  /// CurrentSubtaskPool(), so sampled metrics fan their BFS batches out as
+  /// subtasks (see eval::MetricFn's thread-safety contract).
+  ///
+  /// Results are returned in `tasks` order with one value per requested
+  /// metric id (task.metrics; empty = all) in that order. Throws
+  /// std::invalid_argument when `metrics` is empty or a task names an
+  /// out-of-range metric id.
+  std::vector<BatchMultiResult> RunTasksMulti(
+      const Graph& g, const std::string& dataset,
+      const std::vector<BatchTask>& tasks, uint64_t master_seed,
+      const std::vector<BatchMetric>& metrics,
+      const MetricResultCallback& on_result = nullptr,
       BatchRunStats* stats = nullptr) const;
 
  private:

@@ -8,16 +8,14 @@ ResumableSweep::ResumableSweep(BatchRunner& runner, ResultStore* store,
                                std::string code_rev)
     : runner_(runner), store_(store), code_rev_(std::move(code_rev)) {}
 
-std::vector<SweepSeries> ResumableSweep::Run(const Graph& g,
-                                             const std::string& dataset,
-                                             const std::string& metric_name,
-                                             const SweepConfig& config,
-                                             const MetricFn& metric,
-                                             ResumableSweepStats* stats) {
+std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
+    const Graph& g, const std::string& dataset,
+    const std::vector<SweepMetric>& metrics, const SweepConfig& config,
+    ResumableSweepStats* stats) {
   BatchSpec spec = ToBatchSpec(config);
   std::vector<BatchTask> tasks = BatchRunner::ExpandGrid(spec);
 
-  auto key_of = [&](const BatchTask& task) {
+  auto key_of = [&](const BatchTask& task, const std::string& metric_name) {
     CellKey key;
     key.dataset = dataset;
     key.sparsifier = task.sparsifier;
@@ -30,54 +28,105 @@ std::vector<SweepSeries> ResumableSweep::Run(const Graph& g,
     return key;
   };
 
-  // Partition the grid: cells already in the store become results
-  // directly; the rest are submitted to the engine with their original
-  // grid indices, so their RNG streams match a cold run's.
-  std::vector<BatchResult> results(tasks.size());
+  // Partition the (cell × metric) product: units already in the store
+  // become results directly; each cell with at least one missing metric is
+  // submitted ONCE, carrying exactly its missing metric ids, so the engine
+  // materializes its subgraph once for all of them. Submitted tasks keep
+  // their original grid indices, and every RNG stream derives from
+  // grid-shape-independent identities, so the values match a cold run's.
+  std::vector<std::vector<BatchResult>> results(metrics.size());
+  for (auto& per_metric : results) per_metric.resize(tasks.size());
+  size_t cached_units = 0;
   std::vector<BatchTask> missing;
   std::vector<size_t> missing_pos;  // grid position of each missing task
   for (size_t i = 0; i < tasks.size(); ++i) {
-    std::optional<StoredCell> cached;
-    if (store_ != nullptr && reuse_cached_) {
-      cached = store_->Lookup(key_of(tasks[i]));
+    std::vector<uint32_t> missing_ids;
+    for (uint32_t m = 0; m < metrics.size(); ++m) {
+      std::optional<StoredCell> cached;
+      if (store_ != nullptr && reuse_cached_) {
+        cached = store_->Lookup(key_of(tasks[i], metrics[m].name));
+      }
+      if (cached.has_value()) {
+        ++cached_units;
+        results[m][i].task = tasks[i];
+        results[m][i].achieved_prune_rate = cached->achieved_prune_rate;
+        results[m][i].value = cached->value;
+      } else {
+        missing_ids.push_back(m);
+      }
     }
-    if (cached.has_value()) {
-      results[i].task = tasks[i];
-      results[i].achieved_prune_rate = cached->achieved_prune_rate;
-      results[i].value = cached->value;
-    } else {
-      missing.push_back(tasks[i]);
+    if (!missing_ids.empty()) {
+      BatchTask task = tasks[i];
+      task.metrics = std::move(missing_ids);
+      missing.push_back(std::move(task));
       missing_pos.push_back(i);
     }
   }
 
+  size_t total_units = tasks.size() * metrics.size();
   if (stats != nullptr) {
-    stats->total_cells = tasks.size();
-    stats->cached_cells = tasks.size() - missing.size();
-    stats->submitted_cells = missing.size();
-    stats->score_groups = 0;  // overwritten below when cells are submitted
+    *stats = ResumableSweepStats{};
+    stats->total_cells = total_units;
+    stats->cached_cells = cached_units;
+    stats->submitted_cells = total_units - cached_units;
   }
 
   if (!missing.empty()) {
-    // Append as each cell completes: the store flushes per record, so a
+    // Append as each unit completes: the store flushes per record, so a
     // crash loses at most the in-flight line (see store/README.md). The
     // callback runs on worker threads; Append serializes internally.
-    BatchRunner::ResultCallback on_result = nullptr;
+    std::vector<BatchMetric> engine_metrics;
+    engine_metrics.reserve(metrics.size());
+    for (const SweepMetric& m : metrics) {
+      engine_metrics.push_back(BatchMetric{m.name, m.fn});
+    }
+    BatchRunner::MetricResultCallback on_unit = nullptr;
     if (store_ != nullptr) {
-      on_result = [&](const BatchResult& r) {
-        store_->Append(key_of(r.task), r.achieved_prune_rate, r.value);
+      on_unit = [&](const BatchTask& task, double achieved, uint32_t m,
+                    double value) {
+        store_->Append(key_of(task, metrics[m].name), achieved, value);
       };
     }
     BatchRunStats run_stats;
-    std::vector<BatchResult> fresh = runner_.RunTasks(
-        g, missing, spec.master_seed, metric, on_result, &run_stats);
+    std::vector<BatchMultiResult> fresh = runner_.RunTasksMulti(
+        g, dataset, missing, spec.master_seed, engine_metrics, on_unit,
+        &run_stats);
     for (size_t j = 0; j < fresh.size(); ++j) {
-      results[missing_pos[j]] = fresh[j];
+      size_t i = missing_pos[j];
+      for (size_t slot = 0; slot < fresh[j].values.size(); ++slot) {
+        uint32_t m = fresh[j].values[slot].metric;
+        results[m][i].task = tasks[i];
+        results[m][i].achieved_prune_rate = fresh[j].achieved_prune_rate;
+        results[m][i].value = fresh[j].values[slot].value;
+      }
     }
-    if (stats != nullptr) stats->score_groups = run_stats.score_groups;
+    if (stats != nullptr) {
+      stats->score_groups = run_stats.score_groups;
+      stats->subgraph_builds = run_stats.subgraph_builds;
+      stats->subgraph_seconds = run_stats.subgraph_seconds;
+      stats->metric_seconds = run_stats.metric_seconds;
+    }
   }
 
-  return FoldSweepResults(config, results);
+  std::vector<MetricSweepSeries> out(metrics.size());
+  for (size_t m = 0; m < metrics.size(); ++m) {
+    out[m].metric = metrics[m].name;
+    out[m].series = FoldSweepResults(config, results[m]);
+  }
+  return out;
+}
+
+std::vector<SweepSeries> ResumableSweep::Run(const Graph& g,
+                                             const std::string& dataset,
+                                             const std::string& metric_name,
+                                             const SweepConfig& config,
+                                             const MetricFn& metric,
+                                             ResumableSweepStats* stats) {
+  std::vector<SweepMetric> metrics;
+  metrics.push_back(SweepMetric{metric_name, metric});
+  std::vector<MetricSweepSeries> out =
+      RunMulti(g, dataset, metrics, config, stats);
+  return std::move(out[0].series);
 }
 
 }  // namespace sparsify

@@ -1,11 +1,14 @@
 // Crash-resumable sweep orchestration on top of BatchRunner + ResultStore.
 //
-// Expands the sweep grid, looks every cell up in a persistent store,
-// submits only the missing cells to the engine, appends each fresh result
-// to the store as it completes (flushed per record), and reassembles the
-// full SweepSeries from stored + fresh cells. Because every cell's RNG
-// streams derive from (master_seed, grid index), a resumed sweep is
-// bit-identical to a cold one.
+// Expands the sweep grid as the (cell × metric) product, looks every unit
+// up in a persistent store, submits only the missing units to the engine
+// (each cell carrying exactly its missing metric subset, so its subgraph
+// is materialized once for all of them), appends each fresh result to the
+// store as it completes (flushed per record), and reassembles the full
+// per-metric SweepSeries from stored + fresh units. Because every RNG
+// stream derives from stable identities (GroupSeed for scoring, MetricSeed
+// for metric samples), a resumed sweep is bit-identical to a cold one, and
+// a sweep resumed with MORE metrics submits only the new metrics' units.
 #ifndef SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_
 #define SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_
 
@@ -18,16 +21,37 @@
 
 namespace sparsify {
 
+/// One named metric of a resumable sweep; the name is the store's (and
+/// MetricSeed's) identity for the computation — see cli::NamedMetrics.
+struct SweepMetric {
+  std::string name;
+  MetricFn fn;
+};
+
+/// One metric's folded sweep output.
+struct MetricSweepSeries {
+  std::string metric;
+  std::vector<SweepSeries> series;
+};
+
 /// Scheduling counters of one resumable run — the test/CI hook asserting
-/// that a warm store leads to zero submitted cells.
+/// that a warm store leads to zero submitted units. A "unit" is one
+/// (cell, metric) evaluation; for a single-metric sweep units == cells.
 struct ResumableSweepStats {
-  size_t total_cells = 0;      // full grid size
-  size_t cached_cells = 0;     // served from the store
-  size_t submitted_cells = 0;  // scheduled on the BatchRunner
-  // Scoring work the engine actually scheduled for the submitted cells:
-  // with rate-axis sharing this is one PrepareScores per (sparsifier, run)
-  // group, strictly fewer than submitted_cells on a multi-rate grid.
+  size_t total_cells = 0;      // full (cell × metric) product size
+  size_t cached_cells = 0;     // units served from the store
+  size_t submitted_cells = 0;  // units scheduled on the BatchRunner
+  // Work the engine actually scheduled for the submitted units, counting
+  // the two sharing axes: one PrepareScores per (sparsifier, run) group
+  // (strictly fewer than submitted cells on a multi-rate grid) and one
+  // materialized subgraph per cell with any missing metric (strictly
+  // fewer than submitted units on a multi-metric grid).
   size_t score_groups = 0;
+  size_t subgraph_builds = 0;
+  // Summed task durations from BatchRunStats: where the submitted units'
+  // time went (subgraph = mask + Apply, metric = evaluations).
+  double subgraph_seconds = 0;
+  double metric_seconds = 0;
 };
 
 /// One sweep of one (dataset graph, metric) pair against a store.
@@ -46,11 +70,25 @@ class ResumableSweep {
   /// CLI's `--store` without `--resume`. Default true.
   void set_reuse_cached(bool reuse) { reuse_cached_ = reuse; }
 
-  /// Runs `metric` over the sweep grid of `config` on `g`. `dataset` and
-  /// `metric_name` become CellKey fields — callers must pick names that
-  /// uniquely identify the graph (include the scale) and the metric
-  /// function. Fresh cells are appended to the store as they complete; the
-  /// returned series are folded exactly like RunSweep's.
+  /// Runs every metric of `metrics` over the sweep grid of `config` on
+  /// `g`, sparsifying each (sparsifier, rate, run) cell exactly once and
+  /// evaluating all of the cell's missing metrics on that one subgraph.
+  /// `dataset` and the metric names become CellKey fields AND seed the
+  /// (cell, metric) RNG streams — callers must pick names that uniquely
+  /// identify the graph (include the scale) and the metric functions.
+  /// Fresh units are appended to the store as they complete; the returned
+  /// per-metric series (in `metrics` order) are folded exactly like
+  /// RunSweep's.
+  std::vector<MetricSweepSeries> RunMulti(const Graph& g,
+                                          const std::string& dataset,
+                                          const std::vector<SweepMetric>& metrics,
+                                          const SweepConfig& config,
+                                          ResumableSweepStats* stats = nullptr);
+
+  /// Single-metric convenience wrapper over RunMulti. A single-metric
+  /// sweep is cache-compatible with any multi-metric sweep that includes
+  /// `metric_name`: both key and seed the unit by (dataset, sparsifier,
+  /// rate, run, metric_name), never by the metric-set composition.
   std::vector<SweepSeries> Run(const Graph& g, const std::string& dataset,
                                const std::string& metric_name,
                                const SweepConfig& config,

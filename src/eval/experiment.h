@@ -21,13 +21,21 @@
 
 namespace sparsify {
 
-/// Metric evaluated on (original, sparsified). The rng is forked per
-/// evaluation so sampled metrics are reproducible.
+/// Metric evaluated on (original, sparsified). Each evaluation receives
+/// its own seeded rng stream so sampled metrics are reproducible.
 ///
-/// Thread-safety: RunSweep evaluates grid cells concurrently, so the
-/// callable is invoked from multiple worker threads at once. It must not
-/// mutate shared state without synchronization (capture by value, use
-/// thread_local scratch, or set SweepConfig::num_threads = 1).
+/// Thread-safety contract (audited in tests/test_multi_metric.cc): the
+/// engine invokes the callable from multiple worker threads at once —
+/// concurrently across cells AND, in a multi-metric sweep, concurrently
+/// with the cell's other metrics on the same shared subgraph. It must not
+/// mutate state shared between invocations without synchronization
+/// (capture by value, use thread_local scratch, or set
+/// SweepConfig::num_threads = 1). During an engine-run evaluation
+/// CurrentSubtaskPool() exposes the worker pool, so a metric may fan its
+/// independent per-source work out via NestedParallelFor — such subtasks
+/// must write disjoint slots and fold in a FIXED order (never by thread
+/// count) to keep results bit-identical at any parallelism; see
+/// ApproxBetweennessCentrality's fixed-batch partials for the pattern.
 using MetricFn =
     std::function<double(const Graph& original, const Graph& sparsified,
                          Rng& rng)>;

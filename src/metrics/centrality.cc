@@ -8,6 +8,7 @@
 
 #include "src/linalg/vector_ops.h"
 #include "src/metrics/distance.h"
+#include "src/util/thread_pool.h"
 
 namespace sparsify {
 
@@ -73,8 +74,26 @@ std::vector<double> ApproxBetweennessCentrality(const Graph& g,
   if (n == 0) return centrality;
   int samples = std::min<int>(num_samples, n);
   double scale = static_cast<double>(n) / samples;
-  for (uint64_t s : rng.SampleWithoutReplacement(n, samples)) {
-    BrandesAccumulate(g, static_cast<NodeId>(s), scale, &centrality);
+  std::vector<uint64_t> pivots = rng.SampleWithoutReplacement(n, samples);
+  // Pivots are processed in FIXED batches of kBatch, each batch
+  // accumulating into its own partial vector (Brandes mutates shared
+  // state, so concurrent pivots must not share an accumulator); the
+  // partials fold in batch order. The batch size is a constant — never
+  // the thread count — so the floating-point association, and therefore
+  // the result, is bit-identical at any subtask thread count.
+  constexpr size_t kBatch = 32;
+  size_t num_batches = (pivots.size() + kBatch - 1) / kBatch;
+  std::vector<std::vector<double>> partials(num_batches);
+  NestedParallelFor(CurrentSubtaskPool(), num_batches, [&](size_t b) {
+    std::vector<double>& partial = partials[b];
+    partial.assign(n, 0.0);
+    size_t end = std::min(pivots.size(), (b + 1) * kBatch);
+    for (size_t s = b * kBatch; s < end; ++s) {
+      BrandesAccumulate(g, static_cast<NodeId>(pivots[s]), scale, &partial);
+    }
+  });
+  for (const std::vector<double>& partial : partials) {
+    for (NodeId v = 0; v < n; ++v) centrality[v] += partial[v];
   }
   if (!g.IsDirected()) {
     for (double& c : centrality) c *= 0.5;
@@ -85,7 +104,10 @@ std::vector<double> ApproxBetweennessCentrality(const Graph& g,
 std::vector<double> ClosenessCentrality(const Graph& g) {
   const NodeId n = g.NumVertices();
   std::vector<double> closeness(n, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
+  // Each vertex's BFS writes only its own slot, so the sources fan out as
+  // engine subtasks with bit-identical output at any thread count.
+  NestedParallelFor(CurrentSubtaskPool(), n, [&](size_t src) {
+    NodeId v = static_cast<NodeId>(src);
     std::vector<double> dist = ShortestPathDistances(g, v);
     double sum = 0.0;
     double reachable = 0.0;
@@ -99,7 +121,7 @@ std::vector<double> ClosenessCentrality(const Graph& g) {
       // Wasserman-Faust: (r / (n-1)) * (r / sum) where r = #reachable.
       closeness[v] = (reachable / (n - 1.0)) * (reachable / sum);
     }
-  }
+  });
   return closeness;
 }
 

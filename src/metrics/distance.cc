@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace sparsify {
 
@@ -51,22 +52,49 @@ StretchResult SpspStretch(const Graph& original, const Graph& sparsified,
   // Group sampled pairs by source so each source costs two SSSP runs.
   int num_sources = std::max(1, num_pairs / 64);
   int pairs_per_source = (num_pairs + num_sources - 1) / num_sources;
+  // Every sample is drawn up front in the exact order the sequential loop
+  // consumed the stream (the BFS itself is randomness-free), so each
+  // source's two SSSP runs are pure and fan out as engine subtasks. The
+  // per-source records are folded in source order below, which makes the
+  // result bit-identical at any subtask thread count (including none).
+  std::vector<NodeId> sources(num_sources);
+  std::vector<std::vector<NodeId>> dsts(
+      num_sources, std::vector<NodeId>(pairs_per_source));
+  for (int s = 0; s < num_sources; ++s) {
+    sources[s] = static_cast<NodeId>(rng.NextUint(n));
+    for (int i = 0; i < pairs_per_source; ++i) {
+      dsts[s][i] = static_cast<NodeId>(rng.NextUint(n));
+    }
+  }
+  struct SourceRecord {
+    std::vector<double> stretches;
+    int broken = 0;
+    int total = 0;
+  };
+  std::vector<SourceRecord> records(num_sources);
+  NestedParallelFor(
+      CurrentSubtaskPool(), static_cast<size_t>(num_sources), [&](size_t s) {
+        NodeId src = sources[s];
+        std::vector<double> d_orig = ShortestPathDistances(original, src);
+        std::vector<double> d_spar = ShortestPathDistances(sparsified, src);
+        SourceRecord& rec = records[s];
+        for (NodeId dst : dsts[s]) {
+          if (dst == src || d_orig[dst] == kInfDistance) continue;  // excluded
+          ++rec.total;
+          if (d_spar[dst] == kInfDistance) {
+            ++rec.broken;
+          } else if (d_orig[dst] > 0.0) {
+            rec.stretches.push_back(d_spar[dst] / d_orig[dst]);
+          }
+        }
+      });
   std::vector<double> stretches;
   int broken = 0, total = 0;
-  for (int s = 0; s < num_sources; ++s) {
-    NodeId src = static_cast<NodeId>(rng.NextUint(n));
-    std::vector<double> d_orig = ShortestPathDistances(original, src);
-    std::vector<double> d_spar = ShortestPathDistances(sparsified, src);
-    for (int i = 0; i < pairs_per_source; ++i) {
-      NodeId dst = static_cast<NodeId>(rng.NextUint(n));
-      if (dst == src || d_orig[dst] == kInfDistance) continue;  // excluded
-      ++total;
-      if (d_spar[dst] == kInfDistance) {
-        ++broken;
-      } else if (d_orig[dst] > 0.0) {
-        stretches.push_back(d_spar[dst] / d_orig[dst]);
-      }
-    }
+  for (const SourceRecord& rec : records) {
+    stretches.insert(stretches.end(), rec.stretches.begin(),
+                     rec.stretches.end());
+    broken += rec.broken;
+    total += rec.total;
   }
   result.mean_stretch = Mean(stretches);
   result.unreachable = total > 0 ? static_cast<double>(broken) / total : 0.0;
@@ -90,19 +118,40 @@ StretchResult EccentricityStretch(const Graph& original,
   StretchResult result;
   const NodeId n = original.NumVertices();
   if (n == 0 || num_sources <= 0) return result;
+  // Sources are drawn once; each source's eccentricity pair is pure, so
+  // the sources fan out as engine subtasks and fold in sample order —
+  // bit-identical to the sequential loop at any subtask thread count.
+  std::vector<uint64_t> samples =
+      rng.SampleWithoutReplacement(n, std::min<uint64_t>(n, num_sources));
+  struct SourceRecord {
+    double stretch = -1.0;  // < 0: no finite stretch recorded
+    bool counted = false;
+    bool broken = false;
+  };
+  std::vector<SourceRecord> records(samples.size());
+  NestedParallelFor(
+      CurrentSubtaskPool(), samples.size(), [&](size_t s) {
+        NodeId v = static_cast<NodeId>(samples[s]);
+        double eo = Eccentricity(original, v);
+        if (eo == kInfDistance || eo == 0.0) return;
+        SourceRecord& rec = records[s];
+        rec.counted = true;
+        double es = Eccentricity(sparsified, v);
+        if (es == kInfDistance) {
+          rec.broken = true;
+        } else {
+          rec.stretch = es / eo;
+        }
+      });
   std::vector<double> stretches;
   int broken = 0, total = 0;
-  for (uint64_t s :
-       rng.SampleWithoutReplacement(n, std::min<uint64_t>(n, num_sources))) {
-    NodeId v = static_cast<NodeId>(s);
-    double eo = Eccentricity(original, v);
-    if (eo == kInfDistance || eo == 0.0) continue;
+  for (const SourceRecord& rec : records) {
+    if (!rec.counted) continue;
     ++total;
-    double es = Eccentricity(sparsified, v);
-    if (es == kInfDistance) {
+    if (rec.broken) {
       ++broken;
     } else {
-      stretches.push_back(es / eo);
+      stretches.push_back(rec.stretch);
     }
   }
   result.mean_stretch = Mean(stretches);
@@ -113,28 +162,43 @@ StretchResult EccentricityStretch(const Graph& original,
 
 double ApproxDiameter(const Graph& g, int num_seeds, Rng& rng) {
   const NodeId n = g.NumVertices();
-  if (n == 0) return 0.0;
-  double best = 0.0;
+  if (n == 0 || num_seeds <= 0) return 0.0;
+  // Start vertices are drawn up front (the sweeps consume no randomness,
+  // so the stream is unchanged); each seed's sweep chain is sequential by
+  // nature but independent of the others, so the seeds fan out as engine
+  // subtasks. max() over per-seed bests is order-independent, keeping the
+  // result bit-identical to the sequential loop.
+  std::vector<NodeId> starts(num_seeds);
   for (int seed = 0; seed < num_seeds; ++seed) {
-    NodeId v = static_cast<NodeId>(rng.NextUint(n));
-    double prev = -1.0;
-    // Iterate: jump to the farthest reachable vertex until no improvement.
-    for (int it = 0; it < 16; ++it) {
-      std::vector<double> dist = ShortestPathDistances(g, v);
-      double far_d = 0.0;
-      NodeId far_v = v;
-      for (NodeId u = 0; u < n; ++u) {
-        if (dist[u] != kInfDistance && dist[u] > far_d) {
-          far_d = dist[u];
-          far_v = u;
-        }
-      }
-      best = std::max(best, far_d);
-      if (far_d <= prev) break;
-      prev = far_d;
-      v = far_v;
-    }
+    starts[seed] = static_cast<NodeId>(rng.NextUint(n));
   }
+  std::vector<double> best_of(num_seeds, 0.0);
+  NestedParallelFor(
+      CurrentSubtaskPool(), static_cast<size_t>(num_seeds), [&](size_t seed) {
+        NodeId v = starts[seed];
+        double best = 0.0;
+        double prev = -1.0;
+        // Iterate: jump to the farthest reachable vertex until no
+        // improvement.
+        for (int it = 0; it < 16; ++it) {
+          std::vector<double> dist = ShortestPathDistances(g, v);
+          double far_d = 0.0;
+          NodeId far_v = v;
+          for (NodeId u = 0; u < n; ++u) {
+            if (dist[u] != kInfDistance && dist[u] > far_d) {
+              far_d = dist[u];
+              far_v = u;
+            }
+          }
+          best = std::max(best, far_d);
+          if (far_d <= prev) break;
+          prev = far_d;
+          v = far_v;
+        }
+        best_of[seed] = best;
+      });
+  double best = 0.0;
+  for (double b : best_of) best = std::max(best, b);
   return best;
 }
 

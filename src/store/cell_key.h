@@ -28,7 +28,17 @@ namespace sparsify {
 ///       Horvitz-Thompson weights. Deterministic sparsifiers are
 ///       numerically unchanged, but their cells' values are keyed by the
 ///       same pipeline revision.
-inline constexpr char kResultCodeRev[] = "r2";
+///   r3  sparsify-once multi-metric engine: sampled-metric RNG moved off
+///       (master_seed, cell index) onto the grid-shape-independent
+///       MetricSeed(master_seed, dataset, sparsifier, rate, run, metric)
+///       stream (BatchRunner::MetricSeed), so a multi-metric sweep draws
+///       bit-identical samples to single-metric sweeps of each of its
+///       metrics; sampled betweenness additionally folds its Brandes
+///       pivots in fixed batches of 32 (within-metric parallelism).
+///       Deterministic (rng-free) metrics are numerically unchanged, but
+///       their cells are keyed by the same pipeline revision; r2 cells
+///       never satisfy r3 lookups.
+inline constexpr char kResultCodeRev[] = "r3";
 
 /// Key of one completed grid cell. Field semantics:
 ///   dataset      caller-chosen graph identity; the CLI encodes the scale

@@ -76,6 +76,81 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void NestedParallelFor(ThreadPool* pool, size_t n,
+                       const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->NumThreads() < 2 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+    size_t n = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+
+  // Every index is claimed and counted even after a failure (fn is just
+  // skipped), so `completed` always reaches n and the caller's wait below
+  // terminates unconditionally.
+  auto claim_loop = [&fn](const std::shared_ptr<State>& s) {
+    for (;;) {
+      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      if (!s->failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!s->failed.exchange(true, std::memory_order_relaxed)) {
+            std::lock_guard<std::mutex> lock(s->mu);
+            s->error = std::current_exception();
+          }
+        }
+      }
+      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->done.notify_all();
+      }
+    }
+  };
+
+  // Helpers jump the queue so the expensive task that spawned them is not
+  // stalled behind ordinary work. `fn` lives on the caller's stack, which
+  // outlives every claimed index: the caller blocks until completed == n,
+  // and a helper starting afterwards exits before touching fn.
+  size_t helpers =
+      std::min(n, static_cast<size_t>(pool->NumThreads())) - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->SubmitUrgent([state, claim_loop] { claim_loop(state); });
+  }
+  claim_loop(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+thread_local ThreadPool* g_subtask_pool = nullptr;
+}  // namespace
+
+ThreadPool* CurrentSubtaskPool() { return g_subtask_pool; }
+
+SubtaskPoolScope::SubtaskPoolScope(ThreadPool* pool)
+    : previous_(g_subtask_pool) {
+  g_subtask_pool = pool;
+}
+
+SubtaskPoolScope::~SubtaskPoolScope() { g_subtask_pool = previous_; }
+
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;

@@ -75,6 +75,48 @@ class ThreadPool {
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn);
 
+/// Parallel-for that is safe to call from INSIDE a pool task (which must
+/// never call Wait — that deadlocks the worker). The calling thread claims
+/// indices from a shared cursor alongside up to NumThreads()-1 helper
+/// tasks pushed to the front of the queue; because indices are only ever
+/// claimed by running threads, by the time the caller's own claim loop
+/// drains the cursor every remaining index is already executing on some
+/// other worker, so the final wait never depends on a queued task and
+/// cannot deadlock — even when every worker is nested-waiting at once.
+/// Helper tasks that start late simply find the cursor exhausted and exit.
+///
+/// Determinism is the caller's job, exactly as for the batch engine: fn
+/// must be pure per index (write disjoint slots, fold afterwards in index
+/// order) so results do not depend on which thread claims which index.
+/// `pool` may be null (or single-threaded, or n < 2): the loop runs
+/// serially on the calling thread with identical results. The first
+/// exception thrown by any index is rethrown on the caller; remaining
+/// unclaimed indices are skipped.
+void NestedParallelFor(ThreadPool* pool, size_t n,
+                       const std::function<void(size_t)>& fn);
+
+/// Ambient pool for intra-task fan-out. The batch engine points this at
+/// its own pool for the duration of each metric evaluation, so sampled
+/// metrics (BFS batches, Brandes pivots) can fan their independent
+/// per-source work out as NestedParallelFor subtasks without threading a
+/// pool through every metric signature. Null outside engine tasks — and
+/// then NestedParallelFor degrades to the serial loop, bit-identically.
+ThreadPool* CurrentSubtaskPool();
+
+/// RAII setter for CurrentSubtaskPool (thread-local; restores the previous
+/// value, so nested scopes compose).
+class SubtaskPoolScope {
+ public:
+  explicit SubtaskPoolScope(ThreadPool* pool);
+  ~SubtaskPoolScope();
+
+  SubtaskPoolScope(const SubtaskPoolScope&) = delete;
+  SubtaskPoolScope& operator=(const SubtaskPoolScope&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
 }  // namespace sparsify
 
 #endif  // SPARSIFY_UTIL_THREAD_POOL_H_

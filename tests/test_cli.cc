@@ -97,6 +97,60 @@ TEST(CliTest, UnknownMetricAndDatasetReportErrors) {
             0);
 }
 
+TEST(CliTest, MetricsSubcommandListsRegistry) {
+  ::testing::internal::CaptureStdout();
+  int rc = RunCli({"metrics"});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("spsp"), std::string::npos);
+  EXPECT_NE(out.find("sampled"), std::string::npos);
+  EXPECT_NE(out.find("deterministic"), std::string::npos);
+  EXPECT_NE(out.find("kcore"), std::string::npos);
+}
+
+TEST(CliTest, MultiMetricSweepSharesSubgraphs) {
+  // --metrics=a,b over one grid: units = 2 x cells, but each cell's
+  // subgraph is built once (RN 3x2 + LD 3x1 = 9 cells on a 3-rate grid).
+  ::testing::internal::CaptureStdout();
+  int rc = RunCli({"sweep", "--dataset=ego-Facebook",
+                   "--metrics=degree,kcore", "--algos=RN,LD",
+                   "--rates=0.2,0.5,0.8", "--runs=2", "--scale=0.1",
+                   "--csv"});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("total=18"), std::string::npos);
+  EXPECT_NE(out.find("submitted=18"), std::string::npos);
+  EXPECT_NE(out.find("subgraph_builds=9"), std::string::npos);
+  // Both metrics' series are printed.
+  EXPECT_NE(out.find("# degree on ego-Facebook@0.1"), std::string::npos);
+  EXPECT_NE(out.find("# kcore on ego-Facebook@0.1"), std::string::npos);
+  // --metric and --metrics together is an error.
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metric=degree",
+                    "--metrics=kcore", "--scale=0.1"}),
+            0);
+}
+
+TEST(CliTest, PaperPresetPinsRunsAndPerDatasetScaleOverrides) {
+  // --paper defaults runs to 10 (RN alone: 9 rates x 10 runs = 90 cells);
+  // the dataset/metric lists stay overridable, and --scale accepts
+  // per-dataset overrides whose value lands in the dataset key.
+  ::testing::internal::CaptureStdout();
+  int rc = RunCli({"sweep", "--paper", "--dataset=ego-Facebook",
+                   "--metrics=kcore", "--algos=RN", "--rates=0.2,0.5",
+                   "--scale=0.2,ego-Facebook=0.1", "--csv"});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("ego-Facebook@0.1"), std::string::npos);  // override
+  EXPECT_NE(out.find("total=20"), std::string::npos);  // 2 rates x 10 runs
+  // An override naming a dataset outside the sweep is a hard error.
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--metrics=kcore",
+                    "--scale=0.1,web-Google=0.2"}),
+            0);
+  // Without --paper, --dataset and --metrics stay required.
+  EXPECT_NE(RunCli({"sweep", "--metrics=kcore", "--scale=0.1"}), 0);
+  EXPECT_NE(RunCli({"sweep", "--dataset=ego-Facebook", "--scale=0.1"}), 0);
+}
+
 TEST(CliTest, SweepResumeExportLsEndToEnd) {
   fs::remove_all(StoreDir());
   std::vector<std::string> sweep_args = {

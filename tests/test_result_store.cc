@@ -252,6 +252,31 @@ TEST(ResultStoreTest, CodeRevBumpNeverReusesOldCells) {
   EXPECT_EQ(store.Lookup(old_rev)->value, 3.25);
 }
 
+TEST(ResultStoreTest, R2CellsNeverSatisfyR3Lookups) {
+  // PR 4 moved sampled-metric RNG from (master_seed, cell index) to the
+  // MetricSeed identity stream — isolated behind the r2 -> r3 bump: a
+  // store full of r2 cells must not serve a single one of them to the r3
+  // pipeline (not even for rng-free metrics — revisions are keyed
+  // wholesale, not per metric).
+  ASSERT_STREQ(kResultCodeRev, "r3");
+  std::string path = TempPath("r2_r3_store.jsonl");
+  fs::remove(path);
+  ResultStore store(path);
+
+  for (double rate : {0.1, 0.5, 0.9}) {
+    CellKey r2 = MakeKey("LD", rate, 0);
+    r2.code_rev = "r2";
+    store.Append(r2, rate, 1.0);
+  }
+  EXPECT_EQ(store.Size(), 3u);
+  for (double rate : {0.1, 0.5, 0.9}) {
+    CellKey r3 = MakeKey("LD", rate, 0);
+    r3.code_rev = kResultCodeRev;
+    EXPECT_FALSE(store.Contains(r3));
+    EXPECT_FALSE(store.Lookup(r3).has_value());
+  }
+}
+
 TEST(CellKeyTest, CanonicalDistinguishesEveryField) {
   CellKey base = MakeKey("RN", 0.1, 0);
   CellKey other = base;

@@ -132,8 +132,13 @@ TEST_F(ResumableSweepTest, InterruptedThenResumedIsBitIdenticalToColdRun) {
   SweepConfig config = TestConfig();
   MetricFn metric = SampledMetric();
 
-  // Cold run through the pre-existing API (no store involved at all).
-  std::vector<SweepSeries> cold = RunSweep(graph_, config, metric, runner_);
+  // Cold baseline: the same sweep with no store involved at all. (RunSweep
+  // is not comparable since r3 — its metric streams seed from the
+  // anonymous ""/"" MetricSeed identity, while a named sweep seeds from
+  // its dataset and metric names.)
+  ResumableSweep cold_sweep(runner_, nullptr, "test-rev");
+  std::vector<SweepSeries> cold =
+      cold_sweep.Run(graph_, "fb@0.1", "quad5", config, metric);
 
   // Uninterrupted store-backed run -> store A.
   std::string dir_a = TempPath("cold_store");
@@ -195,9 +200,12 @@ TEST_F(ResumableSweepTest, InterruptedThenResumedIsBitIdenticalToColdRun) {
 
 TEST_F(ResumableSweepTest, DifferentGridShapeNeverReusesCells) {
   // The same (sparsifier, rate, run) cell under a different --algos list
-  // sits at a different grid index, hence a different RNG stream: reusing
-  // it would silently break bit-identity with a cold run. grid_index in
-  // the CellKey makes it a cache miss instead.
+  // sits at a different grid index and grid_index is part of the CellKey,
+  // so it is a cache miss. Since r3 the RNG streams are grid-shape
+  // independent (GroupSeed + MetricSeed), so the recomputation yields the
+  // same values — the keying is deliberately conservative (it still
+  // guards the share_scores(false) baseline, whose sparsify streams
+  // derive from the index), and this test pins the scheduling contract.
   std::string dir = TempPath("gridshape_store");
   fs::remove_all(dir);
   ResultStore store(ResultStore::PathInDir(dir));
@@ -214,8 +222,9 @@ TEST_F(ResumableSweepTest, DifferentGridShapeNeverReusesCells) {
   std::vector<SweepSeries> resumed =
       sweep.Run(graph_, "fb@0.1", "quad5", rn_only, metric, &stats);
   EXPECT_EQ(stats.cached_cells, 0u);  // every RN cell moved -> all miss
-  ExpectSeriesBitIdentical(RunSweep(graph_, rn_only, metric, runner_),
-                           resumed);
+  ResumableSweep cold_sweep(runner_, nullptr, "test-rev");
+  ExpectSeriesBitIdentical(
+      cold_sweep.Run(graph_, "fb@0.1", "quad5", rn_only, metric), resumed);
 
   // Re-running either grid is fully cached (both coexist in the store).
   sweep.Run(graph_, "fb@0.1", "quad5", two_algos, metric, &stats);
@@ -224,7 +233,7 @@ TEST_F(ResumableSweepTest, DifferentGridShapeNeverReusesCells) {
   EXPECT_EQ(stats.submitted_cells, 0u);
 
   // Export must not average the two grids' RN cells together (they are
-  // different RNG streams): one cell per (sparsifier, rate, run) is kept —
+  // distinct store keys): one cell per (sparsifier, rate, run) is kept —
   // the lowest grid index, i.e. the RN-only grid's — so the RN series
   // matches that grid's fold exactly and run counts are not inflated.
   std::vector<cli::StoreGroup> groups = cli::RebuildSeries(store);
@@ -259,14 +268,21 @@ TEST_F(ResumableSweepTest, WriteOnlyModeRecomputesButPersists) {
 }
 
 TEST_F(ResumableSweepTest, NullStoreRunsCold) {
-  ResumableSweep sweep(runner_, nullptr);
+  // A null store computes every cell and writes nothing — and its output
+  // is bit-identical to a store-backed cold run of the same named sweep.
+  ResumableSweep sweep(runner_, nullptr, "test-rev");
   SweepConfig config = TestConfig();
   MetricFn metric = SampledMetric();
   ResumableSweepStats stats;
   auto series = sweep.Run(graph_, "fb@0.1", "quad5", config, metric, &stats);
   EXPECT_EQ(stats.cached_cells, 0u);
-  ExpectSeriesBitIdentical(RunSweep(graph_, config, metric, runner_),
-                           series);
+
+  std::string dir = TempPath("nullstore_ref");
+  fs::remove_all(dir);
+  ResultStore store(ResultStore::PathInDir(dir));
+  ResumableSweep backed(runner_, &store, "test-rev");
+  ExpectSeriesBitIdentical(
+      backed.Run(graph_, "fb@0.1", "quad5", config, metric), series);
 }
 
 }  // namespace
