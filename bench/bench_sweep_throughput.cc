@@ -23,8 +23,18 @@
 // committed BENCH_sweep.json at the repo root is this benchmark's
 // single-threaded output.
 //
+// Section 3 — distance metrics (traversal kernel). Over the same grid it
+// runs the BFS/SSSP-bound metric set (--distance_metrics, default
+// spsp,eccentricity,diameter) in one RunTasksMulti pass and reports
+// units/sec plus the wall-clock split. These metrics are dominated by the
+// shared traversal kernel (src/graph/traversal.h) — scratch-reusing,
+// direction-optimizing BFS — so this section is the regression tripwire
+// for distance-metric throughput (bench_traversal isolates the kernel
+// itself).
+//
 // Usage: bench_sweep_throughput [--dataset=ego-Facebook] [--scale=0.3]
 //          [--algos=LD,ER-uw,SCAN] [--metrics=connectivity,isolated,..]
+//          [--distance_metrics=spsp,eccentricity,diameter]
 //          [--runs=1] [--threads=1] [--seed=42] [--repeat=1]
 //          [--out=BENCH_sweep.json]
 #include <cstdio>
@@ -54,6 +64,10 @@ struct SweepBenchOptions {
   // grow — swap in heavier metrics to see that regime).
   std::vector<std::string> metrics = {"connectivity", "isolated", "degree",
                                       "kcore"};
+  // Section 3's BFS/SSSP-bound set, evaluated through the traversal
+  // kernel.
+  std::vector<std::string> distance_metrics = {"spsp", "eccentricity",
+                                               "diameter"};
   int runs = 1;
   int threads = 1;
   int repeat = 1;  // timing repeats; the minimum is reported
@@ -94,6 +108,8 @@ bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
       opt->algos = SplitCsvFlag(arg + 8);
     } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
       opt->metrics = SplitCsvFlag(arg + 10);
+    } else if (std::strncmp(arg, "--distance_metrics=", 19) == 0) {
+      opt->distance_metrics = SplitCsvFlag(arg + 19);
     } else if (std::strncmp(arg, "--runs=", 7) == 0) {
       opt->runs = static_cast<int>(ParseIntFlag(arg + 7, "--runs"));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -112,10 +128,11 @@ bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
       return false;
     }
   }
-  if (opt->algos.empty() || opt->metrics.empty() || opt->repeat < 1 ||
-      opt->runs < 1) {
-    std::cerr << "error: need at least one --algos and --metrics entry, "
-                 "--repeat >= 1, and --runs >= 1\n";
+  if (opt->algos.empty() || opt->metrics.empty() ||
+      opt->distance_metrics.empty() || opt->repeat < 1 || opt->runs < 1) {
+    std::cerr << "error: need at least one --algos, --metrics and "
+                 "--distance_metrics entry, --repeat >= 1, and --runs >= "
+                 "1\n";
     return false;
   }
   return true;
@@ -246,6 +263,40 @@ int SweepThroughputMain(int argc, char** argv) {
     mm.subgraph_builds = stats.subgraph_builds;
     mm.score_groups = stats.score_groups;
   }
+  // Section 3 — distance metrics: one multi-metric pass of the
+  // BFS/SSSP-bound set over the same grid. All traversal work funnels
+  // through the shared kernel; the reported units/sec is the number this
+  // PR-lane optimizes.
+  std::vector<BatchMetric> dist_metrics;
+  for (const std::string& name : opt.distance_metrics) {
+    dist_metrics.push_back(BatchMetric{name, cli::FindMetric(name)});
+  }
+  MultiMetricResult dm;
+  dm.cells = multi_tasks.size();
+  for (int rep = 0; rep < opt.repeat; ++rep) {
+    BatchRunStats stats;
+    Timer dist_timer;
+    runner.RunTasksMulti(d.graph, dataset_key, multi_tasks, opt.seed,
+                         dist_metrics, nullptr, &stats);
+    double secs = dist_timer.Seconds();
+    if (rep == 0 || secs < dm.shared_seconds) {
+      dm.shared_seconds = secs;
+      dm.subgraph_seconds = stats.subgraph_seconds;
+      dm.metric_seconds = stats.metric_seconds;
+    }
+    dm.metric_units = stats.metric_units;
+    dm.subgraph_builds = stats.subgraph_builds;
+    dm.score_groups = stats.score_groups;
+  }
+  std::printf(
+      "dist   cells=%zu metrics=%zu units=%zu shared=%.3fs "
+      "(subgraph %.3fs + metric %.3fs) %.1f units/s\n",
+      dm.cells, opt.distance_metrics.size(), dm.metric_units,
+      dm.shared_seconds, dm.subgraph_seconds, dm.metric_seconds,
+      dm.shared_seconds > 0
+          ? static_cast<double>(dm.metric_units) / dm.shared_seconds
+          : 0.0);
+
   double mm_speedup =
       mm.shared_seconds > 0 ? mm.per_metric_seconds / mm.shared_seconds : 0.0;
   std::printf(
@@ -313,6 +364,18 @@ int SweepThroughputMain(int argc, char** argv) {
        << ", \"units_per_second_shared\": "
        << Json(mm.shared_seconds > 0
                    ? static_cast<double>(mm.metric_units) / mm.shared_seconds
+                   : 0.0)
+       << "},\n";
+  json << "  \"distance_metrics\": {\"metrics\": "
+       << JsonStringList(opt.distance_metrics) << ", \"cells\": " << dm.cells
+       << ", \"units\": " << dm.metric_units
+       << ", \"subgraph_builds\": " << dm.subgraph_builds
+       << ", \"shared_seconds\": " << Json(dm.shared_seconds)
+       << ", \"subgraph_seconds\": " << Json(dm.subgraph_seconds)
+       << ", \"metric_seconds\": " << Json(dm.metric_seconds)
+       << ", \"units_per_second\": "
+       << Json(dm.shared_seconds > 0
+                   ? static_cast<double>(dm.metric_units) / dm.shared_seconds
                    : 0.0)
        << "}\n";
   json << "}\n";

@@ -1,0 +1,243 @@
+// Traversal-kernel benchmark: quantifies what the direction-optimizing
+// hybrid BFS and the reusable TraversalScratch buy over the seed
+// implementation, per dataset shape.
+//
+// Three BFS variants run from the same random sources on every graph:
+//   seed:   the pre-kernel per-call implementation — a freshly allocated
+//           O(n) double distance vector plus a std::deque-backed
+//           std::queue frontier, every call;
+//   push:   the kernel in kPushOnly mode with a shared scratch (isolates
+//           the allocation/layout win from the direction win);
+//   hybrid: the kernel's full push/pull direction-optimizing mode.
+//
+// The emitted JSON (default BENCH_traversal.json; the committed copy at
+// the repo root is this benchmark's single-threaded output) reports
+// per-graph seconds, speedups, and the pull-round count. CI jq-asserts
+// that at least one graph records a pull-direction switch and that hybrid
+// throughput is >= push-only throughput on the social-shaped default.
+//
+// Usage: bench_traversal [--datasets=ego-Facebook@0.5,web-Google@0.2]
+//          [--sources=64] [--repeat=3] [--seed=42]
+//          [--out=BENCH_traversal.json]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+#include "src/graph/traversal.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace sparsify::bench {
+namespace {
+
+struct TraversalBenchOptions {
+  // name@scale entries; scale defaults to 0.3 when omitted.
+  std::vector<std::string> datasets = {"ego-Facebook@0.5", "web-Google@0.2",
+                                       "ca-AstroPh@0.3"};
+  int sources = 64;
+  int repeat = 3;
+  uint64_t seed = 42;
+  std::string out = "BENCH_traversal.json";
+};
+
+bool ParseTraversalArgs(int argc, char** argv, TraversalBenchOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--datasets=", 11) == 0) {
+      opt->datasets = SplitCsvFlag(arg + 11);
+    } else if (std::strncmp(arg, "--sources=", 10) == 0) {
+      opt->sources = static_cast<int>(ParseIntFlag(arg + 10, "--sources"));
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      opt->repeat = static_cast<int>(ParseIntFlag(arg + 9, "--repeat"));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt->seed = ParseUint64Flag(arg + 7, "--seed");
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opt->out = arg + 6;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n"
+                << "usage: bench_traversal [--datasets=NAME@SCALE,..] "
+                   "[--sources=n] [--repeat=n] [--seed=n] [--out=FILE]\n";
+      return false;
+    }
+  }
+  if (opt->datasets.empty() || opt->sources < 1 || opt->repeat < 1) {
+    std::cerr << "error: need >= 1 dataset, --sources >= 1, --repeat >= 1\n";
+    return false;
+  }
+  return true;
+}
+
+// The seed-era ShortestPathDistances, verbatim: fresh allocations and a
+// std::queue per call. This is the baseline the kernel replaced.
+std::vector<double> SeedStyleBfs(const Graph& g, NodeId src) {
+  std::vector<double> dist(g.NumVertices(), kInfDistance);
+  dist[src] = 0.0;
+  std::queue<NodeId> q;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.OutNeighborNodes(v)) {
+      if (dist[u] == kInfDistance) {
+        dist[u] = dist[v] + 1.0;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+struct GraphResult {
+  std::string name;
+  NodeId vertices = 0;
+  EdgeId edges = 0;
+  bool directed = false;
+  double seed_seconds = 0.0;
+  double push_seconds = 0.0;
+  double hybrid_seconds = 0.0;
+  int pull_rounds = 0;       // total across the hybrid pass's sources
+  uint64_t checksum = 0;     // per-mode reached-count sums must agree
+};
+
+std::string Json(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int TraversalBenchMain(int argc, char** argv) {
+  TraversalBenchOptions opt;
+  if (!ParseTraversalArgs(argc, argv, &opt)) return 2;
+
+  std::vector<GraphResult> results;
+  for (const std::string& spec : opt.datasets) {
+    std::string name = spec;
+    double scale = 0.3;
+    if (size_t at = spec.find('@'); at != std::string::npos) {
+      name = spec.substr(0, at);
+      scale = ParseDoubleFlag(spec.c_str() + at + 1, "--datasets scale");
+    }
+    Dataset d = LoadDatasetScaled(name, scale);
+    // The kernel's direction optimization targets the unweighted BFS
+    // path; weighted datasets bench their unweighted view.
+    Graph graph = d.graph.IsWeighted() ? d.graph.Unweighted() : d.graph;
+
+    GraphResult r;
+    r.name = spec;
+    r.vertices = graph.NumVertices();
+    r.edges = graph.NumEdges();
+    r.directed = graph.IsDirected();
+
+    std::vector<NodeId> sources(opt.sources);
+    Rng rng(opt.seed);
+    for (int i = 0; i < opt.sources; ++i) {
+      sources[i] = static_cast<NodeId>(rng.NextUint(graph.NumVertices()));
+    }
+
+    TraversalScratch scratch;
+    for (int rep = 0; rep < opt.repeat; ++rep) {
+      uint64_t seed_check = 0, push_check = 0, hybrid_check = 0;
+      int pull_rounds = 0;
+
+      Timer seed_timer;
+      for (NodeId src : sources) {
+        std::vector<double> dist = SeedStyleBfs(graph, src);
+        for (double x : dist) seed_check += x != kInfDistance;
+      }
+      double seed_s = seed_timer.Seconds();
+
+      Timer push_timer;
+      for (NodeId src : sources) {
+        TraversalSummary sum =
+            BfsLevels(graph, src, scratch, BfsMode::kPushOnly);
+        push_check += sum.reached;
+      }
+      double push_s = push_timer.Seconds();
+
+      Timer hybrid_timer;
+      for (NodeId src : sources) {
+        TraversalSummary sum = BfsLevels(graph, src, scratch);
+        hybrid_check += sum.reached;
+        pull_rounds += sum.pull_rounds;
+      }
+      double hybrid_s = hybrid_timer.Seconds();
+
+      if (seed_check != push_check || push_check != hybrid_check) {
+        std::cerr << "error: reached-count mismatch on " << spec << "\n";
+        return 1;
+      }
+      if (rep == 0 || seed_s < r.seed_seconds) r.seed_seconds = seed_s;
+      if (rep == 0 || push_s < r.push_seconds) r.push_seconds = push_s;
+      if (rep == 0 || hybrid_s < r.hybrid_seconds) {
+        r.hybrid_seconds = hybrid_s;
+      }
+      r.pull_rounds = pull_rounds;
+      r.checksum = hybrid_check;
+    }
+
+    std::printf(
+        "%-22s |V|=%u |E|=%u %s seed=%.4fs push=%.4fs hybrid=%.4fs "
+        "hybrid_vs_seed=%.2fx hybrid_vs_push=%.2fx pull_rounds=%d\n",
+        spec.c_str(), r.vertices, r.edges, r.directed ? "dir" : "und",
+        r.seed_seconds, r.push_seconds, r.hybrid_seconds,
+        r.hybrid_seconds > 0 ? r.seed_seconds / r.hybrid_seconds : 0.0,
+        r.hybrid_seconds > 0 ? r.push_seconds / r.hybrid_seconds : 0.0,
+        r.pull_rounds);
+    results.push_back(std::move(r));
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"traversal\",\n";
+  json << "  \"sources\": " << opt.sources << ",\n";
+  json << "  \"repeat\": " << opt.repeat << ",\n";
+  json << "  \"seed\": " << opt.seed << ",\n";
+  json << "  \"graphs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const GraphResult& r = results[i];
+    double vs_seed =
+        r.hybrid_seconds > 0 ? r.seed_seconds / r.hybrid_seconds : 0.0;
+    double vs_push =
+        r.hybrid_seconds > 0 ? r.push_seconds / r.hybrid_seconds : 0.0;
+    json << "    {\"name\": \"" << r.name << "\", \"vertices\": "
+         << r.vertices << ", \"edges\": " << r.edges
+         << ", \"directed\": " << (r.directed ? "true" : "false")
+         << ", \"seed_seconds\": " << Json(r.seed_seconds)
+         << ", \"push_seconds\": " << Json(r.push_seconds)
+         << ", \"hybrid_seconds\": " << Json(r.hybrid_seconds)
+         << ", \"hybrid_vs_seed\": " << Json(vs_seed)
+         << ", \"hybrid_vs_push\": " << Json(vs_push)
+         << ", \"pull_rounds\": " << r.pull_rounds
+         << ", \"bfs_per_second_hybrid\": "
+         << Json(r.hybrid_seconds > 0
+                     ? static_cast<double>(opt.sources) / r.hybrid_seconds
+                     : 0.0)
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+
+  std::ofstream out(opt.out, std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot write " << opt.out << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "# wrote " << opt.out << "\n";
+  return 0;
+}
+
+}  // namespace sparsify::bench
+
+int main(int argc, char** argv) {
+  return sparsify::bench::TraversalBenchMain(argc, argv);
+}

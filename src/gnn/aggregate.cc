@@ -8,12 +8,12 @@ Matrix MeanAggregate(const Graph& g, const Matrix& x) {
   assert(x.rows == g.NumVertices());
   Matrix out(x.rows, x.cols);
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborNodes(v);
     if (nbrs.empty()) continue;
     double inv = 1.0 / static_cast<double>(nbrs.size());
     double* orow = out.Row(v);
-    for (const AdjEntry& a : nbrs) {
-      const double* xrow = x.Row(a.node);
+    for (NodeId u : nbrs) {
+      const double* xrow = x.Row(u);
       for (size_t j = 0; j < x.cols; ++j) orow[j] += inv * xrow[j];
     }
   }
@@ -24,12 +24,12 @@ Matrix MeanAggregateTranspose(const Graph& g, const Matrix& grad) {
   assert(grad.rows == g.NumVertices());
   Matrix out(grad.rows, grad.cols);
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborNodes(v);
     if (nbrs.empty()) continue;
     double inv = 1.0 / static_cast<double>(nbrs.size());
     const double* grow = grad.Row(v);
-    for (const AdjEntry& a : nbrs) {
-      double* orow = out.Row(a.node);
+    for (NodeId u : nbrs) {
+      double* orow = out.Row(u);
       for (size_t j = 0; j < grad.cols; ++j) orow[j] += inv * grow[j];
     }
   }
@@ -40,13 +40,13 @@ Matrix GcnAggregate(const Graph& g, const Matrix& x) {
   assert(x.rows == g.NumVertices());
   Matrix out(x.rows, x.cols);
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborNodes(v);
     double inv = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
     double* orow = out.Row(v);
     const double* self = x.Row(v);
     for (size_t j = 0; j < x.cols; ++j) orow[j] += inv * self[j];
-    for (const AdjEntry& a : nbrs) {
-      const double* xrow = x.Row(a.node);
+    for (NodeId u : nbrs) {
+      const double* xrow = x.Row(u);
       for (size_t j = 0; j < x.cols; ++j) orow[j] += inv * xrow[j];
     }
   }
@@ -57,13 +57,13 @@ Matrix GcnAggregateTranspose(const Graph& g, const Matrix& grad) {
   assert(grad.rows == g.NumVertices());
   Matrix out(grad.rows, grad.cols);
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborNodes(v);
     double inv = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
     const double* grow = grad.Row(v);
     double* self = out.Row(v);
     for (size_t j = 0; j < grad.cols; ++j) self[j] += inv * grow[j];
-    for (const AdjEntry& a : nbrs) {
-      double* orow = out.Row(a.node);
+    for (NodeId u : nbrs) {
+      double* orow = out.Row(u);
       for (size_t j = 0; j < grad.cols; ++j) orow[j] += inv * grow[j];
     }
   }

@@ -197,12 +197,15 @@ InducedBatch InduceBatch(const Graph& g, const Matrix& x,
   std::vector<Edge> edges;
   for (NodeId i = 0; i < vertices.size(); ++i) {
     NodeId v = vertices[i];
-    for (const AdjEntry& a : g.OutNeighbors(v)) {
-      auto it = local.find(a.node);
+    auto nodes = g.OutNeighborNodes(v);
+    auto edge_ids = g.OutNeighborEdges(v);
+    for (size_t ni = 0; ni < nodes.size(); ++ni) {
+      NodeId u = nodes[ni];
+      auto it = local.find(u);
       if (it == local.end()) continue;
       // Undirected canonical edges would otherwise be added twice.
-      if (!g.IsDirected() && a.node < v) continue;
-      edges.push_back({i, it->second, g.EdgeWeight(a.edge)});
+      if (!g.IsDirected() && u < v) continue;
+      edges.push_back({i, it->second, g.EdgeWeight(edge_ids[ni])});
     }
   }
   ib.graph = Graph::FromEdges(static_cast<NodeId>(vertices.size()),

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -198,16 +197,19 @@ Graph PowerLawConfiguration(NodeId n, double gamma, NodeId min_degree,
 Graph ForestFireModel(NodeId n, double p_forward, bool directed, Rng& rng) {
   std::vector<std::vector<NodeId>> adj(n);  // out-adjacency while growing
   std::vector<Edge> edges;
+  // Flat frontier (vector + head cursor): same FIFO pop order as the old
+  // std::queue — the burn RNG stream is untouched — reused across
+  // ambassadors with zero per-vertex allocation.
+  std::vector<NodeId> frontier;
   for (NodeId v = 1; v < n; ++v) {
     NodeId ambassador = static_cast<NodeId>(rng.NextUint(v));
     std::unordered_set<NodeId> visited{v, ambassador};
-    std::queue<NodeId> frontier;
-    frontier.push(ambassador);
+    frontier.clear();
+    frontier.push_back(ambassador);
     edges.push_back({v, ambassador, 1.0});
     adj[v].push_back(ambassador);
-    while (!frontier.empty()) {
-      NodeId w = frontier.front();
-      frontier.pop();
+    for (size_t head = 0; head < frontier.size(); ++head) {
+      NodeId w = frontier[head];
       // Burn a geometric number of w's neighbors.
       uint64_t burn = rng.NextGeometric(std::max(1e-9, 1.0 - p_forward));
       std::vector<NodeId> cands;
@@ -220,7 +222,7 @@ Graph ForestFireModel(NodeId n, double p_forward, bool directed, Rng& rng) {
         visited.insert(t);
         edges.push_back({v, t, 1.0});
         adj[v].push_back(t);
-        frontier.push(t);
+        frontier.push_back(t);
       }
     }
   }

@@ -61,6 +61,14 @@ Graph Graph::FromEdges(NodeId num_vertices, std::vector<Edge> edges,
 }
 
 void Graph::BuildCsr() {
+  // The canonical edge array is sorted by (u, v), deduplicated, and
+  // loop-free (NormalizeEdges, or the FromCanonicalEdges contract), so a
+  // single cursor fill in edge order already produces sorted adjacency
+  // lists: vertex x first receives its v-side entries (neighbors < x, from
+  // edges (u, x) with u ascending), then its u-side entries (neighbors
+  // > x for undirected canonical u <= v, with v ascending). No per-vertex
+  // sort is needed — BuildCsr is a pure counting sort, which matters on
+  // the per-sweep-cell Subgraph hot path.
   const size_t n = num_vertices_;
   out_offsets_.assign(n + 1, 0);
   for (const Edge& e : edges_) {
@@ -68,55 +76,46 @@ void Graph::BuildCsr() {
     if (!directed_) ++out_offsets_[e.v + 1];
   }
   for (size_t i = 0; i < n; ++i) out_offsets_[i + 1] += out_offsets_[i];
-  adj_.resize(out_offsets_[n]);
+  adj_nodes_.resize(out_offsets_[n]);
+  adj_edges_.resize(out_offsets_[n]);
   std::vector<uint64_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
   for (EdgeId e = 0; e < edges_.size(); ++e) {
     const Edge& ed = edges_[e];
-    adj_[cursor[ed.u]++] = {ed.v, e};
-    if (!directed_) adj_[cursor[ed.v]++] = {ed.u, e};
-  }
-  auto by_node = [](const AdjEntry& a, const AdjEntry& b) {
-    return a.node < b.node;
-  };
-  for (size_t v = 0; v < n; ++v) {
-    std::sort(adj_.begin() + static_cast<ptrdiff_t>(out_offsets_[v]),
-              adj_.begin() + static_cast<ptrdiff_t>(out_offsets_[v + 1]),
-              by_node);
+    adj_nodes_[cursor[ed.u]] = ed.v;
+    adj_edges_[cursor[ed.u]++] = e;
+    if (!directed_) {
+      adj_nodes_[cursor[ed.v]] = ed.u;
+      adj_edges_[cursor[ed.v]++] = e;
+    }
   }
   if (directed_) {
     in_offsets_.assign(n + 1, 0);
     for (const Edge& e : edges_) ++in_offsets_[e.v + 1];
     for (size_t i = 0; i < n; ++i) in_offsets_[i + 1] += in_offsets_[i];
-    in_adj_.resize(in_offsets_[n]);
+    in_adj_nodes_.resize(in_offsets_[n]);
+    in_adj_edges_.resize(in_offsets_[n]);
     std::vector<uint64_t> icur(in_offsets_.begin(), in_offsets_.end() - 1);
     for (EdgeId e = 0; e < edges_.size(); ++e) {
-      in_adj_[icur[edges_[e].v]++] = {edges_[e].u, e};
-    }
-    for (size_t v = 0; v < n; ++v) {
-      std::sort(in_adj_.begin() + static_cast<ptrdiff_t>(in_offsets_[v]),
-                in_adj_.begin() + static_cast<ptrdiff_t>(in_offsets_[v + 1]),
-                by_node);
+      in_adj_nodes_[icur[edges_[e].v]] = edges_[e].u;
+      in_adj_edges_[icur[edges_[e].v]++] = e;
     }
   } else {
     in_offsets_.clear();
-    in_adj_.clear();
+    in_adj_nodes_.clear();
+    in_adj_edges_.clear();
   }
-}
-
-NodeId Graph::MaxDegree() const {
-  NodeId best = 0;
+  max_degree_ = 0;
   for (NodeId v = 0; v < num_vertices_; ++v) {
-    best = std::max(best, OutDegree(v));
+    max_degree_ = std::max(max_degree_, OutDegree(v));
   }
-  return best;
 }
 
 EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
-  auto nbrs = OutNeighbors(u);
-  auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), v,
-      [](const AdjEntry& a, NodeId node) { return a.node < node; });
-  if (it != nbrs.end() && it->node == v) return it->edge;
+  auto nbrs = OutNeighborNodes(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it != nbrs.end() && *it == v) {
+    return OutNeighborEdges(u)[static_cast<size_t>(it - nbrs.begin())];
+  }
   return kInvalidEdge;
 }
 

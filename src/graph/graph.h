@@ -36,14 +36,15 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
-/// One CSR adjacency entry: the neighbor and the canonical edge id of the
-/// underlying edge (used to look up weights and to build keep-masks).
-struct AdjEntry {
-  NodeId node = 0;
-  EdgeId edge = kInvalidEdge;
-};
-
 /// Immutable graph in CSR form.
+///
+/// The CSR is stored structure-of-arrays: neighbor ids (`adj_nodes_`) and
+/// canonical edge ids (`adj_edges_`) live in separate parallel arrays, so
+/// traversals that only need neighbor ids (BFS, reachability, the pull
+/// direction of the hybrid BFS kernel) stream 4-byte entries at twice the
+/// cache density of the old {node, edge} pair layout. Loops that need the
+/// edge id too (weights, keep-masks) index both spans with one shared
+/// cursor.
 ///
 /// Adjacency lists are sorted by neighbor id, which lets similarity
 /// sparsifiers (Jaccard / SCAN) compute exact neighborhood intersections by
@@ -69,18 +70,32 @@ class Graph {
   bool IsDirected() const { return directed_; }
   bool IsWeighted() const { return weighted_; }
 
-  /// Out-neighbors of `v` (all neighbors for undirected graphs), sorted by id.
-  std::span<const AdjEntry> OutNeighbors(NodeId v) const {
-    return {adj_.data() + out_offsets_[v],
-            adj_.data() + out_offsets_[v + 1]};
+  /// Out-neighbor ids of `v` (all neighbors for undirected graphs), sorted.
+  std::span<const NodeId> OutNeighborNodes(NodeId v) const {
+    return {adj_nodes_.data() + out_offsets_[v],
+            adj_nodes_.data() + out_offsets_[v + 1]};
   }
 
-  /// In-neighbors of `v`. For undirected graphs this is identical to
-  /// OutNeighbors.
-  std::span<const AdjEntry> InNeighbors(NodeId v) const {
-    if (!directed_) return OutNeighbors(v);
-    return {in_adj_.data() + in_offsets_[v],
-            in_adj_.data() + in_offsets_[v + 1]};
+  /// Canonical edge ids parallel to OutNeighborNodes(v): entry i is the
+  /// edge connecting `v` to OutNeighborNodes(v)[i].
+  std::span<const EdgeId> OutNeighborEdges(NodeId v) const {
+    return {adj_edges_.data() + out_offsets_[v],
+            adj_edges_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-neighbor ids of `v`, sorted. For undirected graphs this is
+  /// identical to OutNeighborNodes.
+  std::span<const NodeId> InNeighborNodes(NodeId v) const {
+    if (!directed_) return OutNeighborNodes(v);
+    return {in_adj_nodes_.data() + in_offsets_[v],
+            in_adj_nodes_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Canonical edge ids parallel to InNeighborNodes(v).
+  std::span<const EdgeId> InNeighborEdges(NodeId v) const {
+    if (!directed_) return OutNeighborEdges(v);
+    return {in_adj_edges_.data() + in_offsets_[v],
+            in_adj_edges_.data() + in_offsets_[v + 1]};
   }
 
   /// Out-degree (total degree for undirected graphs).
@@ -93,8 +108,11 @@ class Graph {
     return static_cast<NodeId>(in_offsets_[v + 1] - in_offsets_[v]);
   }
 
-  /// Maximum out-degree over all vertices (0 for an empty graph).
-  NodeId MaxDegree() const;
+  /// Maximum out-degree over all vertices (0 for an empty graph). Cached
+  /// at BuildCsr time: both KN's per-k calibration and the hybrid BFS
+  /// switch heuristic query it per call, and the old O(n) scan showed up
+  /// in sweep profiles.
+  NodeId MaxDegree() const { return max_degree_; }
 
   /// The canonical edge with id `e`. For undirected graphs u <= v.
   const Edge& CanonicalEdge(EdgeId e) const { return edges_[e]; }
@@ -154,19 +172,44 @@ class Graph {
   NodeId num_vertices_ = 0;
   bool directed_ = false;
   bool weighted_ = false;
+  NodeId max_degree_ = 0;  // cached max out-degree, set by BuildCsr
 
   std::vector<Edge> edges_;  // canonical edges
 
-  // Out-CSR over both directions for undirected graphs.
+  // Out-CSR over both directions for undirected graphs, structure-of-
+  // arrays: adj_nodes_[i] / adj_edges_[i] describe the same entry.
   std::vector<uint64_t> out_offsets_;  // size num_vertices_ + 1
-  std::vector<AdjEntry> adj_;
+  std::vector<NodeId> adj_nodes_;
+  std::vector<EdgeId> adj_edges_;
 
   // In-CSR, populated only for directed graphs.
   std::vector<uint64_t> in_offsets_;
-  std::vector<AdjEntry> in_adj_;
+  std::vector<NodeId> in_adj_nodes_;
+  std::vector<EdgeId> in_adj_edges_;
 
   void BuildCsr();
 };
+
+/// Intersection size |A n B| of two sorted neighbor-id spans by linear
+/// merge — the shared-neighbor primitive of the similarity sparsifiers
+/// (Jaccard / SCAN / triangle) and the clustering metrics. Spans come
+/// from OutNeighborNodes, whose sortedness BuildCsr guarantees.
+inline size_t SortedIntersectionSize(std::span<const NodeId> a,
+                                     std::span<const NodeId> b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
 
 /// Preprocessing per paper section 3.1: removes isolated vertices and
 /// re-indexes the rest to be zero-based and contiguous. Returns the cleaned

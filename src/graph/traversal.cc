@@ -1,0 +1,218 @@
+#include "src/graph/traversal.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace sparsify {
+
+namespace {
+
+// GAP direction-switch parameters (Beamer et al.). Push switches to pull
+// when the frontier's out-edge count exceeds 1/kAlpha of the unexplored
+// edges; pull returns to push once the frontier shrinks below n/kBeta.
+constexpr uint64_t kAlpha = 14;
+constexpr uint64_t kBeta = 24;
+
+}  // namespace
+
+void TraversalScratch::Begin(NodeId n, bool weighted) {
+  if (stamp_.size() < static_cast<size_t>(n)) {
+    stamp_.resize(n, 0);
+    level_.resize(n, 0);
+  }
+  if (weighted && dist_.size() < static_cast<size_t>(n)) {
+    dist_.resize(n, 0.0);
+  }
+  weighted_ = weighted;
+  if (++epoch_ == 0) {
+    // 32-bit epoch wrapped (once per ~4 billion traversals): refill the
+    // stamps so stale marks from 4 billion traversals ago cannot alias.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  frontier_.clear();
+  next_.clear();
+}
+
+void TraversalScratch::EnsureBrandes(NodeId n) {
+  if (sigma_.size() < static_cast<size_t>(n)) {
+    // New entries start zero; users restore the all-zero invariant for
+    // the entries they touch, so this refill happens only on growth.
+    sigma_.resize(n, 0.0);
+    delta_.resize(n, 0.0);
+  }
+  order_.clear();
+}
+
+TraversalSummary BfsLevels(const Graph& g, NodeId src,
+                           TraversalScratch& s, BfsMode mode) {
+  const NodeId n = g.NumVertices();
+  s.Begin(n, /*weighted=*/false);
+  TraversalSummary sum;
+  s.MarkReached(src);
+  s.level_[src] = 0;
+  sum.reached = 1;
+  s.frontier_.push_back(src);
+
+  // Beamer's m_u estimate: out-edges of still-undiscovered vertices. Each
+  // vertex's degree is subtracted exactly once, at discovery time (in
+  // either direction), so the push->pull trigger below compares the
+  // frontier's edges (m_f) against the unexplored edges without drift or
+  // double counting across direction switches.
+  const uint64_t total_arcs =
+      g.IsDirected() ? g.NumEdges() : 2ull * g.NumEdges();
+  uint64_t scout = g.OutDegree(src);  // out-edges of the frontier
+  uint64_t edges_to_check = total_arcs - std::min<uint64_t>(total_arcs, scout);
+  uint32_t depth = 0;                    // level of the current frontier
+  uint32_t max_depth = 0;
+  NodeId min_at_max = src;
+  size_t frontier_count = 1;
+
+  while (frontier_count > 0) {
+    if (mode == BfsMode::kHybrid && scout > edges_to_check / kAlpha) {
+      // Pull (bottom-up) rounds: every unreached vertex scans its
+      // in-neighbors for one parent on the current level, early-exiting
+      // at the first hit. On low-diameter graphs the giant middle levels
+      // settle after probing a small fraction of the edges.
+      NodeId awake = 0;
+      do {
+        ++sum.pull_rounds;
+        awake = 0;
+        uint64_t awake_scout = 0;
+        NodeId min_new = kInvalidNode;
+        for (NodeId v = 0; v < n; ++v) {
+          if (s.Reached(v)) continue;
+          for (NodeId u : g.InNeighborNodes(v)) {
+            if (s.stamp_[u] == s.epoch_ && s.level_[u] == depth) {
+              s.MarkReached(v);
+              s.level_[v] = depth + 1;
+              ++awake;
+              awake_scout += g.OutDegree(v);
+              min_new = std::min(min_new, v);
+              break;
+            }
+          }
+        }
+        edges_to_check -= std::min(edges_to_check, awake_scout);
+        if (awake > 0) {
+          ++depth;
+          sum.reached += awake;
+          max_depth = depth;
+          min_at_max = min_new;
+        }
+      } while (awake > 0 && static_cast<uint64_t>(awake) * kBeta >
+                                static_cast<uint64_t>(n));
+      if (awake == 0) break;  // frontier died inside the pull rounds
+      // Frontier shrank below n/kBeta: rebuild the explicit frontier
+      // (every vertex on the current level) and resume pushing.
+      s.frontier_.clear();
+      scout = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (s.Reached(v) && s.level_[v] == depth) {
+          s.frontier_.push_back(v);
+          scout += g.OutDegree(v);
+        }
+      }
+      frontier_count = s.frontier_.size();
+    } else {
+      // Push (top-down) round.
+      s.next_.clear();
+      uint64_t next_scout = 0;
+      NodeId min_new = kInvalidNode;
+      for (NodeId v : s.frontier_) {
+        for (NodeId u : g.OutNeighborNodes(v)) {
+          if (!s.Reached(u)) {
+            s.MarkReached(u);
+            s.level_[u] = depth + 1;
+            s.next_.push_back(u);
+            next_scout += g.OutDegree(u);
+            min_new = std::min(min_new, u);
+          }
+        }
+      }
+      std::swap(s.frontier_, s.next_);
+      frontier_count = s.frontier_.size();
+      scout = next_scout;
+      edges_to_check -= std::min(edges_to_check, next_scout);
+      if (frontier_count > 0) {
+        ++depth;
+        sum.reached += static_cast<NodeId>(frontier_count);
+        max_depth = depth;
+        min_at_max = min_new;
+      }
+    }
+  }
+  sum.max_dist = static_cast<double>(max_depth);
+  sum.farthest = max_depth > 0 ? min_at_max : src;
+  return sum;
+}
+
+TraversalSummary DijkstraDistances(const Graph& g, NodeId src,
+                                   TraversalScratch& s) {
+  const NodeId n = g.NumVertices();
+  s.Begin(n, /*weighted=*/true);
+  TraversalSummary sum;
+  s.MarkReached(src);
+  s.dist_[src] = 0.0;
+  sum.reached = 1;
+  s.heap_.clear();
+  s.heap_.emplace_back(0.0, src);
+  double max_dist = 0.0;
+  NodeId farthest = src;
+  const auto cmp = std::greater<std::pair<double, NodeId>>();
+  while (!s.heap_.empty()) {
+    std::pop_heap(s.heap_.begin(), s.heap_.end(), cmp);
+    auto [d, v] = s.heap_.back();
+    s.heap_.pop_back();
+    if (d > s.dist_[v]) continue;  // stale heap entry
+    if (v != src) {
+      // Lowest-id argmax, matching an ascending strict-`>` scan.
+      if (d > max_dist) {
+        max_dist = d;
+        farthest = v;
+      } else if (d == max_dist && max_dist > 0.0 && v < farthest) {
+        farthest = v;
+      }
+    }
+    auto nodes = g.OutNeighborNodes(v);
+    auto edges = g.OutNeighborEdges(v);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      NodeId u = nodes[i];
+      double nd = d + g.EdgeWeight(edges[i]);
+      if (!s.Reached(u)) {
+        s.MarkReached(u);
+        ++sum.reached;
+      } else if (nd >= s.dist_[u]) {
+        continue;
+      }
+      s.dist_[u] = nd;
+      s.heap_.emplace_back(nd, u);
+      std::push_heap(s.heap_.begin(), s.heap_.end(), cmp);
+    }
+  }
+  sum.max_dist = max_dist;
+  sum.farthest = farthest;
+  return sum;
+}
+
+TraversalSummary Traverse(const Graph& g, NodeId src,
+                          TraversalScratch& scratch, BfsMode mode) {
+  return g.IsWeighted() ? DijkstraDistances(g, src, scratch)
+                        : BfsLevels(g, src, scratch, mode);
+}
+
+std::vector<double> ShortestPathDistances(const Graph& g, NodeId src,
+                                          TraversalScratch& scratch) {
+  Traverse(g, src, scratch);
+  const NodeId n = g.NumVertices();
+  std::vector<double> dist(n);
+  for (NodeId v = 0; v < n; ++v) dist[v] = scratch.DistanceOf(v);
+  return dist;
+}
+
+TraversalScratch& LocalTraversalScratch() {
+  static thread_local TraversalScratch scratch;
+  return scratch;
+}
+
+}  // namespace sparsify

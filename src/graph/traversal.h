@@ -1,0 +1,152 @@
+// Shared traversal kernel: reusable scratch + direction-optimizing BFS +
+// scratch-reusing Dijkstra.
+//
+// Every BFS/SSSP-bound metric in the library (SPSP stretch, eccentricity,
+// approximate diameter, closeness/betweenness centrality, reachability
+// sampling, Dinic's level phase) used to allocate a fresh O(n) distance
+// vector and drive a std::deque-backed std::queue per call. This kernel
+// removes both overheads:
+//
+//  * TraversalScratch owns every per-traversal array (epoch-stamped visit
+//    marks, uint32 level array, double distance array, flat frontier
+//    buffers, Dijkstra heap storage, Brandes sigma/delta/order arrays).
+//    Repeated traversals over same-sized graphs do zero allocation, and
+//    the epoch stamp makes "reset the visited set" an O(1) counter bump
+//    instead of an O(n) refill.
+//
+//  * BfsLevels is a level-synchronous direction-optimizing BFS (Beamer et
+//    al., the GAP-benchmark kernel): it starts in the push (top-down)
+//    direction and switches to pull (bottom-up) when the frontier's edge
+//    count grows past a fixed fraction of the unexplored edges — on
+//    low-diameter social/web graphs the pull direction settles the giant
+//    middle levels while touching only a fraction of the edges. The pull
+//    direction scans InNeighborNodes, so it is correct for directed
+//    graphs too.
+//
+// Determinism: BFS hop counts and Dijkstra distances are the unique fixed
+// point of their recurrences — they do not depend on the order vertices
+// are processed in, so push-only, hybrid, and the legacy queue BFS produce
+// bit-identical distance arrays (see src/graph/README.md for the full
+// argument). The TraversalSummary reductions (max, min-id-at-max) are
+// likewise order-independent.
+//
+// Scratch ownership: a scratch is single-threaded — one traversal at a
+// time, results valid until the next Begin on the same scratch. Under
+// nested parallelism hand each NestedParallelFor subtask its own scratch;
+// LocalTraversalScratch() does exactly that (one scratch per OS thread).
+#ifndef SPARSIFY_GRAPH_TRAVERSAL_H_
+#define SPARSIFY_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace sparsify {
+
+constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Reusable per-thread traversal state. All fields are kernel-managed;
+/// consumers read results through the accessors after a traversal returns.
+class TraversalScratch {
+ public:
+  static constexpr uint32_t kNoLevel = static_cast<uint32_t>(-1);
+
+  /// True if `v` was reached by the last traversal.
+  bool Reached(NodeId v) const { return stamp_[v] == epoch_; }
+
+  /// Hop count of `v` (valid after BfsLevels; kNoLevel if unreached).
+  uint32_t LevelOf(NodeId v) const {
+    return Reached(v) ? level_[v] : kNoLevel;
+  }
+
+  /// Distance of `v` in ShortestPathDistances semantics: hop count for
+  /// BFS, weighted distance for Dijkstra, kInfDistance if unreached.
+  double DistanceOf(NodeId v) const {
+    if (!Reached(v)) return kInfDistance;
+    return weighted_ ? dist_[v] : static_cast<double>(level_[v]);
+  }
+
+  /// Prepares for a traversal over an n-vertex graph: sizes the arrays
+  /// (allocation only when n grows past any previous graph) and bumps the
+  /// visit epoch (O(1); the stamp array is refilled only when the 32-bit
+  /// epoch wraps, once per ~4 billion traversals).
+  void Begin(NodeId n, bool weighted);
+
+  /// Sizes and zeroes the Brandes sigma/delta arrays. Callers must
+  /// restore the all-zero invariant before returning (zero the entries
+  /// they touched), so repeated calls cost O(1).
+  void EnsureBrandes(NodeId n);
+
+  // Kernel-internal state, exposed for the traversal functions and the
+  // Brandes accumulation in centrality.cc. Treat as read-only elsewhere.
+  std::vector<uint32_t> stamp_;  // visit epoch per vertex
+  uint32_t epoch_ = 0;
+  bool weighted_ = false;
+  std::vector<uint32_t> level_;  // hop counts (unweighted traversals)
+  std::vector<double> dist_;     // weighted distances (Dijkstra)
+  std::vector<NodeId> frontier_;  // flat frontier (also Brandes' FIFO)
+  std::vector<NodeId> next_;      // next-level frontier
+  std::vector<std::pair<double, NodeId>> heap_;  // Dijkstra min-heap
+  // Brandes betweenness state (EnsureBrandes; all-zero between calls).
+  std::vector<double> sigma_;
+  std::vector<double> delta_;
+  std::vector<NodeId> order_;  // BFS/settle order of the last accumulation
+
+  void MarkReached(NodeId v) { stamp_[v] = epoch_; }
+};
+
+/// Order-independent summary of one traversal, folded while the kernel
+/// runs so consumers like eccentricity and the double-sweep diameter never
+/// rescan an O(n) distance vector.
+struct TraversalSummary {
+  NodeId reached = 0;     // vertices reached, including the source
+  double max_dist = 0.0;  // max distance over reached v != src (0 if none)
+  NodeId farthest = 0;    // lowest-id vertex attaining max_dist when
+                          // max_dist > 0, else the source itself — exactly
+                          // the argmax an ascending strict `>` scan of the
+                          // distance vector produces
+  int pull_rounds = 0;    // BFS rounds executed in the pull direction
+};
+
+enum class BfsMode {
+  kHybrid,    // direction-optimizing push/pull (the default)
+  kPushOnly,  // classic top-down only (bench baseline / differential tests)
+};
+
+/// Hop-count BFS from `src` along out-edges, ignoring weights. Results via
+/// scratch.LevelOf / scratch.DistanceOf / scratch.Reached.
+TraversalSummary BfsLevels(const Graph& g, NodeId src,
+                           TraversalScratch& scratch,
+                           BfsMode mode = BfsMode::kHybrid);
+
+/// Dijkstra from `src` along out-edges using edge weights. Results via
+/// scratch.DistanceOf / scratch.Reached.
+TraversalSummary DijkstraDistances(const Graph& g, NodeId src,
+                                   TraversalScratch& scratch);
+
+/// ShortestPathDistances dispatch: BFS for unweighted graphs, Dijkstra
+/// for weighted ones — the semantics every distance metric is defined on.
+TraversalSummary Traverse(const Graph& g, NodeId src,
+                          TraversalScratch& scratch,
+                          BfsMode mode = BfsMode::kHybrid);
+
+/// Drop-in scratch-reusing replacement for the legacy per-call API:
+/// returns the exact std::vector<double> the seed implementation produced
+/// (hop counts / weighted distances, kInfDistance for unreachable).
+std::vector<double> ShortestPathDistances(const Graph& g, NodeId src,
+                                          TraversalScratch& scratch);
+
+/// The calling thread's own scratch (thread_local). This is the scratch
+/// handout rule under nested parallelism: every NestedParallelFor subtask
+/// runs on exactly one thread, so each claiming thread — pool workers and
+/// the nested caller alike — reuses its own scratch with no sharing and
+/// no locking. Results are only valid until the next traversal on the
+/// same thread: collect what you need before starting another.
+TraversalScratch& LocalTraversalScratch();
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_GRAPH_TRAVERSAL_H_

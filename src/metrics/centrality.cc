@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <queue>
 #include <unordered_set>
 
+#include "src/graph/traversal.h"
 #include "src/linalg/vector_ops.h"
 #include "src/metrics/distance.h"
 #include "src/util/thread_pool.h"
@@ -16,40 +16,53 @@ namespace {
 
 // One Brandes source accumulation (unweighted BFS DAG), adding the
 // dependency of `src` into `centrality` with multiplier `scale`.
+//
+// The BFS is deliberately push-only over a flat FIFO frontier (a vector
+// with a head cursor reproduces std::queue pop order exactly): sigma
+// accumulates DURING the traversal, in frontier pop order, so keeping the
+// legacy order keeps the floating-point association — and therefore the
+// result — bit-identical to the seed implementation. The scratch supplies
+// every array (stamps/levels for dist, sigma/delta, the order list), so
+// repeated sources allocate nothing; sigma/delta are zeroed only for the
+// vertices this source actually reached (the all-zero invariant is
+// restored at the end).
 void BrandesAccumulate(const Graph& g, NodeId src, double scale,
-                       std::vector<double>* centrality) {
+                       std::vector<double>* centrality,
+                       TraversalScratch& s) {
   const NodeId n = g.NumVertices();
-  static thread_local std::vector<double> sigma, delta, dist;
-  static thread_local std::vector<NodeId> order;
-  sigma.assign(n, 0.0);
-  delta.assign(n, 0.0);
-  dist.assign(n, -1.0);
-  order.clear();
+  s.Begin(n, /*weighted=*/false);
+  s.EnsureBrandes(n);
 
-  sigma[src] = 1.0;
-  dist[src] = 0.0;
-  std::queue<NodeId> q;
-  q.push(src);
-  while (!q.empty()) {
-    NodeId v = q.front();
-    q.pop();
-    order.push_back(v);
-    for (const AdjEntry& a : g.OutNeighbors(v)) {
-      if (dist[a.node] < 0.0) {
-        dist[a.node] = dist[v] + 1.0;
-        q.push(a.node);
+  s.sigma_[src] = 1.0;
+  s.MarkReached(src);
+  s.level_[src] = 0;
+  s.frontier_.push_back(src);
+  for (size_t head = 0; head < s.frontier_.size(); ++head) {
+    NodeId v = s.frontier_[head];
+    s.order_.push_back(v);
+    for (NodeId u : g.OutNeighborNodes(v)) {
+      if (!s.Reached(u)) {
+        s.MarkReached(u);
+        s.level_[u] = s.level_[v] + 1;
+        s.frontier_.push_back(u);
       }
-      if (dist[a.node] == dist[v] + 1.0) sigma[a.node] += sigma[v];
+      if (s.level_[u] == s.level_[v] + 1) s.sigma_[u] += s.sigma_[v];
     }
   }
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (auto it = s.order_.rbegin(); it != s.order_.rend(); ++it) {
     NodeId w = *it;
-    for (const AdjEntry& a : g.OutNeighbors(w)) {
-      if (dist[a.node] == dist[w] + 1.0 && sigma[a.node] > 0.0) {
-        delta[w] += sigma[w] / sigma[a.node] * (1.0 + delta[a.node]);
+    for (NodeId u : g.OutNeighborNodes(w)) {
+      if (s.Reached(u) && s.level_[u] == s.level_[w] + 1 &&
+          s.sigma_[u] > 0.0) {
+        s.delta_[w] += s.sigma_[w] / s.sigma_[u] * (1.0 + s.delta_[u]);
       }
     }
-    if (w != src) (*centrality)[w] += scale * delta[w];
+    if (w != src) (*centrality)[w] += scale * s.delta_[w];
+  }
+  // Restore the all-zero sigma/delta invariant (only touched vertices).
+  for (NodeId w : s.order_) {
+    s.sigma_[w] = 0.0;
+    s.delta_[w] = 0.0;
   }
 }
 
@@ -57,8 +70,9 @@ void BrandesAccumulate(const Graph& g, NodeId src, double scale,
 
 std::vector<double> BetweennessCentrality(const Graph& g) {
   std::vector<double> centrality(g.NumVertices(), 0.0);
+  TraversalScratch& scratch = LocalTraversalScratch();
   for (NodeId s = 0; s < g.NumVertices(); ++s) {
-    BrandesAccumulate(g, s, 1.0, &centrality);
+    BrandesAccumulate(g, s, 1.0, &centrality, scratch);
   }
   // Undirected paths are counted from both endpoints.
   if (!g.IsDirected()) {
@@ -87,9 +101,11 @@ std::vector<double> ApproxBetweennessCentrality(const Graph& g,
   NestedParallelFor(CurrentSubtaskPool(), num_batches, [&](size_t b) {
     std::vector<double>& partial = partials[b];
     partial.assign(n, 0.0);
+    TraversalScratch& scratch = LocalTraversalScratch();
     size_t end = std::min(pivots.size(), (b + 1) * kBatch);
     for (size_t s = b * kBatch; s < end; ++s) {
-      BrandesAccumulate(g, static_cast<NodeId>(pivots[s]), scale, &partial);
+      BrandesAccumulate(g, static_cast<NodeId>(pivots[s]), scale, &partial,
+                        scratch);
     }
   });
   for (const std::vector<double>& partial : partials) {
@@ -105,15 +121,19 @@ std::vector<double> ClosenessCentrality(const Graph& g) {
   const NodeId n = g.NumVertices();
   std::vector<double> closeness(n, 0.0);
   // Each vertex's BFS writes only its own slot, so the sources fan out as
-  // engine subtasks with bit-identical output at any thread count.
+  // engine subtasks with bit-identical output at any thread count. The
+  // distance fold scans the scratch in ascending vertex order — the same
+  // summation order as the legacy materialized-vector loop — without
+  // ever allocating the vector.
   NestedParallelFor(CurrentSubtaskPool(), n, [&](size_t src) {
     NodeId v = static_cast<NodeId>(src);
-    std::vector<double> dist = ShortestPathDistances(g, v);
+    TraversalScratch& scratch = LocalTraversalScratch();
+    Traverse(g, v, scratch);
     double sum = 0.0;
     double reachable = 0.0;
     for (NodeId u = 0; u < n; ++u) {
-      if (u != v && dist[u] != kInfDistance) {
-        sum += dist[u];
+      if (u != v && scratch.Reached(u)) {
+        sum += scratch.DistanceOf(u);
         reachable += 1.0;
       }
     }
@@ -136,8 +156,10 @@ std::vector<double> EigenvectorCentrality(const Graph& g, int iters) {
     for (NodeId v = 0; v < n; ++v) {
       // Left eigenvector for directed graphs (Table 1 note *): influence
       // flows along arcs, so v aggregates from its in-neighbors.
-      for (const AdjEntry& a : g.InNeighbors(v)) {
-        next[v] += g.EdgeWeight(a.edge) * x[a.node];
+      auto nodes = g.InNeighborNodes(v);
+      auto edges = g.InNeighborEdges(v);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        next[v] += g.EdgeWeight(edges[i]) * x[nodes[i]];
       }
     }
     double norm = Norm2(next);
@@ -156,8 +178,8 @@ std::vector<double> KatzCentrality(const Graph& g, double alpha, int iters) {
   for (int it = 0; it < iters; ++it) {
     for (NodeId v = 0; v < n; ++v) {
       double acc = 0.0;
-      for (const AdjEntry& a : g.InNeighbors(v)) {
-        acc += x[a.node];
+      for (NodeId u : g.InNeighborNodes(v)) {
+        acc += x[u];
       }
       next[v] = alpha * acc + 1.0;
     }
@@ -182,8 +204,8 @@ std::vector<double> PageRank(const Graph& g, double d, int iters,
       NodeId deg = g.OutDegree(v);
       if (deg == 0) continue;
       double share = d * x[v] / deg;
-      for (const AdjEntry& a : g.OutNeighbors(v)) {
-        next[a.node] += share;
+      for (NodeId u : g.OutNeighborNodes(v)) {
+        next[u] += share;
       }
     }
     double diff = 0.0;

@@ -6,28 +6,6 @@
 
 namespace sparsify {
 
-namespace {
-
-// Intersection size of two sorted adjacency spans.
-size_t IntersectCount(std::span<const AdjEntry> a,
-                      std::span<const AdjEntry> b) {
-  size_t i = 0, j = 0, count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].node < b[j].node) {
-      ++i;
-    } else if (a[i].node > b[j].node) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
-}  // namespace
-
 std::vector<double> LocalClusteringCoefficients(const Graph& g) {
   Graph sym_holder;
   const Graph* ug = &g;
@@ -38,14 +16,14 @@ std::vector<double> LocalClusteringCoefficients(const Graph& g) {
   const NodeId n = ug->NumVertices();
   std::vector<double> lcc(n, 0.0);
   for (NodeId v = 0; v < n; ++v) {
-    auto nbrs = ug->OutNeighbors(v);
+    auto nbrs = ug->OutNeighborNodes(v);
     size_t deg = nbrs.size();
     if (deg < 2) continue;
     // Count edges among neighbors: for each neighbor u, count shared
     // neighbors of u and v (each triangle at v counted twice).
     size_t links2 = 0;
-    for (const AdjEntry& a : nbrs) {
-      links2 += IntersectCount(nbrs, ug->OutNeighbors(a.node));
+    for (NodeId u : nbrs) {
+      links2 += SortedIntersectionSize(nbrs, ug->OutNeighborNodes(u));
     }
     lcc[v] = static_cast<double>(links2) /
              (static_cast<double>(deg) * (deg - 1));
@@ -72,7 +50,8 @@ uint64_t CountTriangles(const Graph& g) {
   // neighbors; dividing by 3 corrects the triple count.
   uint64_t count = 0;
   for (const Edge& e : ug->Edges()) {
-    count += IntersectCount(ug->OutNeighbors(e.u), ug->OutNeighbors(e.v));
+    count += SortedIntersectionSize(ug->OutNeighborNodes(e.u),
+                                    ug->OutNeighborNodes(e.v));
   }
   return count / 3;
 }

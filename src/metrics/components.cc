@@ -1,7 +1,6 @@
 #include "src/metrics/components.h"
 
-#include <queue>
-
+#include "src/graph/traversal.h"
 #include "src/graph/union_find.h"
 
 namespace sparsify {
@@ -45,37 +44,23 @@ double SampledDirectedUnreachableRatio(const Graph& g, int num_pairs,
                                        Rng& rng) {
   const NodeId n = g.NumVertices();
   if (n < 2 || num_pairs <= 0) return 0.0;
-  // Group pairs by source: one BFS serves many destination probes.
+  // Group pairs by source: one BFS serves many destination probes. The
+  // hybrid kernel's epoch stamps replace the old touched-list reset, and
+  // reachability ignores weights exactly as the legacy hand-rolled BFS
+  // did (hop counts, never Dijkstra).
   int num_sources = std::max(1, num_pairs / 32);
   int per_source = (num_pairs + num_sources - 1) / num_sources;
-  std::vector<uint8_t> reached(n, 0);
-  std::vector<NodeId> touched;
+  TraversalScratch& scratch = LocalTraversalScratch();
   int total = 0, unreachable = 0;
   for (int s = 0; s < num_sources; ++s) {
     NodeId src = static_cast<NodeId>(rng.NextUint(n));
-    std::queue<NodeId> q;
-    q.push(src);
-    reached[src] = 1;
-    touched.push_back(src);
-    while (!q.empty()) {
-      NodeId v = q.front();
-      q.pop();
-      for (const AdjEntry& a : g.OutNeighbors(v)) {
-        if (!reached[a.node]) {
-          reached[a.node] = 1;
-          touched.push_back(a.node);
-          q.push(a.node);
-        }
-      }
-    }
+    BfsLevels(g, src, scratch);
     for (int i = 0; i < per_source; ++i) {
       NodeId dst = static_cast<NodeId>(rng.NextUint(n));
       if (dst == src) continue;
       ++total;
-      if (!reached[dst]) ++unreachable;
+      if (!scratch.Reached(dst)) ++unreachable;
     }
-    for (NodeId v : touched) reached[v] = 0;
-    touched.clear();
   }
   return total > 0 ? static_cast<double>(unreachable) / total : 0.0;
 }

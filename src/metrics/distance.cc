@@ -1,7 +1,6 @@
 #include "src/metrics/distance.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
@@ -9,39 +8,7 @@
 namespace sparsify {
 
 std::vector<double> ShortestPathDistances(const Graph& g, NodeId src) {
-  std::vector<double> dist(g.NumVertices(), kInfDistance);
-  dist[src] = 0.0;
-  if (!g.IsWeighted()) {
-    std::queue<NodeId> q;
-    q.push(src);
-    while (!q.empty()) {
-      NodeId v = q.front();
-      q.pop();
-      for (const AdjEntry& a : g.OutNeighbors(v)) {
-        if (dist[a.node] == kInfDistance) {
-          dist[a.node] = dist[v] + 1.0;
-          q.push(a.node);
-        }
-      }
-    }
-    return dist;
-  }
-  using Item = std::pair<double, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  pq.emplace(0.0, src);
-  while (!pq.empty()) {
-    auto [d, v] = pq.top();
-    pq.pop();
-    if (d > dist[v]) continue;
-    for (const AdjEntry& a : g.OutNeighbors(v)) {
-      double nd = d + g.EdgeWeight(a.edge);
-      if (nd < dist[a.node]) {
-        dist[a.node] = nd;
-        pq.emplace(nd, a.node);
-      }
-    }
-  }
-  return dist;
+  return ShortestPathDistances(g, src, LocalTraversalScratch());
 }
 
 StretchResult SpspStretch(const Graph& original, const Graph& sparsified,
@@ -75,16 +42,27 @@ StretchResult SpspStretch(const Graph& original, const Graph& sparsified,
   NestedParallelFor(
       CurrentSubtaskPool(), static_cast<size_t>(num_sources), [&](size_t s) {
         NodeId src = sources[s];
-        std::vector<double> d_orig = ShortestPathDistances(original, src);
-        std::vector<double> d_spar = ShortestPathDistances(sparsified, src);
+        // One scratch per claiming thread; the original-graph distances
+        // are probed into a small per-destination buffer before the
+        // sparsified traversal reuses the scratch — never two O(n)
+        // distance vectors.
+        TraversalScratch& scratch = LocalTraversalScratch();
+        Traverse(original, src, scratch);
+        std::vector<double> d_orig(dsts[s].size());
+        for (size_t i = 0; i < dsts[s].size(); ++i) {
+          d_orig[i] = scratch.DistanceOf(dsts[s][i]);
+        }
+        Traverse(sparsified, src, scratch);
         SourceRecord& rec = records[s];
-        for (NodeId dst : dsts[s]) {
-          if (dst == src || d_orig[dst] == kInfDistance) continue;  // excluded
+        for (size_t i = 0; i < dsts[s].size(); ++i) {
+          NodeId dst = dsts[s][i];
+          if (dst == src || d_orig[i] == kInfDistance) continue;  // excluded
           ++rec.total;
-          if (d_spar[dst] == kInfDistance) {
+          double ds = scratch.DistanceOf(dst);
+          if (ds == kInfDistance) {
             ++rec.broken;
-          } else if (d_orig[dst] > 0.0) {
-            rec.stretches.push_back(d_spar[dst] / d_orig[dst]);
+          } else if (d_orig[i] > 0.0) {
+            rec.stretches.push_back(ds / d_orig[i]);
           }
         }
       });
@@ -103,13 +81,11 @@ StretchResult SpspStretch(const Graph& original, const Graph& sparsified,
 }
 
 double Eccentricity(const Graph& g, NodeId v) {
-  std::vector<double> dist = ShortestPathDistances(g, v);
-  double ecc = -1.0;
-  for (NodeId u = 0; u < g.NumVertices(); ++u) {
-    if (u != v && dist[u] != kInfDistance) ecc = std::max(ecc, dist[u]);
-  }
+  // The kernel folds the max into the sweep itself — no distance vector,
+  // no O(n) rescan.
+  TraversalSummary sum = Traverse(g, v, LocalTraversalScratch());
   // A vertex that reaches nothing but itself has no finite eccentricity.
-  return ecc < 0.0 ? kInfDistance : ecc;
+  return sum.reached <= 1 ? kInfDistance : sum.max_dist;
 }
 
 StretchResult EccentricityStretch(const Graph& original,
@@ -132,6 +108,9 @@ StretchResult EccentricityStretch(const Graph& original,
   NestedParallelFor(
       CurrentSubtaskPool(), samples.size(), [&](size_t s) {
         NodeId v = static_cast<NodeId>(samples[s]);
+        // The original-graph sweep folds its own max, so an infinite/zero
+        // eccentricity skips the sparsified traversal outright — the
+        // legacy code paid for a full distance vector before finding out.
         double eo = Eccentricity(original, v);
         if (eo == kInfDistance || eo == 0.0) return;
         SourceRecord& rec = records[s];
@@ -176,24 +155,19 @@ double ApproxDiameter(const Graph& g, int num_seeds, Rng& rng) {
   NestedParallelFor(
       CurrentSubtaskPool(), static_cast<size_t>(num_seeds), [&](size_t seed) {
         NodeId v = starts[seed];
+        TraversalScratch& scratch = LocalTraversalScratch();
         double best = 0.0;
         double prev = -1.0;
         // Iterate: jump to the farthest reachable vertex until no
-        // improvement.
+        // improvement. The kernel summary's (max_dist, farthest) pair is
+        // exactly the ascending strict-`>` argmax scan the legacy loop
+        // ran over the materialized distance vector.
         for (int it = 0; it < 16; ++it) {
-          std::vector<double> dist = ShortestPathDistances(g, v);
-          double far_d = 0.0;
-          NodeId far_v = v;
-          for (NodeId u = 0; u < n; ++u) {
-            if (dist[u] != kInfDistance && dist[u] > far_d) {
-              far_d = dist[u];
-              far_v = u;
-            }
-          }
-          best = std::max(best, far_d);
-          if (far_d <= prev) break;
-          prev = far_d;
-          v = far_v;
+          TraversalSummary sum = Traverse(g, v, scratch);
+          best = std::max(best, sum.max_dist);
+          if (sum.max_dist <= prev) break;
+          prev = sum.max_dist;
+          v = sum.farthest;
         }
         best_of[seed] = best;
       });

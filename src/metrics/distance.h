@@ -5,19 +5,22 @@
 #ifndef SPARSIFY_METRICS_DISTANCE_H_
 #define SPARSIFY_METRICS_DISTANCE_H_
 
-#include <limits>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/traversal.h"
 #include "src/util/rng.h"
 
 namespace sparsify {
 
-constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+// kInfDistance now lives in src/graph/traversal.h (re-exported here).
 
 /// Distances from `src` to every vertex along out-edges. BFS (hop counts)
 /// for unweighted graphs, Dijkstra otherwise. Unreachable vertices get
-/// kInfDistance.
+/// kInfDistance. Convenience wrapper over the traversal kernel using the
+/// calling thread's scratch; hot loops should call the kernel directly
+/// (src/graph/traversal.h) and read scratch.DistanceOf to skip the O(n)
+/// result materialization.
 std::vector<double> ShortestPathDistances(const Graph& g, NodeId src);
 
 /// Mean SPSP stretch and companion statistics.

@@ -64,10 +64,10 @@ SccResult StronglyConnectedComponents(const Graph& g) {
         stack.push_back(v);
         on_stack[v] = 1;
       }
-      auto nbrs = g.OutNeighbors(v);
+      auto nbrs = g.OutNeighborNodes(v);
       bool descended = false;
       while (frame.child < nbrs.size()) {
-        NodeId w = nbrs[frame.child].node;
+        NodeId w = nbrs[frame.child];
         ++frame.child;
         if (index[w] == -1) {
           call_stack.push_back({w, 0});
@@ -112,8 +112,10 @@ double SpectralRadius(const Graph& g, int iters) {
     // from the Rayleigh quotient at the end.
     next = x;
     for (NodeId v = 0; v < n; ++v) {
-      for (const AdjEntry& a : g.InNeighbors(v)) {
-        next[v] += g.EdgeWeight(a.edge) * x[a.node];
+      auto nodes = g.InNeighborNodes(v);
+      auto edges = g.InNeighborEdges(v);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        next[v] += g.EdgeWeight(edges[i]) * x[nodes[i]];
       }
     }
     double norm = Norm2(next);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/graph/traversal.h"
 #include "src/metrics/distance.h"
 
 namespace sparsify {
@@ -54,9 +55,9 @@ std::vector<NodeId> CoreNumbers(const Graph& g) {
   };
   for (NodeId i = 0; i < n; ++i) {
     NodeId v = vert[i];
-    for (const AdjEntry& a : g.OutNeighbors(v)) peel_neighbor(v, a.node);
+    for (NodeId u : g.OutNeighborNodes(v)) peel_neighbor(v, u);
     if (g.IsDirected()) {
-      for (const AdjEntry& a : g.InNeighbors(v)) peel_neighbor(v, a.node);
+      for (NodeId u : g.InNeighborNodes(v)) peel_neighbor(v, u);
     }
   }
   return core;
@@ -71,12 +72,14 @@ NodeId Degeneracy(const Graph& g) {
 std::vector<double> HarmonicCentrality(const Graph& g) {
   const NodeId n = g.NumVertices();
   std::vector<double> harmonic(n, 0.0);
+  TraversalScratch& scratch = LocalTraversalScratch();
   for (NodeId v = 0; v < n; ++v) {
-    std::vector<double> dist = ShortestPathDistances(g, v);
+    Traverse(g, v, scratch);
     double h = 0.0;
     for (NodeId u = 0; u < n; ++u) {
-      if (u != v && dist[u] != kInfDistance && dist[u] > 0.0) {
-        h += 1.0 / dist[u];
+      double d = scratch.DistanceOf(u);
+      if (u != v && d != kInfDistance && d > 0.0) {
+        h += 1.0 / d;
       }
     }
     harmonic[v] = h;
@@ -89,43 +92,48 @@ std::vector<double> WeightedBetweennessCentrality(const Graph& g) {
   std::vector<double> centrality(n, 0.0);
   std::vector<double> sigma(n), delta(n), dist(n);
   std::vector<NodeId> order;
+  std::vector<uint8_t> settled(n);
   using Item = std::pair<double, NodeId>;
   for (NodeId src = 0; src < n; ++src) {
     std::fill(sigma.begin(), sigma.end(), 0.0);
     std::fill(delta.begin(), delta.end(), 0.0);
     std::fill(dist.begin(), dist.end(),
               std::numeric_limits<double>::infinity());
+    std::fill(settled.begin(), settled.end(), 0);
     order.clear();
     sigma[src] = 1.0;
     dist[src] = 0.0;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
     pq.emplace(0.0, src);
-    std::vector<uint8_t> settled(n, 0);
     while (!pq.empty()) {
       auto [d, v] = pq.top();
       pq.pop();
       if (settled[v]) continue;
       settled[v] = 1;
       order.push_back(v);
-      for (const AdjEntry& a : g.OutNeighbors(v)) {
-        double nd = d + g.EdgeWeight(a.edge);
-        if (nd < dist[a.node] - 1e-12) {
-          dist[a.node] = nd;
-          sigma[a.node] = sigma[v];
-          pq.emplace(nd, a.node);
-        } else if (std::abs(nd - dist[a.node]) <= 1e-12 &&
-                   !settled[a.node]) {
-          sigma[a.node] += sigma[v];
+      auto nodes = g.OutNeighborNodes(v);
+      auto edges = g.OutNeighborEdges(v);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        NodeId u = nodes[i];
+        double nd = d + g.EdgeWeight(edges[i]);
+        if (nd < dist[u] - 1e-12) {
+          dist[u] = nd;
+          sigma[u] = sigma[v];
+          pq.emplace(nd, u);
+        } else if (std::abs(nd - dist[u]) <= 1e-12 && !settled[u]) {
+          sigma[u] += sigma[v];
         }
       }
     }
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       NodeId w = *it;
-      for (const AdjEntry& a : g.OutNeighbors(w)) {
-        if (std::abs(dist[a.node] - dist[w] - g.EdgeWeight(a.edge)) <=
-                1e-12 &&
-            sigma[a.node] > 0.0) {
-          delta[w] += sigma[w] / sigma[a.node] * (1.0 + delta[a.node]);
+      auto nodes = g.OutNeighborNodes(w);
+      auto edges = g.OutNeighborEdges(w);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        NodeId u = nodes[i];
+        if (std::abs(dist[u] - dist[w] - g.EdgeWeight(edges[i])) <= 1e-12 &&
+            sigma[u] > 0.0) {
+          delta[w] += sigma[w] / sigma[u] * (1.0 + delta[u]);
         }
       }
       if (w != src) centrality[w] += delta[w];

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "src/metrics/components.h"
 
@@ -41,19 +40,22 @@ class Dinic {
     double cap;
   };
 
+  // Level BFS over the residual arcs. A flat frontier vector with a head
+  // cursor replaces the old std::deque-backed std::queue: identical FIFO
+  // pop order (so identical level assignment), reused across the O(V)
+  // phases of a single Run with zero per-phase allocation.
   bool Bfs(NodeId s, NodeId t) {
     std::fill(level_.begin(), level_.end(), -1);
-    std::queue<NodeId> q;
+    frontier_.clear();
     level_[s] = 0;
-    q.push(s);
-    while (!q.empty()) {
-      NodeId v = q.front();
-      q.pop();
+    frontier_.push_back(s);
+    for (size_t head = 0; head < frontier_.size(); ++head) {
+      NodeId v = frontier_[head];
       for (int i = head_[v]; i >= 0; i = arcs_[i].next) {
         const Arc& a = arcs_[i];
         if (a.cap > 1e-12 && level_[a.to] < 0) {
           level_[a.to] = level_[v] + 1;
-          q.push(a.to);
+          frontier_.push_back(a.to);
         }
       }
     }
@@ -80,6 +82,7 @@ class Dinic {
   std::vector<int> head_;
   std::vector<int> level_;
   std::vector<int> iter_;
+  std::vector<NodeId> frontier_;
 };
 
 }  // namespace

@@ -7,33 +7,12 @@
 
 namespace sparsify {
 
-namespace {
-
-size_t IntersectionSize(std::span<const AdjEntry> a,
-                        std::span<const AdjEntry> b) {
-  size_t i = 0, j = 0, count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].node < b[j].node) {
-      ++i;
-    } else if (a[i].node > b[j].node) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
-}  // namespace
-
 std::vector<double> TriangleEdgeScores(const Graph& g) {
   std::vector<double> scores(g.NumEdges(), 0.0);
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     const Edge& ed = g.CanonicalEdge(e);
-    scores[e] = static_cast<double>(
-        IntersectionSize(g.OutNeighbors(ed.u), g.OutNeighbors(ed.v)));
+    scores[e] = static_cast<double>(SortedIntersectionSize(
+        g.OutNeighborNodes(ed.u), g.OutNeighborNodes(ed.v)));
   }
   return scores;
 }
@@ -103,9 +82,12 @@ std::unique_ptr<ScoreState> SimmelianSparsifier::PrepareScores(
   std::vector<std::vector<NodeId>> top(g.NumVertices());
   std::vector<std::pair<double, NodeId>> ranked;
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nodes = g.OutNeighborNodes(v);
+    auto edges = g.OutNeighborEdges(v);
     ranked.clear();
-    for (const AdjEntry& a : nbrs) ranked.emplace_back(tri[a.edge], a.node);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      ranked.emplace_back(tri[edges[i]], nodes[i]);
+    }
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
       return a.first != b.first ? a.first > b.first : a.second < b.second;
     });
@@ -157,15 +139,16 @@ std::vector<double> AlgebraicDistances(const Graph& g, int num_vectors,
     for (double& xi : x) xi = rng.NextDouble() - 0.5;
     for (int s = 0; s < sweeps; ++s) {
       for (NodeId v = 0; v < n; ++v) {
-        auto nbrs = g.OutNeighbors(v);
-        if (nbrs.empty()) {
+        auto nodes = g.OutNeighborNodes(v);
+        auto edges = g.OutNeighborEdges(v);
+        if (nodes.empty()) {
           next[v] = x[v];
           continue;
         }
         double acc = 0.0, wsum = 0.0;
-        for (const AdjEntry& a : nbrs) {
-          double w = g.EdgeWeight(a.edge);
-          acc += w * x[a.node];
+        for (size_t i = 0; i < nodes.size(); ++i) {
+          double w = g.EdgeWeight(edges[i]);
+          acc += w * x[nodes[i]];
           wsum += w;
         }
         next[v] = (1.0 - omega) * x[v] + omega * acc / wsum;

@@ -1,7 +1,6 @@
 #include "src/sparsifiers/forest_fire.h"
 
 #include <memory>
-#include <queue>
 
 namespace sparsify {
 
@@ -28,6 +27,10 @@ std::unique_ptr<ScoreState> ForestFireSparsifier::PrepareScores(
 
   std::vector<uint8_t> visited(g.NumVertices(), 0);
   std::vector<NodeId> visited_list;
+  // Flat frontier (vector + head cursor): identical FIFO pop order to the
+  // old std::queue, reused across fires with zero per-fire allocation. The
+  // RNG stream is therefore byte-identical to the queue-based version.
+  std::vector<NodeId> frontier;
   const uint64_t total_burn_target =
       static_cast<uint64_t>(coverage_ * static_cast<double>(m)) + 1;
   uint64_t total_burns = 0;
@@ -39,24 +42,26 @@ std::unique_ptr<ScoreState> ForestFireSparsifier::PrepareScores(
   uint64_t fires = 0;
   while (total_burns < total_burn_target && fires++ < max_fires) {
     NodeId start = static_cast<NodeId>(rng.NextUint(g.NumVertices()));
-    std::queue<NodeId> frontier;
-    frontier.push(start);
+    frontier.clear();
+    frontier.push_back(start);
     visited[start] = 1;
     visited_list.push_back(start);
     // Safety valve: a single fire burns at most |E| edges.
     uint64_t fire_burns = 0;
-    while (!frontier.empty() && fire_burns < m) {
-      NodeId v = frontier.front();
-      frontier.pop();
-      for (const AdjEntry& a : g.OutNeighbors(v)) {
-        if (visited[a.node]) continue;
+    for (size_t head = 0; head < frontier.size() && fire_burns < m; ++head) {
+      NodeId v = frontier[head];
+      auto nodes = g.OutNeighborNodes(v);
+      auto edges = g.OutNeighborEdges(v);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        NodeId u = nodes[i];
+        if (visited[u]) continue;
         if (!rng.NextBernoulli(burn_probability_)) continue;
-        burns[a.edge] += 1.0;
+        burns[edges[i]] += 1.0;
         ++total_burns;
         ++fire_burns;
-        visited[a.node] = 1;
-        visited_list.push_back(a.node);
-        frontier.push(a.node);
+        visited[u] = 1;
+        visited_list.push_back(u);
+        frontier.push_back(u);
       }
     }
     for (NodeId v : visited_list) visited[v] = 0;

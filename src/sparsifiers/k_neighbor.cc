@@ -32,14 +32,14 @@ std::unique_ptr<ScoreState> KNeighborSparsifier::PrepareScores(
   // once; the per-vertex key-descending order then serves every k.
   std::vector<std::pair<double, EdgeId>> keys;
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborEdges(v);
     if (nbrs.empty()) continue;
     keys.clear();
     keys.reserve(nbrs.size());
-    for (const AdjEntry& a : nbrs) {
-      double w = g.IsWeighted() ? g.EdgeWeight(a.edge) : 1.0;
+    for (EdgeId e : nbrs) {
+      double w = g.IsWeighted() ? g.EdgeWeight(e) : 1.0;
       double u = rng.NextDouble();
-      keys.emplace_back(std::pow(u, 1.0 / w), a.edge);
+      keys.emplace_back(std::pow(u, 1.0 / w), e);
     }
     std::sort(keys.begin(), keys.end(), [](const auto& a, const auto& b) {
       return a.first != b.first ? a.first > b.first : a.second < b.second;
@@ -109,18 +109,18 @@ std::vector<uint8_t> KNeighborSparsifier::KeepMaskForK(const Graph& g,
   std::vector<uint8_t> keep(g.NumEdges(), 0);
   std::vector<std::pair<double, EdgeId>> keys;
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborEdges(v);
     if (nbrs.empty()) continue;
     if (nbrs.size() <= k) {
-      for (const AdjEntry& a : nbrs) keep[a.edge] = 1;
+      for (EdgeId e : nbrs) keep[e] = 1;
       continue;
     }
     keys.clear();
     keys.reserve(nbrs.size());
-    for (const AdjEntry& a : nbrs) {
-      double w = g.IsWeighted() ? g.EdgeWeight(a.edge) : 1.0;
+    for (EdgeId e : nbrs) {
+      double w = g.IsWeighted() ? g.EdgeWeight(e) : 1.0;
       double u = rng.NextDouble();
-      keys.emplace_back(std::pow(u, 1.0 / w), a.edge);
+      keys.emplace_back(std::pow(u, 1.0 / w), e);
     }
     std::nth_element(keys.begin(), keys.begin() + (k - 1), keys.end(),
                      [](const auto& a, const auto& b) {

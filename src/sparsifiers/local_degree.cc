@@ -26,8 +26,8 @@ std::unique_ptr<ScoreState> LocalDegreeSparsifier::PrepareScores(
     const Graph& g, Rng& rng) const {
   (void)rng;  // deterministic
   return std::make_unique<VertexRankedState>(
-      g, [&g](NodeId, const AdjEntry& a) {
-        return static_cast<double>(g.OutDegree(a.node));
+      g, [&g](NodeId, NodeId neighbor, EdgeId) {
+        return static_cast<double>(g.OutDegree(neighbor));
       });
 }
 

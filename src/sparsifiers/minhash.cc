@@ -26,8 +26,8 @@ MinHashSignatures::MinHashSignatures(const Graph& g, int num_hashes,
   for (int h = 0; h < num_hashes; ++h) {
     uint64_t* row = sig_.data() + static_cast<size_t>(h) * num_vertices_;
     for (NodeId v = 0; v < num_vertices_; ++v) {
-      for (const AdjEntry& a : g.OutNeighbors(v)) {
-        uint64_t hv = HashWithSalt(a.node, salts[h]);
+      for (NodeId u : g.OutNeighborNodes(v)) {
+        uint64_t hv = HashWithSalt(u, salts[h]);
         if (hv < row[v]) row[v] = hv;
       }
     }

@@ -53,11 +53,11 @@ std::unique_ptr<ScoreState> RankDegreeSparsifier::PrepareScores(
     bool progressed = false;
     for (NodeId s : seeds) {
       if (kept >= target) break;
-      auto nbrs = g.OutNeighbors(s);
+      auto nbrs = g.OutNeighborNodes(s);
       if (nbrs.empty()) continue;
       ranked.clear();
-      for (const AdjEntry& a : nbrs) {
-        ranked.emplace_back(g.OutDegree(a.node), a.node);
+      for (NodeId t : nbrs) {
+        ranked.emplace_back(g.OutDegree(t), t);
       }
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });

@@ -11,30 +11,12 @@ namespace sparsify {
 
 namespace {
 
-// Counts |N(u) n N(v)| by linear merge of the sorted adjacency lists.
-size_t IntersectionSize(std::span<const AdjEntry> a,
-                        std::span<const AdjEntry> b) {
-  size_t i = 0, j = 0, count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].node < b[j].node) {
-      ++i;
-    } else if (a[i].node > b[j].node) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
 // Per-vertex Jaccard ranking: the ScoreState shared by L-Spar's exact and
 // min-hash variants.
 std::unique_ptr<ScoreState> RankByJaccard(const Graph& g,
                                           const std::vector<double>& jac) {
   return std::make_unique<VertexRankedState>(
-      g, [&jac](NodeId, const AdjEntry& a) { return jac[a.edge]; });
+      g, [&jac](NodeId, NodeId, EdgeId e) { return jac[e]; });
 }
 
 }  // namespace
@@ -43,8 +25,8 @@ std::vector<double> CommonNeighborCounts(const Graph& g) {
   std::vector<double> counts(g.NumEdges(), 0.0);
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     const Edge& ed = g.CanonicalEdge(e);
-    counts[e] = static_cast<double>(
-        IntersectionSize(g.OutNeighbors(ed.u), g.OutNeighbors(ed.v)));
+    counts[e] = static_cast<double>(SortedIntersectionSize(
+        g.OutNeighborNodes(ed.u), g.OutNeighborNodes(ed.v)));
   }
   return counts;
 }
@@ -53,9 +35,9 @@ std::vector<double> JaccardEdgeScores(const Graph& g) {
   std::vector<double> scores(g.NumEdges(), 0.0);
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     const Edge& ed = g.CanonicalEdge(e);
-    auto nu = g.OutNeighbors(ed.u);
-    auto nv = g.OutNeighbors(ed.v);
-    size_t inter = IntersectionSize(nu, nv);
+    auto nu = g.OutNeighborNodes(ed.u);
+    auto nv = g.OutNeighborNodes(ed.v);
+    size_t inter = SortedIntersectionSize(nu, nv);
     size_t uni = nu.size() + nv.size() - inter;
     scores[e] = uni > 0 ? static_cast<double>(inter) / uni : 0.0;
   }
@@ -66,9 +48,9 @@ std::vector<double> ScanEdgeScores(const Graph& g) {
   std::vector<double> scores(g.NumEdges(), 0.0);
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     const Edge& ed = g.CanonicalEdge(e);
-    auto nu = g.OutNeighbors(ed.u);
-    auto nv = g.OutNeighbors(ed.v);
-    double inter = static_cast<double>(IntersectionSize(nu, nv));
+    auto nu = g.OutNeighborNodes(ed.u);
+    auto nv = g.OutNeighborNodes(ed.v);
+    double inter = static_cast<double>(SortedIntersectionSize(nu, nv));
     scores[e] = (inter + 1.0) /
                 std::sqrt((nu.size() + 1.0) * (nv.size() + 1.0));
   }
@@ -233,10 +215,10 @@ std::unique_ptr<ScoreState> LocalSimilaritySparsifier::PrepareScores(
   std::vector<double> score(g.NumEdges(), 0.0);
   std::vector<std::pair<double, EdgeId>> ranked;
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    auto nbrs = g.OutNeighbors(v);
+    auto nbrs = g.OutNeighborEdges(v);
     if (nbrs.empty()) continue;
     ranked.clear();
-    for (const AdjEntry& a : nbrs) ranked.emplace_back(jac[a.edge], a.edge);
+    for (EdgeId e : nbrs) ranked.emplace_back(jac[e], e);
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
       return a.first != b.first ? a.first > b.first : a.second < b.second;
     });

@@ -26,10 +26,11 @@ namespace sparsify {
 
 class VertexRankedState : public ScoreState {
  public:
-  /// Ranks every vertex's out-neighborhood by `score(v, entry)` descending,
-  /// ties broken by canonical edge id ascending — the exact ordering the
-  /// legacy per-rate implementations produced with their per-call sorts —
-  /// then folds the ranks into per-edge exponent thresholds.
+  /// Ranks every vertex's out-neighborhood by `score(v, neighbor, edge)`
+  /// descending, ties broken by canonical edge id ascending — the exact
+  /// ordering the legacy per-rate implementations produced with their
+  /// per-call sorts — then folds the ranks into per-edge exponent
+  /// thresholds.
   template <typename ScoreFn>
   VertexRankedState(const Graph& g, ScoreFn&& score) : graph_(&g) {
     const EdgeId m = g.NumEdges();
@@ -37,11 +38,12 @@ class VertexRankedState : public ScoreState {
     std::vector<double> threshold(m, 2.0);  // 2.0 = not reached yet
     std::vector<std::pair<double, EdgeId>> scratch;
     for (NodeId v = 0; v < g.NumVertices(); ++v) {
-      auto nbrs = g.OutNeighbors(v);
-      if (nbrs.empty()) continue;
+      auto nodes = g.OutNeighborNodes(v);
+      auto edges = g.OutNeighborEdges(v);
+      if (nodes.empty()) continue;
       scratch.clear();
-      for (const AdjEntry& a : nbrs) {
-        scratch.emplace_back(score(v, a), a.edge);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        scratch.emplace_back(score(v, nodes[i], edges[i]), edges[i]);
       }
       std::sort(scratch.begin(), scratch.end(),
                 [](const auto& a, const auto& b) {

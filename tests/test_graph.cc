@@ -69,10 +69,10 @@ TEST(GraphTest, DirectedInOutDegree) {
 TEST(GraphTest, AdjacencySorted) {
   Graph g = Graph::FromEdges(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}}, false,
                              false);
-  auto nbrs = g.OutNeighbors(0);
+  auto nbrs = g.OutNeighborNodes(0);
   ASSERT_EQ(nbrs.size(), 4u);
   for (size_t i = 1; i < nbrs.size(); ++i) {
-    EXPECT_LT(nbrs[i - 1].node, nbrs[i].node);
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
   }
 }
 
