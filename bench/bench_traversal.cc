@@ -1,6 +1,6 @@
 // Traversal-kernel benchmark: quantifies what the direction-optimizing
-// hybrid BFS and the reusable TraversalScratch buy over the seed
-// implementation, per dataset shape.
+// hybrid BFS, the delta-stepping Dijkstra, and the reusable
+// TraversalScratch buy over the seed implementation, per dataset shape.
 //
 // Three BFS variants run from the same random sources on every graph:
 //   seed:   the pre-kernel per-call implementation — a freshly allocated
@@ -10,19 +10,33 @@
 //           the allocation/layout win from the direction win);
 //   hybrid: the kernel's full push/pull direction-optimizing mode.
 //
+// Every variant also reports heap allocations per call (this translation
+// unit overrides global operator new/delete with counting versions), so
+// the scratch-reuse win and the algorithmic win are separated instead of
+// conflated in hybrid_vs_seed: the seed's per-call allocations are
+// visible next to the kernel's zero.
+//
+// Weighted datasets additionally race the two SSSP modes from the same
+// sources — DijkstraDistances with SsspMode::kBinaryHeap vs
+// kDeltaStepping — and report delta_vs_heap (distances are bit-identical;
+// the bench cross-checks reached counts and max distances per source).
+//
 // The emitted JSON (default BENCH_traversal.json; the committed copy at
 // the repo root is this benchmark's single-threaded output) reports
-// per-graph seconds, speedups, and the pull-round count. CI jq-asserts
-// that at least one graph records a pull-direction switch and that hybrid
-// throughput is >= push-only throughput on the social-shaped default.
+// per-graph seconds, speedups, allocation counts, and the pull-round
+// count. CI jq-asserts pull switches and hybrid-vs-push floors on both an
+// undirected social shape and a >=50k-vertex directed web shape.
 //
-// Usage: bench_traversal [--datasets=ego-Facebook@0.5,web-Google@0.2]
-//          [--sources=64] [--repeat=3] [--seed=42]
+// Usage: bench_traversal [--datasets=ego-Facebook@0.5,web-Google@25]
+//          [--sources=64] [--repeat=3] [--seed=42] [--cache=DIR]
 //          [--out=BENCH_traversal.json]
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <queue>
 #include <sstream>
 #include <string>
@@ -30,9 +44,34 @@
 
 #include "bench/bench_common.h"
 #include "src/graph/datasets.h"
+#include "src/graph/ingest.h"
 #include "src/graph/traversal.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
+
+namespace {
+// Global allocation counter, bumped by the operator new overrides below.
+// The bench is single-threaded; relaxed atomics keep the probe overhead
+// to one uncontended RMW per allocation.
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace sparsify::bench {
 namespace {
@@ -44,6 +83,7 @@ struct TraversalBenchOptions {
   int sources = 64;
   int repeat = 3;
   uint64_t seed = 42;
+  std::string cache_dir;  // "" regenerates synthetics on every run
   std::string out = "BENCH_traversal.json";
 };
 
@@ -58,12 +98,15 @@ bool ParseTraversalArgs(int argc, char** argv, TraversalBenchOptions* opt) {
       opt->repeat = static_cast<int>(ParseIntFlag(arg + 9, "--repeat"));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opt->seed = ParseUint64Flag(arg + 7, "--seed");
+    } else if (std::strncmp(arg, "--cache=", 8) == 0) {
+      opt->cache_dir = arg + 8;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       opt->out = arg + 6;
     } else {
       std::cerr << "error: unknown option '" << arg << "'\n"
                 << "usage: bench_traversal [--datasets=NAME@SCALE,..] "
-                   "[--sources=n] [--repeat=n] [--seed=n] [--out=FILE]\n";
+                   "[--sources=n] [--repeat=n] [--seed=n] [--cache=DIR] "
+                   "[--out=FILE]\n";
       return false;
     }
   }
@@ -99,11 +142,20 @@ struct GraphResult {
   NodeId vertices = 0;
   EdgeId edges = 0;
   bool directed = false;
+  bool weighted = false;
   double seed_seconds = 0.0;
   double push_seconds = 0.0;
   double hybrid_seconds = 0.0;
   int pull_rounds = 0;       // total across the hybrid pass's sources
   uint64_t checksum = 0;     // per-mode reached-count sums must agree
+  // Allocations per traversal call, measured on the final repeat (scratch
+  // warm), separating scratch reuse from the direction-switch win.
+  double seed_allocs_per_call = 0.0;
+  double push_allocs_per_call = 0.0;
+  double hybrid_allocs_per_call = 0.0;
+  // Weighted datasets only: binary-heap vs delta-stepping Dijkstra.
+  double dijkstra_heap_seconds = 0.0;
+  double dijkstra_delta_seconds = 0.0;
 };
 
 std::string Json(double v) {
@@ -126,16 +178,18 @@ int TraversalBenchMain(int argc, char** argv) {
       name = spec.substr(0, at);
       scale = ParseDoubleFlag(spec.c_str() + at + 1, "--datasets scale");
     }
-    Dataset d = LoadDatasetScaled(name, scale);
+    Graph loaded = LoadDatasetScaledCached(name, scale, opt.cache_dir);
     // The kernel's direction optimization targets the unweighted BFS
-    // path; weighted datasets bench their unweighted view.
-    Graph graph = d.graph.IsWeighted() ? d.graph.Unweighted() : d.graph;
+    // path; weighted datasets bench their unweighted view for BFS and
+    // the weighted graph for the Dijkstra race below.
+    Graph graph = loaded.IsWeighted() ? loaded.Unweighted() : loaded;
 
     GraphResult r;
     r.name = spec;
     r.vertices = graph.NumVertices();
     r.edges = graph.NumEdges();
     r.directed = graph.IsDirected();
+    r.weighted = loaded.IsWeighted();
 
     std::vector<NodeId> sources(opt.sources);
     Rng rng(opt.seed);
@@ -148,13 +202,18 @@ int TraversalBenchMain(int argc, char** argv) {
       uint64_t seed_check = 0, push_check = 0, hybrid_check = 0;
       int pull_rounds = 0;
 
+      uint64_t allocs_before = g_alloc_count.load();
       Timer seed_timer;
       for (NodeId src : sources) {
         std::vector<double> dist = SeedStyleBfs(graph, src);
         for (double x : dist) seed_check += x != kInfDistance;
       }
       double seed_s = seed_timer.Seconds();
+      r.seed_allocs_per_call =
+          static_cast<double>(g_alloc_count.load() - allocs_before) /
+          opt.sources;
 
+      allocs_before = g_alloc_count.load();
       Timer push_timer;
       for (NodeId src : sources) {
         TraversalSummary sum =
@@ -162,7 +221,11 @@ int TraversalBenchMain(int argc, char** argv) {
         push_check += sum.reached;
       }
       double push_s = push_timer.Seconds();
+      r.push_allocs_per_call =
+          static_cast<double>(g_alloc_count.load() - allocs_before) /
+          opt.sources;
 
+      allocs_before = g_alloc_count.load();
       Timer hybrid_timer;
       for (NodeId src : sources) {
         TraversalSummary sum = BfsLevels(graph, src, scratch);
@@ -170,6 +233,9 @@ int TraversalBenchMain(int argc, char** argv) {
         pull_rounds += sum.pull_rounds;
       }
       double hybrid_s = hybrid_timer.Seconds();
+      r.hybrid_allocs_per_call =
+          static_cast<double>(g_alloc_count.load() - allocs_before) /
+          opt.sources;
 
       if (seed_check != push_check || push_check != hybrid_check) {
         std::cerr << "error: reached-count mismatch on " << spec << "\n";
@@ -184,14 +250,63 @@ int TraversalBenchMain(int argc, char** argv) {
       r.checksum = hybrid_check;
     }
 
+    if (r.weighted) {
+      // Same sources, weighted graph: binary heap vs delta stepping.
+      // Distances are bit-identical (unique fixed point); reached counts
+      // and per-source max distances are cross-checked exactly.
+      for (int rep = 0; rep < opt.repeat; ++rep) {
+        uint64_t heap_reached = 0, delta_reached = 0;
+        double heap_max = 0.0, delta_max = 0.0;
+
+        Timer heap_timer;
+        for (NodeId src : sources) {
+          TraversalSummary sum =
+              DijkstraDistances(loaded, src, scratch, SsspMode::kBinaryHeap);
+          heap_reached += sum.reached;
+          heap_max += sum.max_dist;
+        }
+        double heap_s = heap_timer.Seconds();
+
+        Timer delta_timer;
+        for (NodeId src : sources) {
+          TraversalSummary sum = DijkstraDistances(loaded, src, scratch,
+                                                   SsspMode::kDeltaStepping);
+          delta_reached += sum.reached;
+          delta_max += sum.max_dist;
+        }
+        double delta_s = delta_timer.Seconds();
+
+        if (heap_reached != delta_reached || heap_max != delta_max) {
+          std::cerr << "error: Dijkstra mode mismatch on " << spec << "\n";
+          return 1;
+        }
+        if (rep == 0 || heap_s < r.dijkstra_heap_seconds) {
+          r.dijkstra_heap_seconds = heap_s;
+        }
+        if (rep == 0 || delta_s < r.dijkstra_delta_seconds) {
+          r.dijkstra_delta_seconds = delta_s;
+        }
+      }
+    }
+
     std::printf(
         "%-22s |V|=%u |E|=%u %s seed=%.4fs push=%.4fs hybrid=%.4fs "
-        "hybrid_vs_seed=%.2fx hybrid_vs_push=%.2fx pull_rounds=%d\n",
+        "hybrid_vs_seed=%.2fx hybrid_vs_push=%.2fx pull_rounds=%d "
+        "allocs/call seed=%.1f push=%.1f hybrid=%.1f",
         spec.c_str(), r.vertices, r.edges, r.directed ? "dir" : "und",
         r.seed_seconds, r.push_seconds, r.hybrid_seconds,
         r.hybrid_seconds > 0 ? r.seed_seconds / r.hybrid_seconds : 0.0,
         r.hybrid_seconds > 0 ? r.push_seconds / r.hybrid_seconds : 0.0,
-        r.pull_rounds);
+        r.pull_rounds, r.seed_allocs_per_call, r.push_allocs_per_call,
+        r.hybrid_allocs_per_call);
+    if (r.weighted) {
+      std::printf(" dijkstra heap=%.4fs delta=%.4fs delta_vs_heap=%.2fx",
+                  r.dijkstra_heap_seconds, r.dijkstra_delta_seconds,
+                  r.dijkstra_delta_seconds > 0
+                      ? r.dijkstra_heap_seconds / r.dijkstra_delta_seconds
+                      : 0.0);
+    }
+    std::printf("\n");
     results.push_back(std::move(r));
   }
 
@@ -211,17 +326,31 @@ int TraversalBenchMain(int argc, char** argv) {
     json << "    {\"name\": \"" << r.name << "\", \"vertices\": "
          << r.vertices << ", \"edges\": " << r.edges
          << ", \"directed\": " << (r.directed ? "true" : "false")
+         << ", \"weighted\": " << (r.weighted ? "true" : "false")
          << ", \"seed_seconds\": " << Json(r.seed_seconds)
          << ", \"push_seconds\": " << Json(r.push_seconds)
          << ", \"hybrid_seconds\": " << Json(r.hybrid_seconds)
          << ", \"hybrid_vs_seed\": " << Json(vs_seed)
          << ", \"hybrid_vs_push\": " << Json(vs_push)
          << ", \"pull_rounds\": " << r.pull_rounds
+         << ", \"seed_allocs_per_call\": " << Json(r.seed_allocs_per_call)
+         << ", \"push_allocs_per_call\": " << Json(r.push_allocs_per_call)
+         << ", \"hybrid_allocs_per_call\": "
+         << Json(r.hybrid_allocs_per_call)
          << ", \"bfs_per_second_hybrid\": "
          << Json(r.hybrid_seconds > 0
                      ? static_cast<double>(opt.sources) / r.hybrid_seconds
-                     : 0.0)
-         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+                     : 0.0);
+    if (r.weighted) {
+      json << ", \"dijkstra_heap_seconds\": " << Json(r.dijkstra_heap_seconds)
+           << ", \"dijkstra_delta_seconds\": "
+           << Json(r.dijkstra_delta_seconds)
+           << ", \"delta_vs_heap\": "
+           << Json(r.dijkstra_delta_seconds > 0
+                       ? r.dijkstra_heap_seconds / r.dijkstra_delta_seconds
+                       : 0.0);
+    }
+    json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n";
   json << "}\n";

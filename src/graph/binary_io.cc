@@ -33,12 +33,21 @@ void WriteBinaryGraphStream(const Graph& g, std::ostream& out) {
   WritePod<uint8_t>(out, g.IsWeighted() ? 1 : 0);
   WritePod<uint32_t>(out, g.NumVertices());
   WritePod<uint32_t>(out, g.NumEdges());
-  for (const Edge& e : g.Edges()) {
-    WritePod<uint32_t>(out, e.u);
-    WritePod<uint32_t>(out, e.v);
+  // Bulk writes: one staging buffer per section instead of one stream
+  // write per field, which dominated wall time at 10^6 edges.
+  const auto& edges = g.Edges();
+  std::vector<uint32_t> pairs(2 * edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    pairs[2 * e] = edges[e].u;
+    pairs[2 * e + 1] = edges[e].v;
   }
+  out.write(reinterpret_cast<const char*>(pairs.data()),
+            static_cast<std::streamsize>(pairs.size() * sizeof(uint32_t)));
   if (g.IsWeighted()) {
-    for (const Edge& e : g.Edges()) WritePod<double>(out, e.w);
+    std::vector<double> weights(edges.size());
+    for (size_t e = 0; e < edges.size(); ++e) weights[e] = edges[e].w;
+    out.write(reinterpret_cast<const char*>(weights.data()),
+              static_cast<std::streamsize>(weights.size() * sizeof(double)));
   }
   if (!out) throw std::runtime_error("binary graph: write failure");
 }
@@ -64,16 +73,28 @@ Graph ReadBinaryGraphStream(std::istream& in) {
   bool weighted = ReadPod<uint8_t>(in) != 0;
   uint32_t n = ReadPod<uint32_t>(in);
   uint32_t m = ReadPod<uint32_t>(in);
+  // Bulk reads mirroring the bulk writes above; a short read of either
+  // section is truncation.
+  std::vector<uint32_t> pairs(2 * static_cast<size_t>(m));
+  in.read(reinterpret_cast<char*>(pairs.data()),
+          static_cast<std::streamsize>(pairs.size() * sizeof(uint32_t)));
+  if (m > 0 && !in) throw std::runtime_error("binary graph: truncated input");
   std::vector<Edge> edges(m);
   for (uint32_t e = 0; e < m; ++e) {
-    edges[e].u = ReadPod<uint32_t>(in);
-    edges[e].v = ReadPod<uint32_t>(in);
+    edges[e].u = pairs[2 * e];
+    edges[e].v = pairs[2 * e + 1];
     if (edges[e].u >= n || edges[e].v >= n) {
       throw std::runtime_error("binary graph: edge endpoint out of range");
     }
   }
   if (weighted) {
-    for (uint32_t e = 0; e < m; ++e) edges[e].w = ReadPod<double>(in);
+    std::vector<double> weights(m);
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(double)));
+    if (m > 0 && !in) {
+      throw std::runtime_error("binary graph: truncated input");
+    }
+    for (uint32_t e = 0; e < m; ++e) edges[e].w = weights[e];
   }
   return Graph::FromEdges(n, std::move(edges), directed, weighted);
 }

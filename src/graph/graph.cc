@@ -6,13 +6,18 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/util/thread_pool.h"
+
 namespace sparsify {
 
 namespace {
 
-// Canonicalizes, sorts, and merges parallel edges in place.
-void NormalizeEdges(std::vector<Edge>* edges, bool directed, bool weighted) {
-  // Drop self loops; canonicalize undirected orientation.
+bool EdgeEndpointLess(const Edge& a, const Edge& b) {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+// Drops self loops and canonicalizes undirected orientation, in place.
+void CanonicalizeEdges(std::vector<Edge>* edges, bool directed) {
   std::vector<Edge>& es = *edges;
   size_t out = 0;
   for (const Edge& e : es) {
@@ -22,11 +27,12 @@ void NormalizeEdges(std::vector<Edge>* edges, bool directed, bool weighted) {
     es[out++] = c;
   }
   es.resize(out);
-  std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  // Merge duplicates.
-  out = 0;
+}
+
+// Merges duplicate (u, v) runs of a sorted edge array, in place.
+void MergeDuplicateEdges(std::vector<Edge>* edges, bool weighted) {
+  std::vector<Edge>& es = *edges;
+  size_t out = 0;
   for (size_t i = 0; i < es.size();) {
     Edge merged = es[i];
     size_t j = i + 1;
@@ -41,6 +47,49 @@ void NormalizeEdges(std::vector<Edge>* edges, bool directed, bool weighted) {
   es.resize(out);
 }
 
+// Canonicalizes, sorts, and merges parallel edges in place.
+void NormalizeEdges(std::vector<Edge>* edges, bool directed, bool weighted) {
+  CanonicalizeEdges(edges, directed);
+  std::sort(edges->begin(), edges->end(), EdgeEndpointLess);
+  MergeDuplicateEdges(edges, weighted);
+}
+
+// Stable parallel sort: contiguous chunks stable-sorted on the pool, then
+// an inplace_merge tree. Stability (equal-endpoint edges keep their input
+// order) makes the result independent of the chunk count, so serial and
+// parallel builds are bit-identical even when parallel edges with
+// different weights are later merged by summation.
+void StableSortEdgesParallel(std::vector<Edge>* edges, ThreadPool* pool) {
+  std::vector<Edge>& es = *edges;
+  constexpr size_t kMinParallelEdges = 1 << 15;
+  const size_t threads =
+      pool != nullptr ? static_cast<size_t>(pool->NumThreads()) : 1;
+  if (threads < 2 || es.size() < kMinParallelEdges) {
+    std::stable_sort(es.begin(), es.end(), EdgeEndpointLess);
+    return;
+  }
+  size_t chunks = 1;
+  while (chunks * 2 <= threads) chunks *= 2;
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) {
+    bounds[c] = es.size() * c / chunks;
+  }
+  ParallelFor(*pool, chunks, [&](size_t c) {
+    std::stable_sort(es.begin() + bounds[c], es.begin() + bounds[c + 1],
+                     EdgeEndpointLess);
+  });
+  for (size_t width = 1; width < chunks; width *= 2) {
+    const size_t pairs = chunks / (2 * width);
+    ParallelFor(*pool, pairs, [&](size_t p) {
+      const size_t lo = bounds[2 * width * p];
+      const size_t mid = bounds[2 * width * p + width];
+      const size_t hi = bounds[2 * width * (p + 1)];
+      std::inplace_merge(es.begin() + lo, es.begin() + mid, es.begin() + hi,
+                         EdgeEndpointLess);
+    });
+  }
+}
+
 }  // namespace
 
 Graph Graph::FromEdges(NodeId num_vertices, std::vector<Edge> edges,
@@ -51,6 +100,26 @@ Graph Graph::FromEdges(NodeId num_vertices, std::vector<Edge> edges,
     }
   }
   NormalizeEdges(&edges, directed, weighted);
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.directed_ = directed;
+  g.weighted_ = weighted;
+  g.edges_ = std::move(edges);
+  g.BuildCsr();
+  return g;
+}
+
+Graph Graph::FromEdgesParallel(NodeId num_vertices, std::vector<Edge> edges,
+                               bool directed, bool weighted,
+                               ThreadPool* pool) {
+  for (const Edge& e : edges) {
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+  }
+  CanonicalizeEdges(&edges, directed);
+  StableSortEdgesParallel(&edges, pool);
+  MergeDuplicateEdges(&edges, weighted);
   Graph g;
   g.num_vertices_ = num_vertices;
   g.directed_ = directed;

@@ -20,6 +20,8 @@
 
 namespace sparsify {
 
+class ThreadPool;
+
 using NodeId = uint32_t;
 using EdgeId = uint32_t;
 
@@ -63,6 +65,16 @@ class Graph {
   /// reference ids outside it.
   static Graph FromEdges(NodeId num_vertices, std::vector<Edge> edges,
                          bool directed, bool weighted);
+
+  /// FromEdges with the O(m log m) canonical sort fanned out over `pool`
+  /// (stable chunk sorts + an inplace_merge tree). The sort is stable, so
+  /// the result is deterministic and independent of the thread count —
+  /// the serial fallback (`pool` null or small inputs) is bit-identical
+  /// to the parallel path. Ingest builds every full-scale graph through
+  /// this entry point.
+  static Graph FromEdgesParallel(NodeId num_vertices, std::vector<Edge> edges,
+                                 bool directed, bool weighted,
+                                 ThreadPool* pool);
 
   NodeId NumVertices() const { return num_vertices_; }
   /// Number of canonical edges (undirected edges counted once).

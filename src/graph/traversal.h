@@ -21,7 +21,17 @@
 //    low-diameter social/web graphs the pull direction settles the giant
 //    middle levels while touching only a fraction of the edges. The pull
 //    direction scans InNeighborNodes, so it is correct for directed
-//    graphs too.
+//    graphs too. The push->pull switch is gated on the IN-arc mass of
+//    still-undiscovered vertices (what a pull round actually scans) plus
+//    a frontier-size floor, so directed graphs with large unreachable
+//    regions never pay for pull rounds that cannot help; pull rounds scan
+//    a word-parallel visited bitmap instead of walking byte stamps (see
+//    src/graph/README.md for the full heuristic and why one visited bit
+//    is a sufficient parent test).
+//
+//  * DijkstraDistances runs a delta-stepping bucket queue by default
+//    (binary-heap fallback when the weight distribution defeats
+//    bucketing), with bit-identical distances either way.
 //
 // Determinism: BFS hop counts and Dijkstra distances are the unique fixed
 // point of their recurrences — they do not depend on the order vertices
@@ -90,6 +100,15 @@ class TraversalScratch {
   std::vector<NodeId> frontier_;  // flat frontier (also Brandes' FIFO)
   std::vector<NodeId> next_;      // next-level frontier
   std::vector<std::pair<double, NodeId>> heap_;  // Dijkstra min-heap
+  // Pull-direction visited bitmap, built lazily at the first pull switch
+  // of a traversal and maintained incrementally afterwards. Valid iff
+  // bits_epoch_ == epoch_.
+  std::vector<uint64_t> visited_bits_;
+  uint32_t bits_epoch_ = 0;
+  // Delta-stepping state: cyclic bucket array (vertex ids, lazy deletion)
+  // and the discovery-order list the end-of-run summary fold walks.
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<NodeId> reached_order_;
   // Brandes betweenness state (EnsureBrandes; all-zero between calls).
   std::vector<double> sigma_;
   std::vector<double> delta_;
@@ -116,6 +135,14 @@ enum class BfsMode {
   kPushOnly,  // classic top-down only (bench baseline / differential tests)
 };
 
+enum class SsspMode {
+  kAuto,           // delta-stepping when the weight distribution allows it
+  kDeltaStepping,  // force the bucket queue (still falls back on degenerate
+                   // weights: delta <= 0 or non-finite)
+  kBinaryHeap,     // classic lazy-deletion binary heap (bench baseline /
+                   // differential tests)
+};
+
 /// Hop-count BFS from `src` along out-edges, ignoring weights. Results via
 /// scratch.LevelOf / scratch.DistanceOf / scratch.Reached.
 TraversalSummary BfsLevels(const Graph& g, NodeId src,
@@ -123,9 +150,11 @@ TraversalSummary BfsLevels(const Graph& g, NodeId src,
                            BfsMode mode = BfsMode::kHybrid);
 
 /// Dijkstra from `src` along out-edges using edge weights. Results via
-/// scratch.DistanceOf / scratch.Reached.
+/// scratch.DistanceOf / scratch.Reached. Distances are bit-identical
+/// across every SsspMode (unique fixed point; see src/graph/README.md).
 TraversalSummary DijkstraDistances(const Graph& g, NodeId src,
-                                   TraversalScratch& scratch);
+                                   TraversalScratch& scratch,
+                                   SsspMode mode = SsspMode::kAuto);
 
 /// ShortestPathDistances dispatch: BFS for unweighted graphs, Dijkstra
 /// for weighted ones — the semantics every distance metric is defined on.

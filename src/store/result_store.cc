@@ -7,6 +7,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define SPARSIFY_STORE_HAS_FLOCK 1
+#endif
+
 namespace sparsify {
 
 namespace {
@@ -282,7 +289,49 @@ std::string CellKey::Canonical() const {
 }
 
 ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
-  Replay();
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  // Exclusive inter-process lock, taken before Replay so a concurrent
+  // writer can neither corrupt what we read nor interleave later appends.
+  // flock conflicts between two descriptors even within one process, so
+  // double-opening a store in tests (or one binary) fails the same way.
+  // The lock lives on a sidecar `.lock` file: locking the log itself
+  // would pin an inode that tail repair (resize_file) may replace.
+  const std::string lock_path = path_ + ".lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw std::runtime_error("result store: cannot open lock file " +
+                             lock_path);
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw std::runtime_error("result store: " + path_ +
+                             " is locked by another process");
+  }
+#endif
+  try {
+    Replay();
+  } catch (...) {
+    // The destructor never runs when the constructor throws: release the
+    // lock here or a failed open would wedge the path for the process.
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+    if (lock_fd_ >= 0) {
+      ::flock(lock_fd_, LOCK_UN);
+      ::close(lock_fd_);
+      lock_fd_ = -1;
+    }
+#endif
+    throw;
+  }
+}
+
+ResultStore::~ResultStore() {
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
+#endif
 }
 
 std::string ResultStore::PathInDir(const std::string& dir) {

@@ -32,8 +32,12 @@ struct StoredCell {
 ///
 /// Thread-safety: all methods are internally synchronized; Append is safe
 /// to call from engine worker threads (the store is the single writer of
-/// its file and serializes appends internally). Two ResultStore instances
-/// (or processes) must not write the same file concurrently.
+/// its file and serializes appends internally). Cross-process (and
+/// cross-instance) exclusivity is ENFORCED: the constructor takes an
+/// flock-based exclusive lock on `path`.lock before replaying and holds
+/// it for the store's lifetime, so a second CLI invocation pointed at the
+/// same --store directory fails fast with "store is locked by another
+/// process" instead of interleaving JSONL appends.
 class ResultStore {
  public:
   static constexpr int kFormatVersion = 1;
@@ -44,8 +48,12 @@ class ResultStore {
   /// Opens (and replays) the log at `path`. A missing file is an empty
   /// store; the header is written on the first Append. Throws
   /// std::runtime_error when the file exists but is not a result-store log
-  /// (bad header) or is corrupt before the final line.
+  /// (bad header), is corrupt before the final line, or is already locked
+  /// by another ResultStore instance or process.
   explicit ResultStore(std::string path);
+
+  /// Releases the inter-process lock.
+  ~ResultStore();
 
   /// Creates `dir` if needed and returns the conventional log path inside
   /// it (for callers that heap-allocate the store themselves).
@@ -95,6 +103,7 @@ class ResultStore {
   size_t dropped_tail_bytes_ = 0;  // garbage after the valid prefix
   bool file_exists_ = false;
   bool ends_with_newline_ = true;  // valid prefix ends in '\n'
+  int lock_fd_ = -1;  // flock'd `path_`.lock descriptor (-1 off-POSIX)
 };
 
 }  // namespace sparsify

@@ -1,0 +1,187 @@
+// Tests for the gated push->pull switch (src/graph/traversal.cc): on
+// directed, disconnected, and low-reachability shapes the gate must keep
+// the hybrid BFS on the push path (pull_rounds == 0), which bounds its
+// work to push-only's plus O(1) gate arithmetic per round — the non-flaky
+// form of "the gated hybrid never loses more than noise to push-only".
+// The shapes below are exactly the ones where the seed's out-arc-based
+// trigger fired wasted pull rounds (the committed web-Google directed
+// regression). The gate must also still ENGAGE where pull pays (stars),
+// and every mode must stay bit-identical on every shape.
+#include "src/graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+
+namespace sparsify {
+namespace {
+
+std::vector<double> ReferenceQueueBfs(const Graph& g, NodeId src) {
+  std::vector<double> dist(g.NumVertices(), kInfDistance);
+  dist[src] = 0.0;
+  std::queue<NodeId> q;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.OutNeighborNodes(v)) {
+      if (dist[u] == kInfDistance) {
+        dist[u] = dist[v] + 1.0;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+// Asserts hybrid == push-only == reference queue BFS from `src`, returning
+// the hybrid summary so callers can additionally constrain pull_rounds.
+TraversalSummary ExpectModesAgree(const Graph& g, NodeId src,
+                                  const std::string& what) {
+  TraversalScratch scratch;
+  TraversalSummary hybrid = BfsLevels(g, src, scratch);
+  std::vector<double> hybrid_dist(g.NumVertices());
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    hybrid_dist[v] = scratch.DistanceOf(v);
+  }
+  TraversalSummary push = BfsLevels(g, src, scratch, BfsMode::kPushOnly);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(scratch.DistanceOf(v), hybrid_dist[v])
+        << what << " src=" << src << " v=" << v << " (push vs hybrid)";
+  }
+  EXPECT_EQ(hybrid.reached, push.reached) << what << " src=" << src;
+  EXPECT_EQ(hybrid.max_dist, push.max_dist) << what << " src=" << src;
+  EXPECT_EQ(hybrid.farthest, push.farthest) << what << " src=" << src;
+  std::vector<double> reference = ReferenceQueueBfs(g, src);
+  EXPECT_EQ(hybrid_dist, reference) << what << " src=" << src;
+  return hybrid;
+}
+
+// Directed "dead core": a hub fans out to 100 leaves (all of the graph's
+// reachable set) while 1000 unreachable vertices chain among themselves.
+// The seed gate compared the frontier's out-arcs against REMAINING
+// OUT-arcs — after the hub round that denominator collapsed and two pull
+// rounds scanned every dead vertex for nothing. The in-arc denominator
+// plus the frontier-size floor must keep this shape pure push.
+Graph DirectedDeadCore() {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 100; ++v) edges.push_back({0, v, 1.0});
+  for (NodeId v = 101; v < 1100; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1), 1.0});
+  }
+  return Graph::FromEdges(1101, std::move(edges), /*directed=*/true,
+                          /*weighted=*/false);
+}
+
+TEST(HybridGateTest, DirectedDeadCoreNeverPulls) {
+  Graph g = DirectedDeadCore();
+  TraversalSummary sum = ExpectModesAgree(g, 0, "dead_core");
+  EXPECT_EQ(sum.pull_rounds, 0);
+  EXPECT_EQ(sum.reached, 101u);
+  // From inside the dead chain the frontier is a single vertex forever;
+  // pull must never fire there either.
+  sum = ExpectModesAgree(g, 101, "dead_core_chain");
+  EXPECT_EQ(sum.pull_rounds, 0);
+}
+
+// Low reachability with a large zero-arc remainder: the hub's 100 out-arcs
+// are ALL the arcs, so the seed's `scout > remaining_out/kAlpha` trigger
+// fired a pull round that scanned 4899 isolated vertices to discover
+// nothing it could not have pushed. The kGamma frontier-size floor
+// (frontier out-arcs * 4 >= undiscovered vertices) must suppress it.
+TEST(HybridGateTest, IsolatedRemainderFloorSuppressesPull) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= 100; ++v) edges.push_back({0, v, 1.0});
+  Graph g = Graph::FromEdges(5000, std::move(edges), /*directed=*/true,
+                             /*weighted=*/false);
+  TraversalSummary sum = ExpectModesAgree(g, 0, "isolated_remainder");
+  EXPECT_EQ(sum.pull_rounds, 0);
+  EXPECT_EQ(sum.reached, 101u);
+}
+
+// Disconnected undirected graph: the source's component is a 6-vertex
+// path; the other component is dense. Its arc mass sits in the pull
+// denominator for the whole traversal, so the tiny frontier never wins
+// the trigger and the traversal stays push (and correct).
+TEST(HybridGateTest, DisconnectedDenseRemainderNeverPulls) {
+  Rng rng(31);
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 5; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1), 1.0});
+  }
+  Graph dense = ErdosRenyi(400, 3000, /*directed=*/false, rng);
+  for (const Edge& e : dense.Edges()) {
+    edges.push_back(
+        {static_cast<NodeId>(e.u + 6), static_cast<NodeId>(e.v + 6), 1.0});
+  }
+  Graph g = Graph::FromEdges(406, std::move(edges), /*directed=*/false,
+                             /*weighted=*/false);
+  TraversalSummary sum = ExpectModesAgree(g, 0, "disconnected");
+  EXPECT_EQ(sum.pull_rounds, 0);
+  EXPECT_EQ(sum.reached, 6u);
+}
+
+// Directed low-reachability sweep over a web-shaped graph: whatever the
+// gate decides per source, hybrid must equal push-only bitwise. This is
+// the randomized cousin of the deterministic shapes above.
+TEST(HybridGateTest, DirectedRmatAllSourcesAgree) {
+  Rng rng(97);
+  Graph g = RMat(10, 4000, 0.57, 0.19, 0.19, /*directed=*/true, rng);
+  for (NodeId src = 0; src < g.NumVertices();
+       src += std::max<NodeId>(1, g.NumVertices() / 23)) {
+    ExpectModesAgree(g, src, "rmat");
+  }
+}
+
+// Over-suppression guard: the gate must still take pull rounds on shapes
+// where pull genuinely pays — a star traversed from a leaf (undirected)
+// and from the hub (directed) reaches everything within two rounds and
+// the round-2 frontier dominates the undiscovered region.
+TEST(HybridGateTest, PullStillEngagesWhereItPays) {
+  std::vector<Edge> star;
+  for (NodeId v = 1; v < 64; ++v) star.push_back({0, v, 1.0});
+  Graph undirected = Graph::FromEdges(64, star, /*directed=*/false,
+                                      /*weighted=*/false);
+  TraversalScratch scratch;
+  TraversalSummary sum = BfsLevels(undirected, 1, scratch);
+  EXPECT_GE(sum.pull_rounds, 1);
+  EXPECT_EQ(sum.reached, 64u);
+
+  Graph directed = Graph::FromEdges(64, star, /*directed=*/true,
+                                    /*weighted=*/false);
+  sum = BfsLevels(directed, 0, scratch);
+  EXPECT_GE(sum.pull_rounds, 1);
+  EXPECT_EQ(sum.reached, 64u);
+  ExpectModesAgree(directed, 0, "directed_star");
+}
+
+// The same scratch must serve pull-heavy and pull-free traversals back to
+// back: the lazily built visited bitmap is only valid for the epoch that
+// built it, and a stale bitmap would corrupt the next pull traversal.
+TEST(HybridGateTest, BitmapInvalidatedAcrossTraversals) {
+  std::vector<Edge> star;
+  for (NodeId v = 1; v < 64; ++v) star.push_back({0, v, 1.0});
+  Graph pull_heavy = Graph::FromEdges(64, star, /*directed=*/false,
+                                      /*weighted=*/false);
+  Graph dead_core = DirectedDeadCore();
+  TraversalScratch scratch;
+  for (int round = 0; round < 4; ++round) {
+    TraversalSummary sum = BfsLevels(pull_heavy, 1, scratch);
+    EXPECT_GE(sum.pull_rounds, 1) << "round=" << round;
+    EXPECT_EQ(sum.reached, 64u) << "round=" << round;
+    for (NodeId v = 0; v < 64; ++v) {
+      EXPECT_EQ(scratch.DistanceOf(v), v == 1 ? 0.0 : (v == 0 ? 1.0 : 2.0))
+          << "round=" << round << " v=" << v;
+    }
+    sum = BfsLevels(dead_core, 0, scratch);
+    EXPECT_EQ(sum.pull_rounds, 0) << "round=" << round;
+    EXPECT_EQ(sum.reached, 101u) << "round=" << round;
+  }
+}
+
+}  // namespace
+}  // namespace sparsify

@@ -174,21 +174,27 @@ TEST(ResultStoreTest, TruncationAtEveryByteOfLastRecordRecovers) {
 
     // (a) replay never throws, (b) exact prefix of records recovered. A
     // cut at or past the final '}' leaves a complete record that merely
-    // lost its newline; it must be recovered too.
+    // lost its newline; it must be recovered too. The first store must
+    // close before the reopen below: open stores hold an exclusive
+    // inter-process lock.
     size_t expected = cut >= last_json_end ? 3u : 2u;
-    ResultStore store(trial);
-    EXPECT_EQ(store.Size(), expected) << "cut=" << cut;
-    EXPECT_TRUE(store.Contains(MakeKey("RN", 0.1, 0))) << "cut=" << cut;
-    EXPECT_TRUE(store.Contains(MakeKey("RN", 0.2, 0))) << "cut=" << cut;
-    EXPECT_EQ(store.Contains(MakeKey("LD", 0.3, 0)), expected == 3u)
-        << "cut=" << cut;
-    if (expected == 2u) {
-      EXPECT_EQ(store.DroppedTailBytes(), cut - last_start) << "cut=" << cut;
-    }
+    {
+      ResultStore store(trial);
+      EXPECT_EQ(store.Size(), expected) << "cut=" << cut;
+      EXPECT_TRUE(store.Contains(MakeKey("RN", 0.1, 0))) << "cut=" << cut;
+      EXPECT_TRUE(store.Contains(MakeKey("RN", 0.2, 0))) << "cut=" << cut;
+      EXPECT_EQ(store.Contains(MakeKey("LD", 0.3, 0)), expected == 3u)
+          << "cut=" << cut;
+      if (expected == 2u) {
+        EXPECT_EQ(store.DroppedTailBytes(), cut - last_start)
+            << "cut=" << cut;
+      }
 
-    // (c) appending after the crash repairs the file: a fresh replay sees
-    // the recovered records plus the new one, and no torn bytes remain.
-    store.Append(MakeKey("GS", 0.4, 0), 0.4, 4.5);
+      // (c) appending after the crash repairs the file: a fresh replay
+      // sees the recovered records plus the new one, and no torn bytes
+      // remain.
+      store.Append(MakeKey("GS", 0.4, 0), 0.4, 4.5);
+    }
     ResultStore reopened(trial);
     EXPECT_EQ(reopened.Size(), expected + 1) << "cut=" << cut;
     EXPECT_EQ(reopened.DroppedTailBytes(), 0u) << "cut=" << cut;
@@ -202,10 +208,12 @@ TEST(ResultStoreTest, TruncationAtEveryByteOfLastRecordRecovers) {
 TEST(ResultStoreTest, TornHeaderOnlyFileRecoversEmpty) {
   std::string path = TempPath("tornheader_store.jsonl");
   WriteFile(path, "{\"format\":\"sparsify-re");  // no newline: torn tail
-  ResultStore store(path);
-  EXPECT_EQ(store.Size(), 0u);
-  EXPECT_GT(store.DroppedTailBytes(), 0u);
-  store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+  {
+    ResultStore store(path);
+    EXPECT_EQ(store.Size(), 0u);
+    EXPECT_GT(store.DroppedTailBytes(), 0u);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+  }
   ResultStore reopened(path);
   EXPECT_EQ(reopened.Size(), 1u);
   EXPECT_EQ(reopened.DroppedTailBytes(), 0u);
@@ -223,6 +231,52 @@ TEST(ResultStoreTest, OpenInDirCreatesDirectory) {
   EXPECT_EQ(reopened.Path(),
             (fs::path(dir) / ResultStore::DefaultFileName()).string());
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(ResultStoreTest, SecondOpenOfLockedStoreThrows) {
+  std::string path = TempPath("locked_store.jsonl");
+  fs::remove(path);
+  ResultStore store(path);
+  store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+  // flock conflicts across descriptors even inside one process, so this
+  // exercises the same path a second CLI invocation would hit.
+  try {
+    ResultStore second(path);
+    FAIL() << "expected the second open to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("locked by another process"),
+              std::string::npos)
+        << e.what();
+  }
+  // The failed open must not have disturbed the holder.
+  EXPECT_EQ(store.Size(), 1u);
+  store.Append(MakeKey("RN", 0.2, 0), 0.2, 2.0);
+  EXPECT_EQ(store.Size(), 2u);
+}
+
+TEST(ResultStoreTest, LockReleasesOnCloseAndOnFailedOpen) {
+  std::string path = TempPath("relock_store.jsonl");
+  fs::remove(path);
+  {
+    ResultStore store(path);
+    store.Append(MakeKey("RN", 0.1, 0), 0.1, 1.0);
+  }
+  // Closed cleanly: reopening succeeds.
+  { ResultStore reopened(path); EXPECT_EQ(reopened.Size(), 1u); }
+
+  // A constructor that throws during replay (corrupt mid-file) must also
+  // release the lock, or the path would wedge for the whole process.
+  std::string bad = TempPath("relock_corrupt.jsonl");
+  std::string content = ReadFile(path);
+  size_t header_end = content.find('\n') + 1;
+  WriteFile(bad, content.substr(0, header_end) + "not json\n" +
+                     content.substr(header_end));
+  EXPECT_THROW(ResultStore{bad}, std::runtime_error);
+  WriteFile(bad, content);  // repair the file; the lock must be free
+  ResultStore recovered(bad);
+  EXPECT_EQ(recovered.Size(), 1u);
+}
+#endif
 
 TEST(ResultStoreTest, CodeRevBumpNeverReusesOldCells) {
   // PR 3 moved randomized sparsifiers to shared per-(sparsifier, run) seed
