@@ -26,8 +26,59 @@
 #include "src/engine/batch_runner.h"
 #include "src/eval/experiment.h"
 #include "src/graph/datasets.h"
+#include "src/obs/trace.h"
 
 namespace sparsify::bench {
+
+/// Attribution `meta` object for the BENCH_*.json emitters, so the perf
+/// trajectory is attributable run-to-run. Environment-passed fields (CI
+/// sets SPARSIFY_GIT_REV to the commit sha and SPARSIFY_BENCH_TIMESTAMP
+/// to an ISO-8601 UTC stamp) default to "unknown" locally — the bench
+/// itself never reads a clock or shells out to git, keeping its output a
+/// pure function of inputs + environment.
+inline std::string BenchMetaJson(int threads, const std::string& datasets) {
+  auto escape = [](const char* s) {
+    std::string out;
+    for (; s != nullptr && *s != '\0'; ++s) {
+      if (*s == '"' || *s == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(*s) >= 0x20) out.push_back(*s);
+    }
+    return out;
+  };
+  std::ostringstream meta;
+  meta << "{\"threads\": " << threads << ", \"git_rev\": \""
+       << escape(std::getenv("SPARSIFY_GIT_REV")) << "\", \"timestamp\": \""
+       << escape(std::getenv("SPARSIFY_BENCH_TIMESTAMP"))
+       << "\", \"datasets\": \"" << escape(datasets.c_str()) << "\"}";
+  return meta.str();
+}
+
+/// Shared --trace=FILE handling: arms the span tracer for the bench run
+/// and writes the drained spans as Chrome trace JSON on destruction.
+/// Inert (one relaxed load per span site) when the path is empty.
+class BenchTraceScope {
+ public:
+  explicit BenchTraceScope(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::StartTracing();
+  }
+  ~BenchTraceScope() {
+    if (path_.empty()) return;
+    obs::StopTracing();
+    std::vector<obs::TraceEvent> events = obs::DrainTrace();
+    if (obs::WriteChromeTraceFile(events, path_)) {
+      std::cout << "# trace: " << events.size() << " spans -> " << path_
+                << "\n";
+    } else {
+      std::cerr << "error: cannot write trace file " << path_ << "\n";
+    }
+  }
+
+  BenchTraceScope(const BenchTraceScope&) = delete;
+  BenchTraceScope& operator=(const BenchTraceScope&) = delete;
+
+ private:
+  std::string path_;
+};
 
 struct BenchOptions {
   double scale = 0.5;
@@ -37,11 +88,12 @@ struct BenchOptions {
   bool csv = false;
   std::string store;  // empty = no persistence
   bool resume = false;
+  std::string trace;  // empty = spans stay disabled
 };
 
 inline void PrintBenchUsage(std::ostream& os) {
   os << "usage: bench [--scale=f] [--runs=n] [--threads=n] [--seed=n] "
-        "[--csv] [--store=dir] [--resume]\n";
+        "[--csv] [--store=dir] [--resume] [--trace=file]\n";
 }
 
 /// Strict numeric flag values: `--runs=3x` or `--scale=abc` must abort,
@@ -109,6 +161,8 @@ inline BenchOptions ParseOptions(int argc, char** argv,
       opt.seed = ParseUint64Flag(arg.c_str() + 7, "--seed");
     } else if (arg.rfind("--store=", 0) == 0) {
       opt.store = arg.substr(8);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace = arg.substr(8);
     } else if (arg == "--resume") {
       opt.resume = true;
     } else if (arg == "--csv") {

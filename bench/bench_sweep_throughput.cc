@@ -36,7 +36,7 @@
 //          [--algos=LD,ER-uw,SCAN] [--metrics=connectivity,isolated,..]
 //          [--distance_metrics=spsp,eccentricity,diameter]
 //          [--runs=1] [--threads=1] [--seed=42] [--repeat=1]
-//          [--out=BENCH_sweep.json]
+//          [--out=BENCH_sweep.json] [--trace=trace.json]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -73,6 +73,7 @@ struct SweepBenchOptions {
   int repeat = 1;  // timing repeats; the minimum is reported
   uint64_t seed = 42;
   std::string out = "BENCH_sweep.json";
+  std::string trace;  // "" = spans stay disabled
 };
 
 struct AlgoResult {
@@ -120,11 +121,14 @@ bool ParseSweepBenchArgs(int argc, char** argv, SweepBenchOptions* opt) {
       opt->seed = ParseUint64Flag(arg + 7, "--seed");
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       opt->out = arg + 6;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opt->trace = arg + 8;
     } else {
       std::cerr << "error: unknown option '" << arg << "'\n"
                 << "usage: bench_sweep_throughput [--dataset=NAME] "
                    "[--scale=f] [--algos=A,B] [--metrics=a,b] [--runs=n] "
-                   "[--threads=n] [--repeat=n] [--seed=n] [--out=FILE]\n";
+                   "[--threads=n] [--repeat=n] [--seed=n] [--out=FILE] "
+                   "[--trace=FILE]\n";
       return false;
     }
   }
@@ -157,6 +161,7 @@ std::string JsonStringList(const std::vector<std::string>& items) {
 int SweepThroughputMain(int argc, char** argv) {
   SweepBenchOptions opt;
   if (!ParseSweepBenchArgs(argc, argv, &opt)) return 2;
+  BenchTraceScope trace_scope(opt.trace);
 
   Dataset d = LoadDatasetScaled(opt.dataset, opt.scale);
   std::string dataset_key = cli::DatasetCellName(opt.dataset, opt.scale);
@@ -313,6 +318,9 @@ int SweepThroughputMain(int argc, char** argv) {
   std::ostringstream json;
   json << "{\n";
   json << "  \"benchmark\": \"sweep_throughput\",\n";
+  json << "  \"meta\": "
+       << BenchMetaJson(opt.threads, opt.dataset + "@" + Json(opt.scale))
+       << ",\n";
   json << "  \"dataset\": \"" << opt.dataset << "\",\n";
   json << "  \"scale\": " << Json(opt.scale) << ",\n";
   json << "  \"graph\": {\"vertices\": " << d.graph.NumVertices()

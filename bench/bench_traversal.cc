@@ -85,6 +85,7 @@ struct TraversalBenchOptions {
   uint64_t seed = 42;
   std::string cache_dir;  // "" regenerates synthetics on every run
   std::string out = "BENCH_traversal.json";
+  std::string trace;  // "" = spans stay disabled
 };
 
 bool ParseTraversalArgs(int argc, char** argv, TraversalBenchOptions* opt) {
@@ -102,11 +103,13 @@ bool ParseTraversalArgs(int argc, char** argv, TraversalBenchOptions* opt) {
       opt->cache_dir = arg + 8;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       opt->out = arg + 6;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opt->trace = arg + 8;
     } else {
       std::cerr << "error: unknown option '" << arg << "'\n"
                 << "usage: bench_traversal [--datasets=NAME@SCALE,..] "
                    "[--sources=n] [--repeat=n] [--seed=n] [--cache=DIR] "
-                   "[--out=FILE]\n";
+                   "[--out=FILE] [--trace=FILE]\n";
       return false;
     }
   }
@@ -169,9 +172,15 @@ std::string Json(double v) {
 int TraversalBenchMain(int argc, char** argv) {
   TraversalBenchOptions opt;
   if (!ParseTraversalArgs(argc, argv, &opt)) return 2;
+  BenchTraceScope trace_scope(opt.trace);
 
   std::vector<GraphResult> results;
   for (const std::string& spec : opt.datasets) {
+    // One span per dataset: the kernel itself records counters, not
+    // spans (its hot loops are the thing being measured), so the trace's
+    // granularity here is the per-graph measurement section.
+    TRACE_SPAN(graph_span, "bench_graph");
+    if (graph_span.active()) graph_span.Detail(spec);
     std::string name = spec;
     double scale = 0.3;
     if (size_t at = spec.find('@'); at != std::string::npos) {
@@ -310,9 +319,16 @@ int TraversalBenchMain(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  std::string joined_datasets;
+  for (const std::string& spec : opt.datasets) {
+    joined_datasets += joined_datasets.empty() ? spec : "," + spec;
+  }
   std::ostringstream json;
   json << "{\n";
   json << "  \"benchmark\": \"traversal\",\n";
+  // The kernel timing loops are single-threaded by design (the per-call
+  // costs being raced are serial); meta.threads records that.
+  json << "  \"meta\": " << BenchMetaJson(1, joined_datasets) << ",\n";
   json << "  \"sources\": " << opt.sources << ",\n";
   json << "  \"repeat\": " << opt.repeat << ",\n";
   json << "  \"seed\": " << opt.seed << ",\n";

@@ -1,6 +1,7 @@
 #include "src/cli/sparsify_cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -10,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/cli/figures.h"
@@ -19,6 +21,9 @@
 #include "src/graph/datasets.h"
 #include "src/graph/ingest.h"
 #include "src/graph/io.h"
+#include "src/obs/counters.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 #include "src/sparsifiers/sparsifier.h"
 #include "src/store/result_store.h"
@@ -93,8 +98,8 @@ struct Args {
 // Flags that never take a value. They must not consume a following token
 // (`figure --resume 1a` would otherwise silently swallow the figure id).
 const std::set<std::string>& BooleanKeys() {
-  static const std::set<std::string> keys = {"csv", "resume", "directed",
-                                             "weighted", "paper"};
+  static const std::set<std::string> keys = {"csv",      "resume", "directed",
+                                             "weighted", "paper",  "progress"};
   return keys;
 }
 
@@ -210,7 +215,10 @@ int Usage() {
          "             [--paper] [--algos=RN,LD,..] [--rates=0.1,..]\n"
          "             [--runs=3] [--scale=0.5[,web-Google=0.2,..]]\n"
          "             [--seed=42] [--threads=0] [--csv] [--store=DIR]\n"
-         "             [--resume]\n"
+         "             [--resume] [--trace=FILE] [--progress]\n"
+         "  profile    (same flags as sweep) run a sweep and print the\n"
+         "             per-stage/per-metric breakdown (p50/p95/max,\n"
+         "             units/s, pool utilization)\n"
          "  ingest     --input=g.txt [--directed] [--weighted]\n"
          "             [--cache=DIR] [--threads=0]\n"
          "  export     --store=DIR [--format=csv|table] [--dataset=..]\n"
@@ -232,8 +240,10 @@ int Usage() {
          "bit-identically. `ingest` parses a SNAP edge list once, builds\n"
          "the CSR in parallel, and (with --cache=DIR) writes a\n"
          "content-addressed binary cache that later runs load in one bulk\n"
-         "read; its dataset key is ingest-<hash>. Run `sparsify_cli list`\n"
-         "for names.\n";
+         "read; its dataset key is ingest-<hash>. --trace=FILE exports the\n"
+         "run's spans as Chrome trace_event JSON (chrome://tracing /\n"
+         "ui.perfetto.dev); --progress prints a ~1s heartbeat to stderr\n"
+         "(completed/total units, ETA). Run `sparsify_cli list` for names.\n";
   return 1;
 }
 
@@ -342,10 +352,15 @@ int CmdIngest(const Args& args) {
   return 0;
 }
 
-int CmdSweep(const Args& args) {
+// Shared body of `sweep` and `profile`. The profile mode runs the exact
+// same sweep (same seeds, same store behaviour — output values are
+// byte-identical) with span tracing forced on, suppresses the per-metric
+// series tables, and prints the per-stage breakdown instead.
+int CmdSweep(const Args& args, bool profile_mode) {
+  const char* cmd_name = profile_mode ? "profile" : "sweep";
   bool paper = args.Has("paper");
   if (args.Has("metric") && args.Has("metrics")) {
-    std::cerr << "sweep takes either --metric or --metrics, not both\n";
+    std::cerr << cmd_name << " takes either --metric or --metrics, not both\n";
     return 1;
   }
 
@@ -356,7 +371,8 @@ int CmdSweep(const Args& args) {
   } else if (paper) {
     datasets = DatasetNames();
   } else {
-    std::cerr << "sweep requires --dataset (or --paper; comma-separated "
+    std::cerr << cmd_name
+              << " requires --dataset (or --paper; comma-separated "
                  "lists accepted)\n";
     return 1;
   }
@@ -368,7 +384,8 @@ int CmdSweep(const Args& args) {
   } else if (!metric_arg.empty()) {
     metric_names = SplitCsv(metric_arg);
   } else {
-    std::cerr << "sweep requires --metrics (or --paper; comma-separated "
+    std::cerr << cmd_name
+              << " requires --metrics (or --paper; comma-separated "
                  "lists accepted, or --metrics=all)\n";
     return 1;
   }
@@ -390,6 +407,11 @@ int CmdSweep(const Args& args) {
   }
   bool csv = args.Has("csv");
   bool resume = args.Has("resume");
+  bool progress = args.Has("progress");
+  std::string trace_path = args.Get("trace");
+  // Spans are recorded whenever the profile table needs them or a trace
+  // file was requested; otherwise the span sites stay one relaxed load.
+  bool tracing = profile_mode || !trace_path.empty();
 
   SweepConfig config;
   if (args.Has("algos")) config.sparsifiers = SplitCsv(args.Get("algos"));
@@ -400,6 +422,14 @@ int CmdSweep(const Args& args) {
   config.seed = args.GetUint64("seed", 42);
 
   BatchRunner runner(args.GetInt("threads", 0));
+  if (profile_mode) {
+    // Scope the registry and pool counters to this run so the breakdown
+    // reports this sweep, not process history.
+    obs::ResetAllStats();
+    runner.ResetPoolStats();
+  }
+  // Start before the store opens so its replay span is captured too.
+  if (tracing) obs::StartTracing();
   std::unique_ptr<ResultStore> store;
   if (args.Has("store")) {
     store = std::make_unique<ResultStore>(
@@ -411,6 +441,8 @@ int CmdSweep(const Args& args) {
     joined_metrics += joined_metrics.empty() ? m.name : "," + m.name;
   }
 
+  size_t total_submitted_units = 0;
+  Timer run_timer;
   for (const std::string& dataset_name : datasets) {
     auto override_it = scales.overrides.find(dataset_name);
     double scale = override_it != scales.overrides.end()
@@ -423,21 +455,58 @@ int CmdSweep(const Args& args) {
     // one subgraph.
     ResumableSweep sweep(runner, store.get());
     sweep.set_reuse_cached(resume);
+    if (progress) {
+      // ~1s heartbeat on stderr. Fires on worker threads; the CAS on the
+      // last-print time elects one printer per interval. The final unit
+      // always prints, so a finished sweep never ends mid-heartbeat.
+      auto started = Timer::Now();
+      auto last_print = std::make_shared<std::atomic<int64_t>>(0);
+      sweep.set_progress([started, last_print,
+                          dataset_key](size_t done, size_t submitted) {
+        int64_t now_ns = Timer::NowNanos();
+        if (done < submitted) {
+          int64_t prev = last_print->load(std::memory_order_relaxed);
+          if (now_ns - prev < 1'000'000'000) return;
+          if (!last_print->compare_exchange_strong(prev, now_ns)) return;
+        }
+        double elapsed = Timer::SecondsBetween(started, Timer::Now());
+        double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
+        double eta =
+            rate > 0 ? static_cast<double>(submitted - done) / rate : 0;
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "# progress %s: %zu/%zu units (%.1f units/s, ETA "
+                      "%.1fs)\n",
+                      dataset_key.c_str(), done, submitted, rate, eta);
+        std::cerr << line;
+      });
+    }
     ResumableSweepStats stats;
     Timer sweep_timer;
     std::vector<MetricSweepSeries> per_metric =
         sweep.RunMulti(d.graph, dataset_key, metrics, config, &stats);
     double seconds = sweep_timer.Seconds();
-    // Wall clock, throughput, and the subgraph/metric time split in the
-    // banner make resumed-vs-cold and shared-vs-rebuilt speedups visible
-    // without a profiler. Formatted into a buffer so the stream's float
-    // formatting state stays untouched.
-    char timing[96];
-    std::snprintf(
-        timing, sizeof(timing),
-        "%.1fs, %.1f units/s (subgraph %.1fs, metric %.1fs)", seconds,
-        seconds > 0 ? static_cast<double>(stats.total_cells) / seconds : 0.0,
-        stats.subgraph_seconds, stats.metric_seconds);
+    total_submitted_units += stats.submitted_cells;
+    // Wall clock, throughput, and the score/subgraph/metric time split in
+    // the banner make resumed-vs-cold and shared-vs-rebuilt speedups
+    // visible without a profiler. The rate counts only SUBMITTED units:
+    // cells served from the store are lookups, not work, and a fully
+    // resumed sweep reports "all cached" instead of a meaningless rate.
+    // Formatted into a buffer so the stream's float formatting state
+    // stays untouched.
+    char timing[112];
+    if (stats.submitted_cells > 0) {
+      std::snprintf(
+          timing, sizeof(timing),
+          "%.1fs, %.1f units/s (score %.1fs, subgraph %.1fs, metric %.1fs)",
+          seconds,
+          seconds > 0 ? static_cast<double>(stats.submitted_cells) / seconds
+                      : 0.0,
+          stats.score_seconds, stats.subgraph_seconds, stats.metric_seconds);
+    } else {
+      std::snprintf(timing, sizeof(timing), "%.1fs, all units cached",
+                    seconds);
+    }
     std::cout << "# sweep " << dataset_key << " metrics=" << joined_metrics
               << ": total=" << stats.total_cells
               << " cached=" << stats.cached_cells
@@ -445,6 +514,7 @@ int CmdSweep(const Args& args) {
               << " subgraph_builds=" << stats.subgraph_builds
               << " score_groups=" << stats.score_groups << ", " << timing
               << "\n";
+    if (profile_mode) continue;  // breakdown table instead of series
     for (const MetricSweepSeries& m : per_metric) {
       std::string title = m.metric + " on " + dataset_key;
       if (csv) {
@@ -452,6 +522,40 @@ int CmdSweep(const Args& args) {
       } else {
         PrintSeriesTable(std::cout, title, m.metric, m.series);
       }
+    }
+  }
+  double run_seconds = run_timer.Seconds();
+
+  if (tracing) {
+    obs::StopTracing();
+    std::vector<obs::TraceEvent> events = obs::DrainTrace();
+    if (!trace_path.empty()) {
+      if (obs::WriteChromeTraceFile(events, trace_path)) {
+        std::cerr << "# trace: " << events.size() << " spans -> "
+                  << trace_path << " (load in chrome://tracing or "
+                  << "ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "error: cannot write trace file " << trace_path << "\n";
+        return 1;
+      }
+    }
+    if (profile_mode) {
+      obs::ProfileSummary summary;
+      summary.wall_seconds = run_seconds;
+      summary.threads = static_cast<size_t>(runner.NumThreads());
+      summary.pool_busy_seconds = runner.PoolStats().busy_seconds;
+      PrintProfile(obs::BuildProfile(events), summary, std::cout);
+      // Cross-check against the scheduler: one metric_unit span per
+      // submitted (cell x metric) unit, across every dataset swept.
+      size_t unit_spans = 0;
+      for (const obs::TraceEvent& ev : events) {
+        if (std::string_view(ev.name) == "metric_unit") ++unit_spans;
+      }
+      std::cout << "# profile check: metric_unit spans=" << unit_spans
+                << " submitted units=" << total_submitted_units
+                << (unit_spans == total_submitted_units ? " (match)"
+                                                        : " (MISMATCH)")
+                << "\n";
     }
   }
   return 0;
@@ -510,7 +614,12 @@ const std::map<std::string, std::set<std::string>>& AllowedKeys() {
        {"metric", "input", "sparsified", "directed", "weighted", "seed"}},
       {"sweep",
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
-        "scale", "seed", "threads", "csv", "store", "resume"}},
+        "scale", "seed", "threads", "csv", "store", "resume", "trace",
+        "progress"}},
+      {"profile",
+       {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
+        "scale", "seed", "threads", "csv", "store", "resume", "trace",
+        "progress"}},
       {"ingest", {"input", "directed", "weighted", "cache", "threads"}},
       {"export", {"store", "format", "dataset", "metric"}},
       {"ls", {"store"}},
@@ -545,7 +654,8 @@ int RunSparsifyCli(int argc, char** argv) {
     if (cmd == "metrics") return CmdMetrics();
     if (cmd == "sparsify") return CmdSparsify(args);
     if (cmd == "evaluate") return CmdEvaluate(args);
-    if (cmd == "sweep") return CmdSweep(args);
+    if (cmd == "sweep") return CmdSweep(args, /*profile_mode=*/false);
+    if (cmd == "profile") return CmdSweep(args, /*profile_mode=*/true);
     if (cmd == "ingest") return CmdIngest(args);
     if (cmd == "export") return CmdExport(args);
     if (cmd == "ls") return CmdLs(args);

@@ -1,6 +1,7 @@
 #include "src/engine/batch_runner.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -9,10 +10,37 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/counters.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace sparsify {
+namespace {
+
+// Engine stage counters/latencies. Function-local static references so
+// the registry mutex is paid once per process, not per task.
+struct EngineObs {
+  obs::Counter& score_groups = obs::GetCounter("engine.score_groups");
+  obs::Counter& subgraph_builds = obs::GetCounter("engine.subgraph_builds");
+  obs::Counter& metric_units = obs::GetCounter("engine.metric_units");
+  obs::Histogram& score_ns = obs::GetHistogram("engine.score_ns");
+  obs::Histogram& subgraph_ns = obs::GetHistogram("engine.subgraph_ns");
+  obs::Histogram& metric_unit_ns = obs::GetHistogram("engine.metric_unit_ns");
+};
+
+EngineObs& GetEngineObs() {
+  static EngineObs* e = new EngineObs();
+  return *e;
+}
+
+std::string FormatRate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  return buf;
+}
+
+}  // namespace
 
 struct BatchRunner::Impl {
   explicit Impl(int num_threads) : pool(num_threads) {}
@@ -29,6 +57,10 @@ BatchRunner::BatchRunner(int num_threads)
 BatchRunner::~BatchRunner() = default;
 
 int BatchRunner::NumThreads() const { return impl_->pool.NumThreads(); }
+
+ThreadPoolStats BatchRunner::PoolStats() const { return impl_->pool.Stats(); }
+
+void BatchRunner::ResetPoolStats() { impl_->pool.ResetStats(); }
 
 void BatchRunner::set_share_scores(bool share) {
   impl_->share_scores = share;
@@ -237,6 +269,16 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         if (failed.load(std::memory_order_relaxed)) return;
         const BatchTask& task = results[i].task;
         uint32_t m = (*ids_of[i])[slot];
+        // One span per (cell x metric) evaluation unit — the unit CI
+        // counts against the sweep banner. The detail key is the metric
+        // registry name; the cell identity rides in the args.
+        TRACE_SPAN(span, "metric_unit");
+        if (span.active()) {
+          span.Detail(metrics[m].name.empty() ? "metric" : metrics[m].name);
+          span.Arg("sparsifier", task.sparsifier);
+          span.Arg("rate", FormatRate(task.prune_rate));
+          span.Arg("run", std::to_string(task.run));
+        }
         Timer unit_timer;
         try {
           Rng metric_rng(MetricSeed(master_seed, dataset, task.sparsifier,
@@ -254,9 +296,14 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           failed.store(true, std::memory_order_relaxed);
           throw;  // recorded as the pool's first error, rethrown by Wait
         }
+        double unit_seconds = unit_timer.Seconds();
+        EngineObs& eobs = GetEngineObs();
+        eobs.metric_units.Add();
+        eobs.metric_unit_ns.Record(
+            static_cast<uint64_t>(unit_seconds * 1e9));
         {
           std::lock_guard<std::mutex> lock(stats_mu);
-          metric_seconds += unit_timer.Seconds();
+          metric_seconds += unit_seconds;
         }
         if (units_left[i].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           cell_graph[i].reset();  // last metric frees the subgraph
@@ -274,6 +321,11 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
     for (size_t i = 0; i < tasks.size(); ++i) {
       impl_->pool.Submit([&, i] {
         if (failed.load(std::memory_order_relaxed)) return;
+        TRACE_SPAN(span, "subgraph");
+        if (span.active()) {
+          span.Detail(results[i].task.sparsifier);
+          span.Arg("rate", FormatRate(results[i].task.prune_rate));
+        }
         Timer build_timer;
         try {
           const BatchTask& task = results[i].task;
@@ -291,9 +343,13 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           failed.store(true, std::memory_order_relaxed);
           throw;
         }
+        double build_seconds = build_timer.Seconds();
+        EngineObs& eobs = GetEngineObs();
+        eobs.subgraph_builds.Add();
+        eobs.subgraph_ns.Record(static_cast<uint64_t>(build_seconds * 1e9));
         {
           std::lock_guard<std::mutex> lock(stats_mu);
-          subgraph_seconds += build_timer.Seconds();
+          subgraph_seconds += build_seconds;
         }
         submit_metric_units(i);
       });
@@ -373,6 +429,11 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
     impl_->pool.Submit([&, gi] {
       if (failed.load(std::memory_order_relaxed)) return;
       Group& group = groups[gi];
+      TRACE_SPAN(span, "score_group");
+      if (span.active()) {
+        span.Detail(group.sparsifier);
+        span.Arg("run", std::to_string(group.run));
+      }
       Timer score_timer;
       try {
         Rng group_rng(GroupSeed(master_seed, group.sparsifier, group.run));
@@ -381,14 +442,24 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         failed.store(true, std::memory_order_relaxed);
         throw;  // recorded as the pool's first error, rethrown by Wait
       }
+      double group_seconds = score_timer.Seconds();
+      EngineObs& eobs = GetEngineObs();
+      eobs.score_groups.Add();
+      eobs.score_ns.Record(static_cast<uint64_t>(group_seconds * 1e9));
       {
         std::lock_guard<std::mutex> lock(stats_mu);
-        score_seconds += score_timer.Seconds();
+        score_seconds += group_seconds;
       }
       for (size_t i : cells_of[gi]) {
         impl_->pool.SubmitUrgent([&, gi, i] {
           if (failed.load(std::memory_order_relaxed)) return;
           Group& cell_group = groups[gi];
+          TRACE_SPAN(span, "subgraph");
+          if (span.active()) {
+            span.Detail(results[i].task.sparsifier);
+            span.Arg("rate", FormatRate(results[i].task.prune_rate));
+            span.Arg("run", std::to_string(results[i].task.run));
+          }
           Timer build_timer;
           try {
             const BatchTask& task = results[i].task;
@@ -402,9 +473,14 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
             failed.store(true, std::memory_order_relaxed);
             throw;
           }
+          double build_seconds = build_timer.Seconds();
+          EngineObs& eobs = GetEngineObs();
+          eobs.subgraph_builds.Add();
+          eobs.subgraph_ns.Record(
+              static_cast<uint64_t>(build_seconds * 1e9));
           {
             std::lock_guard<std::mutex> lock(stats_mu);
-            subgraph_seconds += build_timer.Seconds();
+            subgraph_seconds += build_seconds;
           }
           submit_metric_units(i);
           if (cells_left[gi].fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -28,6 +28,7 @@
 #include "src/graph/graph.h"
 #include "src/sparsifiers/sparsifier.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace sparsify {
 
@@ -131,6 +132,14 @@ class BatchRunner {
   BatchRunner& operator=(const BatchRunner&) = delete;
 
   int NumThreads() const;
+
+  /// Always-on accounting of the underlying pool (per-worker busy time,
+  /// tasks executed, queue high-water). `sparsify_cli profile` derives
+  /// utilization as busy_seconds / (wall x NumThreads()).
+  ThreadPoolStats PoolStats() const;
+
+  /// Zeroes the pool counters so a profile run measures only itself.
+  void ResetPoolStats();
 
   /// When false, every cell recomputes its scores with the legacy
   /// per-cell RNG scheme (seed = (master_seed, cell index)) instead of

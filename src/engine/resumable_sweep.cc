@@ -1,5 +1,6 @@
 #include "src/engine/resumable_sweep.h"
 
+#include <atomic>
 #include <utility>
 
 namespace sparsify {
@@ -81,10 +82,19 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
       engine_metrics.push_back(BatchMetric{m.name, m.fn});
     }
     BatchRunner::MetricResultCallback on_unit = nullptr;
-    if (store_ != nullptr) {
+    std::atomic<size_t> completed_units{0};
+    size_t submitted_units = total_units - cached_units;
+    if (store_ != nullptr || progress_) {
       on_unit = [&](const BatchTask& task, double achieved, uint32_t m,
                     double value) {
-        store_->Append(key_of(task, metrics[m].name), achieved, value);
+        if (store_ != nullptr) {
+          store_->Append(key_of(task, metrics[m].name), achieved, value);
+        }
+        if (progress_) {
+          size_t done =
+              completed_units.fetch_add(1, std::memory_order_relaxed) + 1;
+          progress_(done, submitted_units);
+        }
       };
     }
     BatchRunStats run_stats;
@@ -103,6 +113,7 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
     if (stats != nullptr) {
       stats->score_groups = run_stats.score_groups;
       stats->subgraph_builds = run_stats.subgraph_builds;
+      stats->score_seconds = run_stats.score_seconds;
       stats->subgraph_seconds = run_stats.subgraph_seconds;
       stats->metric_seconds = run_stats.metric_seconds;
     }

@@ -12,6 +12,7 @@
 #ifndef SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_
 #define SPARSIFY_ENGINE_RESUMABLE_SWEEP_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,7 +50,9 @@ struct ResumableSweepStats {
   size_t score_groups = 0;
   size_t subgraph_builds = 0;
   // Summed task durations from BatchRunStats: where the submitted units'
-  // time went (subgraph = mask + Apply, metric = evaluations).
+  // time went (score = PrepareScores groups, subgraph = mask + Apply,
+  // metric = evaluations).
+  double score_seconds = 0;
   double subgraph_seconds = 0;
   double metric_seconds = 0;
 };
@@ -69,6 +72,14 @@ class ResumableSweep {
   /// recomputed and re-appended (last write wins on replay). This is the
   /// CLI's `--store` without `--resume`. Default true.
   void set_reuse_cached(bool reuse) { reuse_cached_ = reuse; }
+
+  /// Per-unit progress callback: invoked as each SUBMITTED (cell, metric)
+  /// unit completes, with the running completed count and the submitted
+  /// total (cached units are excluded — they were never work). Fires on
+  /// worker threads, concurrently; the callback must synchronize its own
+  /// state and stay cheap. Drives the CLI's --progress heartbeat.
+  using ProgressFn = std::function<void(size_t completed, size_t submitted)>;
+  void set_progress(ProgressFn progress) { progress_ = std::move(progress); }
 
   /// Runs every metric of `metrics` over the sweep grid of `config` on
   /// `g`, sparsifying each (sparsifier, rate, run) cell exactly once and
@@ -100,6 +111,7 @@ class ResumableSweep {
   ResultStore* store_;  // not owned; may be null
   std::string code_rev_;
   bool reuse_cached_ = true;
+  ProgressFn progress_;
 };
 
 }  // namespace sparsify

@@ -1,0 +1,156 @@
+#include "src/obs/counters.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace sparsify::obs {
+namespace {
+
+// Round-robin shard assignment: each new thread takes the next slot.
+// deques/maps in the registry below need a mutex anyway; the shard index
+// itself is lock-free after the first use on a thread.
+std::atomic<size_t> g_next_shard{0};
+
+size_t AssignShard() {
+  return g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+         kCounterShards;
+}
+
+// Registry storage. std::map keeps iteration sorted and never moves
+// nodes, so returned references stay stable as the map grows. Objects
+// are heap-held via unique_ptr because Counter/Histogram are
+// over-aligned (alignas(64) shards) and deliberately non-movable.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: outlive all threads
+  return *r;
+}
+
+// Bit width of v: 0 for 0, otherwise floor(log2(v)) + 1.
+size_t BucketOf(uint64_t v) {
+  size_t b = 0;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  thread_local size_t shard = AssignShard();
+  return shard;
+}
+
+void Histogram::Record(uint64_t sample) {
+  Shard& s = shards_[ThisThreadShard()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(sample, std::memory_order_relaxed);
+  s.buckets[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (prev < sample &&
+         !s.max.compare_exchange_weak(prev, sample,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t Histogram::Snapshot::PercentileUpperBound(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; walk buckets until the
+  // cumulative count reaches it.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Bucket b holds values of bit width b: [2^(b-1), 2^b).
+      if (b == 0) return 0;
+      if (b >= 64) return ~uint64_t{0};
+      return (uint64_t{1} << b) - 1;
+    }
+  }
+  return max;
+}
+
+Counter& GetCounter(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& GetHistogram(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<CounterValue> SnapshotCounters() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<CounterValue> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    out.push_back({name, c->Value()});
+  }
+  return out;
+}
+
+std::vector<HistogramValue> SnapshotHistograms() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<HistogramValue> out;
+  out.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    out.push_back({name, h->Snap()});
+  }
+  return out;
+}
+
+void ResetAllStats() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->Reset();
+  for (auto& [name, h] : r.histograms) h->Reset();
+}
+
+}  // namespace sparsify::obs

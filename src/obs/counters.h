@@ -1,0 +1,146 @@
+// Counter / histogram registry: the always-on half of the observability
+// layer (spans — the opt-in half — live in trace.h).
+//
+// Counters and histograms are SHARDED per thread in the MRV style
+// (randomized/record-split hot values, SIGMOD'23): each object owns a
+// fixed array of cache-line-sized slots, every thread is pinned to one
+// slot round-robin on first use, and a hot-path increment is exactly one
+// relaxed fetch_add on the thread's own line — no mutex, no contention,
+// no allocation. Reads merge the slots, so Value()/Snapshot() are linear
+// in the shard count but increments never wait on readers or on each
+// other.
+//
+// Determinism contract: instrumentation only OBSERVES. Nothing in this
+// header touches RNG streams or result values, so enabling, disabling,
+// or reading metrics can never change a sweep's numeric output. Counter
+// totals for a fixed workload are thread-count independent (the same
+// work increments the same counters no matter which worker runs it);
+// histogram COUNTS are too, though the recorded latencies of course vary
+// run to run.
+//
+// Registry: GetCounter/GetHistogram intern objects by name and return
+// stable references (never invalidated, never freed). Call sites cache
+// the reference in a function-local static so the registry's mutex is
+// touched once per call site, not per increment:
+//
+//   static obs::Counter& calls = obs::GetCounter("traversal.bfs_calls");
+//   calls.Add();
+#ifndef SPARSIFY_OBS_COUNTERS_H_
+#define SPARSIFY_OBS_COUNTERS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparsify::obs {
+
+/// Number of per-thread slots of every counter/histogram. A power of two;
+/// more threads than shards simply share slots (the merge stays exact —
+/// fetch_add is atomic either way, sharing only reintroduces contention).
+inline constexpr size_t kCounterShards = 16;
+
+/// This thread's shard index: assigned round-robin on first use, cached
+/// thread_local afterwards (one TLS read per increment).
+size_t ThisThreadShard();
+
+/// Monotonic sharded counter. Add is one relaxed fetch_add on the calling
+/// thread's cache line; Value sums the shards.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(delta,
+                                           std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// Log2-bucketed histogram of non-negative samples (latencies in ns,
+/// sizes, ...). Bucket i holds samples whose bit width is i, i.e. values
+/// in [2^(i-1), 2^i); Record is a handful of relaxed atomics on the
+/// calling thread's shard. Count/sum/max are exact; percentiles resolve
+/// to the containing power-of-two bucket (factor-of-2 accuracy — the
+/// right tool for "did p95 regress 10x", not for microbenchmarks).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit widths 0..64
+
+  void Record(uint64_t sample);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t buckets[kBuckets] = {};
+
+    /// Upper bound of the bucket containing rank q*count (q in [0,1]).
+    /// 0 when empty. The true sample is within 2x below the bound.
+    uint64_t PercentileUpperBound(double q) const;
+    double Mean() const {
+      return count > 0 ? static_cast<double>(sum) / count : 0.0;
+    }
+  };
+
+  /// Merged view across shards.
+  Snapshot Snap() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// Interns (on first use) and returns the named counter / histogram.
+/// References are stable for the process lifetime. Names are dotted
+/// lowercase paths ("engine.metric_units", "store.append_ns"); the _ns
+/// suffix marks nanosecond latency histograms.
+Counter& GetCounter(const std::string& name);
+Histogram& GetHistogram(const std::string& name);
+
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  Histogram::Snapshot snap;
+};
+
+/// All registered counters / histograms, sorted by name. Counters with
+/// value 0 are included (a registered name is part of the surface).
+std::vector<CounterValue> SnapshotCounters();
+std::vector<HistogramValue> SnapshotHistograms();
+
+/// Zeroes every registered counter and histogram (names stay interned).
+/// For test isolation and `sparsify_cli profile` run scoping; racing
+/// Reset against live increments loses no more than the racing deltas.
+void ResetAllStats();
+
+}  // namespace sparsify::obs
+
+#endif  // SPARSIFY_OBS_COUNTERS_H_

@@ -1,0 +1,103 @@
+#include "src/obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <utility>
+
+namespace sparsify::obs {
+namespace {
+
+double PercentileMs(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  // Nearest-rank on the sorted sample; exact, since we keep every span.
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted_ms.size()));
+  if (rank >= sorted_ms.size()) rank = sorted_ms.size() - 1;
+  return sorted_ms[rank];
+}
+
+}  // namespace
+
+std::vector<ProfileRow> BuildProfile(
+    const std::vector<TraceEvent>& events) {
+  struct Acc {
+    std::vector<double> durations_ms;
+    double total_seconds = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Acc> by_key;
+  for (const TraceEvent& ev : events) {
+    Acc& acc = by_key[{ev.name, ev.detail}];
+    double s = ev.DurationSeconds();
+    acc.durations_ms.push_back(s * 1e3);
+    acc.total_seconds += s;
+  }
+
+  std::map<std::string, double> stage_total;
+  std::vector<ProfileRow> rows;
+  rows.reserve(by_key.size());
+  for (auto& [key, acc] : by_key) {
+    std::sort(acc.durations_ms.begin(), acc.durations_ms.end());
+    ProfileRow row;
+    row.stage = key.first;
+    row.detail = key.second;
+    row.count = acc.durations_ms.size();
+    row.total_seconds = acc.total_seconds;
+    row.p50_ms = PercentileMs(acc.durations_ms, 0.50);
+    row.p95_ms = PercentileMs(acc.durations_ms, 0.95);
+    row.max_ms = acc.durations_ms.back();
+    stage_total[row.stage] += row.total_seconds;
+    rows.push_back(std::move(row));
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [&stage_total](const ProfileRow& a, const ProfileRow& b) {
+              double sa = stage_total[a.stage];
+              double sb = stage_total[b.stage];
+              if (sa != sb) return sa > sb;
+              if (a.stage != b.stage) return a.stage < b.stage;
+              if (a.total_seconds != b.total_seconds) {
+                return a.total_seconds > b.total_seconds;
+              }
+              return a.detail < b.detail;
+            });
+  return rows;
+}
+
+void PrintProfile(const std::vector<ProfileRow>& rows,
+                  const ProfileSummary& summary, std::ostream& out) {
+  char line[256];
+  double capacity = summary.wall_seconds * static_cast<double>(summary.threads);
+  double util = capacity > 0 ? 100.0 * summary.pool_busy_seconds / capacity : 0;
+  std::snprintf(line, sizeof(line),
+                "# profile: wall=%.3fs threads=%zu pool_util=%.1f%%\n",
+                summary.wall_seconds, summary.threads, util);
+  out << line;
+
+  size_t stage_w = 5, detail_w = 6;
+  for (const ProfileRow& r : rows) {
+    stage_w = std::max(stage_w, r.stage.size());
+    detail_w = std::max(detail_w, r.detail.size());
+  }
+  std::snprintf(line, sizeof(line),
+                "%-*s  %-*s  %7s  %9s  %9s  %9s  %9s  %9s\n",
+                static_cast<int>(stage_w), "stage",
+                static_cast<int>(detail_w), "detail", "count", "total_s",
+                "p50_ms", "p95_ms", "max_ms", "units/s");
+  out << line;
+  for (const ProfileRow& r : rows) {
+    double rate = summary.wall_seconds > 0
+                      ? static_cast<double>(r.count) / summary.wall_seconds
+                      : 0;
+    std::snprintf(line, sizeof(line),
+                  "%-*s  %-*s  %7llu  %9.3f  %9.3f  %9.3f  %9.3f  %9.1f\n",
+                  static_cast<int>(stage_w), r.stage.c_str(),
+                  static_cast<int>(detail_w),
+                  r.detail.empty() ? "-" : r.detail.c_str(),
+                  static_cast<unsigned long long>(r.count), r.total_seconds,
+                  r.p50_ms, r.p95_ms, r.max_ms, rate);
+    out << line;
+  }
+}
+
+}  // namespace sparsify::obs

@@ -1,0 +1,189 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace sparsify::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+// One buffer per thread that ever recorded a span. The thread_local
+// handle below holds a shared_ptr; the global list holds another, so a
+// buffer outlives its thread and DrainTrace can still collect it. The
+// per-buffer mutex is uncontended in steady state (only the owning
+// thread appends; drains happen at quiescence).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+BufferRegistry& GetBufferRegistry() {
+  static BufferRegistry* r = new BufferRegistry();  // leaked: outlives threads
+  return *r;
+}
+
+ThreadBuffer& ThisThreadBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& r = GetBufferRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void JsonEscape(const std::string& s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out << hex;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  // Drop anything left from a previous run so a fresh trace starts
+  // empty even if the caller never drained.
+  DrainTrace();
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() { g_tracing.store(false, std::memory_order_relaxed); }
+
+std::vector<TraceEvent> DrainTrace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferRegistry& r = GetBufferRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffers = r.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    std::move(buf->events.begin(), buf->events.end(),
+              std::back_inserter(out));
+    buf->events.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+namespace internal {
+
+void RecordEvent(TraceEvent&& ev) {
+  ThreadBuffer& buf = ThisThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+int ThisThreadTraceTid() { return ThisThreadBuffer().tid; }
+
+}  // namespace internal
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& out) {
+  int64_t t0 = 0;
+  for (const TraceEvent& ev : events) {
+    if (t0 == 0 || ev.begin_ns < t0) t0 = ev.begin_ns;
+  }
+  // Microsecond timestamps rebased on the earliest span; Perfetto and
+  // chrome://tracing both expect "ts" in us.
+  auto us = [t0](int64_t ns) {
+    return static_cast<double>(ns - t0) * 1e-3;
+  };
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    // Begin event carries the args; the matching end event is bare.
+    out << "\n{\"name\":\"";
+    JsonEscape(ev.name, out);
+    out << "\",\"cat\":\"sparsify\",\"ph\":\"B\",\"pid\":1,\"tid\":"
+        << ev.tid << ",\"ts\":";
+    std::snprintf(num, sizeof(num), "%.3f", us(ev.begin_ns));
+    out << num << ",\"args\":{";
+    bool first_arg = true;
+    if (!ev.detail.empty()) {
+      out << "\"detail\":\"";
+      JsonEscape(ev.detail, out);
+      out << "\"";
+      first_arg = false;
+    }
+    for (const auto& [key, value] : ev.args) {
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"";
+      JsonEscape(key, out);
+      out << "\":\"";
+      JsonEscape(value, out);
+      out << "\"";
+    }
+    out << "}},";
+    out << "\n{\"name\":\"";
+    JsonEscape(ev.name, out);
+    out << "\",\"cat\":\"sparsify\",\"ph\":\"E\",\"pid\":1,\"tid\":"
+        << ev.tid << ",\"ts\":";
+    std::snprintf(num, sizeof(num), "%.3f", us(ev.end_ns));
+    out << num << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteChromeTrace(events, out);
+  return out.good();
+}
+
+}  // namespace sparsify::obs

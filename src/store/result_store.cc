@@ -7,6 +7,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/counters.h"
+#include "src/obs/trace.h"
+#include "src/util/timer.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <sys/file.h>
@@ -344,6 +348,18 @@ ResultStore ResultStore::OpenInDir(const std::string& dir) {
 }
 
 void ResultStore::Replay() {
+  TRACE_SPAN(span, "store_replay");
+  if (span.active()) span.Detail(path_);
+  // Records on every exit path (multiple returns, throws on corruption).
+  struct ReplayObs {
+    Timer timer;
+    ~ReplayObs() {
+      static obs::Histogram& replay_ns =
+          obs::GetHistogram("store.replay_ns");
+      replay_ns.Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
+    }
+  } replay_obs;
+
   std::ifstream in(path_, std::ios::binary);
   if (!in) {
     file_exists_ = false;
@@ -453,6 +469,11 @@ void ResultStore::EnsureWritable() {
 
 void ResultStore::Append(const CellKey& key, double achieved_prune_rate,
                          double value) {
+  // Append latency includes the lock wait: contention from many workers
+  // appending at once shows up here, which is what the histogram is for.
+  static obs::Counter& appends = obs::GetCounter("store.appends");
+  static obs::Histogram& append_ns = obs::GetHistogram("store.append_ns");
+  Timer append_timer;
   std::lock_guard<std::mutex> lock(mu_);
   EnsureWritable();
   StoredCell cell;
@@ -465,6 +486,8 @@ void ResultStore::Append(const CellKey& key, double achieved_prune_rate,
     throw std::runtime_error("result store: write failure on " + path_);
   }
   InsertLocked(std::move(cell));
+  appends.Add();
+  append_ns.Record(static_cast<uint64_t>(append_timer.Seconds() * 1e9));
 }
 
 }  // namespace sparsify

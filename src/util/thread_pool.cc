@@ -3,15 +3,29 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/counters.h"
+
 namespace sparsify {
+namespace {
+
+// Queue-wait latency (enqueue -> dequeue) across every pool in the
+// process. A growing tail here means submission outruns the workers.
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("pool.queue_wait_ns");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  worker_stats_ = std::make_unique<WorkerStat[]>(num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
 }
 
@@ -27,7 +41,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), Timer::Now()});
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -36,7 +51,8 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::SubmitUrgent(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_front(std::move(task));
+    queue_.push_front({std::move(task), Timer::Now()});
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -52,9 +68,10 @@ void ThreadPool::Wait() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  WorkerStat& stat = worker_stats_[worker_index];
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -63,17 +80,58 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    Timer::TimePoint start = Timer::Now();
+    QueueWaitHistogram().Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                             task.enqueued)
+            .count()));
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    uint64_t busy_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Timer::Now() -
+                                                             start)
+            .count());
+    stat.tasks.fetch_add(1, std::memory_order_relaxed);
+    stat.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats out;
+  size_t n = workers_.size();
+  out.worker_tasks.reserve(n);
+  out.worker_busy_seconds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t tasks = worker_stats_[i].tasks.load(std::memory_order_relaxed);
+    uint64_t busy_ns =
+        worker_stats_[i].busy_ns.load(std::memory_order_relaxed);
+    out.tasks_executed += tasks;
+    out.busy_seconds += static_cast<double>(busy_ns) * 1e-9;
+    out.worker_tasks.push_back(tasks);
+    out.worker_busy_seconds.push_back(static_cast<double>(busy_ns) * 1e-9);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    out.queue_high_water = queue_high_water_;
+  }
+  return out;
+}
+
+void ThreadPool::ResetStats() {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    worker_stats_[i].tasks.store(0, std::memory_order_relaxed);
+    worker_stats_[i].busy_ns.store(0, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_high_water_ = 0;
 }
 
 void NestedParallelFor(ThreadPool* pool, size_t n,

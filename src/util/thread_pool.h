@@ -9,16 +9,33 @@
 #ifndef SPARSIFY_UTIL_THREAD_POOL_H_
 #define SPARSIFY_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/util/timer.h"
+
 namespace sparsify {
+
+/// Always-on pool accounting (two clock reads per task — cheap against
+/// any task worth submitting to a pool). busy_seconds is summed across
+/// workers, so utilization over an interval is
+/// busy_seconds / (wall x NumThreads()); idle is the complement.
+struct ThreadPoolStats {
+  uint64_t tasks_executed = 0;
+  double busy_seconds = 0;
+  size_t queue_high_water = 0;  // deepest the queue has been
+  std::vector<uint64_t> worker_tasks;
+  std::vector<double> worker_busy_seconds;
+};
 
 /// A fixed-size pool of worker threads consuming a FIFO task queue.
 class ThreadPool {
@@ -51,15 +68,38 @@ class ThreadPool {
   /// rethrows the first exception (the rest are dropped).
   void Wait();
 
+  /// Merged view of the per-worker counters plus the queue high-water
+  /// mark. Safe to call concurrently with running tasks (values are a
+  /// consistent-enough snapshot: relaxed per-worker atomics).
+  ThreadPoolStats Stats() const;
+
+  /// Zeroes the per-worker counters and the queue high-water mark, so a
+  /// profile run measures only its own interval.
+  void ResetStats();
+
  private:
-  void WorkerLoop();
+  // Per-worker accounting lives on its own cache line so the hot path
+  // (two relaxed stores per task) never bounces lines between workers.
+  struct alignas(64) WorkerStat {
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> busy_ns{0};
+  };
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    Timer::TimePoint enqueued;  // for the pool.queue_wait_ns histogram
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  std::unique_ptr<WorkerStat[]> worker_stats_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
+  std::deque<QueuedTask> queue_;
+  size_t in_flight_ = 0;          // queued + currently executing
+  size_t queue_high_water_ = 0;   // under mu_
   std::exception_ptr first_error_;
   bool shutdown_ = false;
 };

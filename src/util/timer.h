@@ -1,31 +1,58 @@
-// Wall-clock timing helper used by the sparsification-time benchmark and the
-// evaluation harness.
+// Wall-clock timing helper used by the benches, the evaluation harness,
+// and the observability layer.
+//
+// This header is the library's single clock domain: Timer::Now() is the
+// one place std::chrono::steady_clock is consulted, so trace spans
+// (src/obs/trace.h), BatchRunStats wall-clock splits, ThreadPool busy
+// accounting, and bench timings all measure on the same monotonic axis
+// and their timestamps are directly comparable.
 #ifndef SPARSIFY_UTIL_TIMER_H_
 #define SPARSIFY_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sparsify {
 
 /// Monotonic wall-clock stopwatch. Starts on construction.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// The shared monotonic clock. Every timing in the library reads this.
+  static TimePoint Now() { return Clock::now(); }
+
+  /// Seconds between two time points (negative if b precedes a).
+  static double SecondsBetween(TimePoint a, TimePoint b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  /// Nanoseconds since the (unspecified, boot-relative) steady_clock
+  /// epoch. Only differences are meaningful; the trace exporter rebases
+  /// onto the earliest event before writing timestamps out.
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Now().time_since_epoch())
+        .count();
+  }
+
+  Timer() : start_(Now()) {}
 
   /// Resets the start point to now.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = Now(); }
 
   /// Seconds elapsed since construction or last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double Seconds() const { return SecondsBetween(start_, Now()); }
 
   /// Milliseconds elapsed since construction or last Reset().
   double Millis() const { return Seconds() * 1e3; }
 
+  /// The start point (construction or last Reset()).
+  TimePoint start() const { return start_; }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  TimePoint start_;
 };
 
 }  // namespace sparsify
