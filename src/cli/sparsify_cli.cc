@@ -24,6 +24,8 @@
 #include "src/obs/counters.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
+#include "src/util/errors.h"
+#include "src/util/failpoint.h"
 #include "src/util/thread_pool.h"
 #include "src/sparsifiers/sparsifier.h"
 #include "src/store/result_store.h"
@@ -216,6 +218,7 @@ int Usage() {
          "             [--runs=3] [--scale=0.5[,web-Google=0.2,..]]\n"
          "             [--seed=42] [--threads=0] [--csv] [--store=DIR]\n"
          "             [--resume] [--trace=FILE] [--progress]\n"
+         "             [--max-unit-retries=2]\n"
          "  profile    (same flags as sweep) run a sweep and print the\n"
          "             per-stage/per-metric breakdown (p50/p95/max,\n"
          "             units/s, pool utilization)\n"
@@ -224,6 +227,8 @@ int Usage() {
          "  export     --store=DIR [--format=csv|table] [--dataset=..]\n"
          "             [--metric=..]\n"
          "  ls         --store=DIR\n"
+         "  compact    --store=DIR  rewrite the log to one record per\n"
+         "             live cell (drops superseded duplicates; atomic)\n"
          "  figure     <id ...> [--scale=f] [--runs=3] [--threads=0]\n"
          "             [--seed=42] [--csv] [--store=DIR] [--resume]\n"
          "\n"
@@ -243,7 +248,15 @@ int Usage() {
          "read; its dataset key is ingest-<hash>. --trace=FILE exports the\n"
          "run's spans as Chrome trace_event JSON (chrome://tracing /\n"
          "ui.perfetto.dev); --progress prints a ~1s heartbeat to stderr\n"
-         "(completed/total units, ETA). Run `sparsify_cli list` for names.\n";
+         "(completed/total units, ETA). Run `sparsify_cli list` for names.\n"
+         "\n"
+         "Sweeps are error-tolerant: a failing (cell, metric) unit is\n"
+         "retried (transient failures, --max-unit-retries extra attempts)\n"
+         "or recorded as a typed error record in the store; the rest of\n"
+         "the sweep completes, and --resume resubmits exactly the failed\n"
+         "units. Exit codes: 0 ok, 1 usage/unclassified error, 2 I/O\n"
+         "failure, 3 store locked by another process, 4 corrupt store,\n"
+         "5 permanent unit failures, 6 transient unit failures only.\n";
   return 1;
 }
 
@@ -442,6 +455,8 @@ int CmdSweep(const Args& args, bool profile_mode) {
   }
 
   size_t total_submitted_units = 0;
+  size_t total_failed_units = 0;
+  size_t total_transient_failed = 0;
   Timer run_timer;
   for (const std::string& dataset_name : datasets) {
     auto override_it = scales.overrides.find(dataset_name);
@@ -455,6 +470,12 @@ int CmdSweep(const Args& args, bool profile_mode) {
     // one subgraph.
     ResumableSweep sweep(runner, store.get());
     sweep.set_reuse_cached(resume);
+    // Error-tolerant: a failing (cell, metric) unit is recorded as a typed
+    // error record (transient failures retry first) instead of sinking the
+    // whole sweep; the exit code reports the failure class and a later
+    // --resume resubmits exactly the failed units.
+    sweep.set_fault_tolerant(true);
+    sweep.set_max_unit_retries(args.GetInt("max-unit-retries", 2));
     if (progress) {
       // ~1s heartbeat on stderr. Fires on worker threads; the CAS on the
       // last-print time elects one printer per interval. The final unit
@@ -487,6 +508,8 @@ int CmdSweep(const Args& args, bool profile_mode) {
         sweep.RunMulti(d.graph, dataset_key, metrics, config, &stats);
     double seconds = sweep_timer.Seconds();
     total_submitted_units += stats.submitted_cells;
+    total_failed_units += stats.failed_units;
+    total_transient_failed += stats.transient_failed_units;
     // Wall clock, throughput, and the score/subgraph/metric time split in
     // the banner make resumed-vs-cold and shared-vs-rebuilt speedups
     // visible without a profiler. The rate counts only SUBMITTED units:
@@ -512,8 +535,15 @@ int CmdSweep(const Args& args, bool profile_mode) {
               << " cached=" << stats.cached_cells
               << " submitted=" << stats.submitted_cells
               << " subgraph_builds=" << stats.subgraph_builds
-              << " score_groups=" << stats.score_groups << ", " << timing
-              << "\n";
+              << " score_groups=" << stats.score_groups;
+    if (stats.failed_units > 0 || stats.retried_units > 0) {
+      // ok / failed / retried accounting, only when there is anything to
+      // report (the usual all-green banner stays byte-stable).
+      std::cout << " ok=" << (stats.submitted_cells - stats.failed_units)
+                << " failed=" << stats.failed_units
+                << " retried=" << stats.retried_units;
+    }
+    std::cout << ", " << timing << "\n";
     if (profile_mode) continue;  // breakdown table instead of series
     for (const MetricSweepSeries& m : per_metric) {
       std::string title = m.metric + " on " + dataset_key;
@@ -558,6 +588,18 @@ int CmdSweep(const Args& args, bool profile_mode) {
                 << "\n";
     }
   }
+  if (total_failed_units > 0) {
+    std::cerr << "# " << cmd_name << " finished with " << total_failed_units
+              << " failed unit(s) (" << total_transient_failed
+              << " transient); recorded as error records"
+              << (store ? "" : " (no --store: failures not persisted)")
+              << " -- re-run with --store/--resume to retry just those\n";
+    // Permanent failures dominate the exit code: they will not clear on
+    // their own, while an all-transient run may succeed if simply re-run.
+    return total_failed_units > total_transient_failed
+               ? kExitUnitFailures
+               : kExitTransientFailures;
+  }
   return 0;
 }
 
@@ -584,6 +626,25 @@ int CmdLs(const Args& args) {
   }
   ResultStore store(ResultStore::PathInDir(args.Get("store")));
   SummarizeStore(store, std::cout);
+  return 0;
+}
+
+int CmdCompact(const Args& args) {
+  if (!args.Has("store")) {
+    std::cerr << "compact requires --store=DIR\n";
+    return 1;
+  }
+  ResultStore store(ResultStore::PathInDir(args.Get("store")));
+  CompactStats stats = store.Compact();
+  std::cout << "compacted " << store.Path() << ": " << stats.records_before
+            << " -> " << stats.records_after << " records, "
+            << stats.bytes_before << " -> " << stats.bytes_after
+            << " bytes\n";
+  if (store.ErrorCount() > 0) {
+    std::cout << "  kept " << store.ErrorCount()
+              << " error record(s) (unresolved failed units; a resumed "
+                 "sweep retries them)\n";
+  }
   return 0;
 }
 
@@ -615,14 +676,15 @@ const std::map<std::string, std::set<std::string>>& AllowedKeys() {
       {"sweep",
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
         "scale", "seed", "threads", "csv", "store", "resume", "trace",
-        "progress"}},
+        "progress", "max-unit-retries"}},
       {"profile",
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
         "scale", "seed", "threads", "csv", "store", "resume", "trace",
-        "progress"}},
+        "progress", "max-unit-retries"}},
       {"ingest", {"input", "directed", "weighted", "cache", "threads"}},
       {"export", {"store", "format", "dataset", "metric"}},
       {"ls", {"store"}},
+      {"compact", {"store"}},
       {"figure",
        {"scale", "runs", "threads", "seed", "csv", "store", "resume"}},
   };
@@ -650,6 +712,11 @@ int RunSparsifyCli(int argc, char** argv) {
     return Usage();
   }
   try {
+    // Torture-harness hook: arm fault injection from the environment
+    // before any command touches the store or the engine. A malformed
+    // spec aborts loudly (invalid_argument -> usage) instead of silently
+    // running un-faulted.
+    fail::ArmFromEnv();
     if (cmd == "list") return CmdList();
     if (cmd == "metrics") return CmdMetrics();
     if (cmd == "sparsify") return CmdSparsify(args);
@@ -659,10 +726,20 @@ int RunSparsifyCli(int argc, char** argv) {
     if (cmd == "ingest") return CmdIngest(args);
     if (cmd == "export") return CmdExport(args);
     if (cmd == "ls") return CmdLs(args);
+    if (cmd == "compact") return CmdCompact(args);
     if (cmd == "figure") return CmdFigure(args);
+  } catch (const StoreLockHeldError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitLockHeld;
+  } catch (const StoreCorruptError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitCorruptStore;
+  } catch (const IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitIo;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
   }
   return Usage();
 }

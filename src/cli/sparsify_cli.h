@@ -16,9 +16,26 @@
 
 namespace sparsify::cli {
 
+// Exit codes. Distinct codes per failure class so scripts (and the
+// crash-torture harness) can branch on WHY a run failed without parsing
+// stderr. Every code is stable API; tests pin each one.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;        // bad usage / unclassified error
+inline constexpr int kExitIo = 2;           // filesystem failure (IoError)
+inline constexpr int kExitLockHeld = 3;     // store locked by another process
+inline constexpr int kExitCorruptStore = 4; // store failed replay validation
+inline constexpr int kExitUnitFailures = 5; // sweep finished, but >=1 unit
+                                            // failed permanently
+inline constexpr int kExitTransientFailures = 6;  // sweep finished; every
+                                                  // failure was transient
+                                                  // (retries exhausted) —
+                                                  // re-running may succeed
+
 /// argv-level entry point; returns the process exit code. Unknown
 /// subcommands and unknown --flags print an error plus usage and return
-/// nonzero instead of being silently ignored.
+/// nonzero instead of being silently ignored. Reads SPARSIFY_FAILPOINTS
+/// (fault-injection spec; see util/failpoint.h) at entry, so torture
+/// harnesses can inject faults into an unmodified binary.
 int RunSparsifyCli(int argc, char** argv);
 
 }  // namespace sparsify::cli

@@ -40,6 +40,9 @@ std::vector<StoreGroup> RebuildSeries(const ResultStore& store,
   using GroupKey = std::tuple<std::string, std::string, uint64_t, std::string>;
   std::map<GroupKey, std::vector<StoredCell>> groups;
   for (const StoredCell& cell : store.Cells()) {
+    // Error records are failed units, not results: exporting them would
+    // fold zeros into the series means. `ls` reports their count.
+    if (cell.is_error) continue;
     if (!dataset_filter.empty() && cell.key.dataset != dataset_filter) {
       continue;
     }
@@ -133,6 +136,10 @@ void ExportStore(const ResultStore& store, std::ostream& os, bool csv,
 void SummarizeStore(const ResultStore& store, std::ostream& os) {
   os << "store: " << store.Path() << "\n";
   os << "cells: " << store.Size();
+  if (store.ErrorCount() > 0) {
+    os << " (" << store.ErrorCount()
+       << " error record(s): failed units a resumed sweep will retry)";
+  }
   if (store.DroppedTailBytes() > 0) {
     os << " (dropped " << store.DroppedTailBytes()
        << " bytes of torn tail from a crashed append)";

@@ -1,17 +1,21 @@
 #include "src/engine/batch_runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "src/obs/counters.h"
 #include "src/obs/trace.h"
+#include "src/util/errors.h"
+#include "src/util/failpoint.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -38,6 +42,15 @@ std::string FormatRate(double rate) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", rate);
   return buf;
+}
+
+// Backoff before transient-failure retry `attempt` (1-based count of
+// attempts already made): 1ms doubling, capped at 100ms. A transient
+// fault (contended resource, injected flake) usually clears fast; the
+// cap keeps a retried batch from stalling a worker for long.
+std::chrono::milliseconds RetryBackoff(int attempt) {
+  uint64_t ms = 1ULL << std::min(attempt - 1, 20);
+  return std::chrono::milliseconds(std::min<uint64_t>(ms, 100));
 }
 
 }  // namespace
@@ -200,7 +213,8 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
     const Graph& g, const std::string& dataset,
     const std::vector<BatchTask>& tasks, uint64_t master_seed,
     const std::vector<BatchMetric>& metrics,
-    const MetricResultCallback& on_result, BatchRunStats* stats) const {
+    const MetricResultCallback& on_result, BatchRunStats* stats,
+    const FaultPolicy& faults) const {
   if (metrics.empty()) {
     throw std::invalid_argument("RunTasksMulti: metric list is empty");
   }
@@ -258,6 +272,36 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
   std::atomic<bool> failed{false};
   std::mutex stats_mu;
   double score_seconds = 0.0, subgraph_seconds = 0.0, metric_seconds = 0.0;
+  const bool tolerate = faults.tolerate;
+  std::atomic<size_t> failed_units{0};
+  std::atomic<size_t> transient_failed_units{0};
+  std::atomic<size_t> retried_units{0};
+
+  // Tolerant-mode handling of a failed score-group or subgraph stage:
+  // every dependent unit of cell i is marked failed (no retry — scoring
+  // is re-run wholesale by a resumed sweep, not per unit). Only the
+  // worker owning cell i calls this, so the result slots need no lock.
+  auto fail_cell = [&](size_t i, const std::string& error_class,
+                       const std::string& error_message) {
+    const BatchTask& task = results[i].task;
+    for (size_t slot = 0; slot < ids_of[i]->size(); ++slot) {
+      BatchMetricValue v;
+      v.metric = (*ids_of[i])[slot];
+      v.failed = true;
+      v.error_class = error_class;
+      v.error_message = error_message;
+      v.attempts = 1;
+      results[i].values[slot] = std::move(v);
+      failed_units.fetch_add(1, std::memory_order_relaxed);
+      if (error_class == "transient") {
+        transient_failed_units.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (faults.on_unit_failure) {
+        faults.on_unit_failure(task, (*ids_of[i])[slot], error_class,
+                               error_message, 1);
+      }
+    }
+  };
 
   // Fans cell i's metrics out as independent evaluation units. Called from
   // the task that materialized the cell's subgraph; SubmitUrgent puts the
@@ -280,21 +324,74 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           span.Arg("run", std::to_string(task.run));
         }
         Timer unit_timer;
-        try {
-          Rng metric_rng(MetricSeed(master_seed, dataset, task.sparsifier,
-                                    task.prune_rate, task.run,
-                                    metrics[m].name));
-          // Expose the pool for the metric's own BFS-batch fan-out.
-          SubtaskPoolScope subtasks(&impl_->pool);
-          double value = metrics[m].fn(*input_for.at(task.sparsifier),
-                                       *cell_graph[i], metric_rng);
-          results[i].values[slot] = BatchMetricValue{m, value};
-          if (on_result) {
-            on_result(task, results[i].achieved_prune_rate, m, value);
+        bool ok = false;
+        std::string error_class, error_message;
+        int attempts = 0;
+        while (true) {
+          ++attempts;
+          try {
+            // The Rng is re-created from MetricSeed on every attempt, so
+            // a retried success draws the exact samples a first-try
+            // success would — retries are invisible in the numbers.
+            Rng metric_rng(MetricSeed(master_seed, dataset, task.sparsifier,
+                                      task.prune_rate, task.run,
+                                      metrics[m].name));
+            SPARSIFY_FAILPOINT_SCOPED("engine.metric_unit",
+                                      metrics[m].name.c_str());
+            // Expose the pool for the metric's own BFS-batch fan-out.
+            SubtaskPoolScope subtasks(&impl_->pool);
+            double value = metrics[m].fn(*input_for.at(task.sparsifier),
+                                         *cell_graph[i], metric_rng);
+            results[i].values[slot] = BatchMetricValue{m, value};
+            ok = true;
+            if (on_result) {
+              on_result(task, results[i].achieved_prune_rate, m, value);
+            }
+            break;
+          } catch (const TransientError& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;  // recorded as the pool's first error, rethrown by Wait
+            }
+            error_class = "transient";
+            error_message = e.what();
+            if (attempts > faults.max_unit_retries) break;
+            retried_units.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(RetryBackoff(attempts));
+          } catch (const std::exception& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            error_class = "permanent";
+            error_message = e.what();
+            break;
+          } catch (...) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            error_class = "permanent";
+            error_message = "unknown error";
+            break;
           }
-        } catch (...) {
-          failed.store(true, std::memory_order_relaxed);
-          throw;  // recorded as the pool's first error, rethrown by Wait
+        }
+        if (!ok) {
+          BatchMetricValue v;
+          v.metric = m;
+          v.failed = true;
+          v.error_class = error_class;
+          v.error_message = error_message;
+          v.attempts = attempts;
+          results[i].values[slot] = std::move(v);
+          failed_units.fetch_add(1, std::memory_order_relaxed);
+          if (error_class == "transient") {
+            transient_failed_units.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (faults.on_unit_failure) {
+            faults.on_unit_failure(task, m, error_class, error_message,
+                                   attempts);
+          }
         }
         double unit_seconds = unit_timer.Seconds();
         EngineObs& eobs = GetEngineObs();
@@ -327,9 +424,12 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           span.Arg("rate", FormatRate(results[i].task.prune_rate));
         }
         Timer build_timer;
+        bool built = false;
         try {
           const BatchTask& task = results[i].task;
           const Graph& input = *input_for.at(task.sparsifier);
+          SPARSIFY_FAILPOINT_SCOPED("engine.subgraph",
+                                    task.sparsifier.c_str());
           Rng task_rng(TaskSeed(master_seed, task.index));
           Rng sparsify_rng = task_rng.Fork();
           std::unique_ptr<Sparsifier> sparsifier =
@@ -339,9 +439,25 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           results[i].achieved_prune_rate =
               Sparsifier::AchievedPruneRate(input, sparsified);
           cell_graph[i].emplace(std::move(sparsified));
+          built = true;
+        } catch (const TransientError& e) {
+          if (!tolerate) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;
+          }
+          fail_cell(i, "transient", e.what());
+        } catch (const std::exception& e) {
+          if (!tolerate) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;
+          }
+          fail_cell(i, "permanent", e.what());
         } catch (...) {
-          failed.store(true, std::memory_order_relaxed);
-          throw;
+          if (!tolerate) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;
+          }
+          fail_cell(i, "permanent", "unknown error");
         }
         double build_seconds = build_timer.Seconds();
         EngineObs& eobs = GetEngineObs();
@@ -351,7 +467,7 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           std::lock_guard<std::mutex> lock(stats_mu);
           subgraph_seconds += build_seconds;
         }
-        submit_metric_units(i);
+        if (built) submit_metric_units(i);
       });
     }
     impl_->pool.Wait();
@@ -361,6 +477,10 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
       stats->metric_units = metric_units;
       stats->score_groups = tasks.size();  // every cell rescored
       stats->subgraph_builds = tasks.size();
+      stats->failed_units = failed_units.load(std::memory_order_relaxed);
+    stats->transient_failed_units =
+        transient_failed_units.load(std::memory_order_relaxed);
+      stats->retried_units = retried_units.load(std::memory_order_relaxed);
       stats->subgraph_seconds = subgraph_seconds;
       stats->metric_seconds = metric_seconds;
     }
@@ -435,12 +555,33 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         span.Arg("run", std::to_string(group.run));
       }
       Timer score_timer;
+      bool scored = false;
       try {
+        SPARSIFY_FAILPOINT_SCOPED("engine.score_group",
+                                  group.sparsifier.c_str());
         Rng group_rng(GroupSeed(master_seed, group.sparsifier, group.run));
         group.state = group.instance->PrepareScores(*group.input, group_rng);
+        scored = true;
+      } catch (const TransientError& e) {
+        if (!tolerate) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // recorded as the pool's first error, rethrown by Wait
+        }
+        for (size_t i : cells_of[gi]) fail_cell(i, "transient", e.what());
+      } catch (const std::exception& e) {
+        if (!tolerate) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+        for (size_t i : cells_of[gi]) fail_cell(i, "permanent", e.what());
       } catch (...) {
-        failed.store(true, std::memory_order_relaxed);
-        throw;  // recorded as the pool's first error, rethrown by Wait
+        if (!tolerate) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+        for (size_t i : cells_of[gi]) {
+          fail_cell(i, "permanent", "unknown error");
+        }
       }
       double group_seconds = score_timer.Seconds();
       EngineObs& eobs = GetEngineObs();
@@ -450,6 +591,7 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         std::lock_guard<std::mutex> lock(stats_mu);
         score_seconds += group_seconds;
       }
+      if (!scored) return;  // tolerant mode: the group's cells are failed
       for (size_t i : cells_of[gi]) {
         impl_->pool.SubmitUrgent([&, gi, i] {
           if (failed.load(std::memory_order_relaxed)) return;
@@ -461,17 +603,36 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
             span.Arg("run", std::to_string(results[i].task.run));
           }
           Timer build_timer;
+          bool built = false;
           try {
             const BatchTask& task = results[i].task;
+            SPARSIFY_FAILPOINT_SCOPED("engine.subgraph",
+                                      task.sparsifier.c_str());
             RateMask mask = cell_group.instance->MaskForRate(
                 *cell_group.state, task.prune_rate);
             Graph sparsified = Sparsifier::Apply(*cell_group.input, mask);
             results[i].achieved_prune_rate =
                 Sparsifier::AchievedPruneRate(*cell_group.input, sparsified);
             cell_graph[i].emplace(std::move(sparsified));
+            built = true;
+          } catch (const TransientError& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            fail_cell(i, "transient", e.what());
+          } catch (const std::exception& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            fail_cell(i, "permanent", e.what());
           } catch (...) {
-            failed.store(true, std::memory_order_relaxed);
-            throw;
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            fail_cell(i, "permanent", "unknown error");
           }
           double build_seconds = build_timer.Seconds();
           EngineObs& eobs = GetEngineObs();
@@ -482,7 +643,7 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
             std::lock_guard<std::mutex> lock(stats_mu);
             subgraph_seconds += build_seconds;
           }
-          submit_metric_units(i);
+          if (built) submit_metric_units(i);
           if (cells_left[gi].fetch_sub(1, std::memory_order_acq_rel) == 1) {
             cell_group.state.reset();  // last cell frees the score state
           }
@@ -498,6 +659,10 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
     stats->metric_units = metric_units;
     stats->score_groups = groups.size();
     stats->subgraph_builds = tasks.size();
+    stats->failed_units = failed_units.load(std::memory_order_relaxed);
+    stats->transient_failed_units =
+        transient_failed_units.load(std::memory_order_relaxed);
+    stats->retried_units = retried_units.load(std::memory_order_relaxed);
     stats->score_seconds = score_seconds;
     stats->subgraph_seconds = subgraph_seconds;
     stats->metric_seconds = metric_seconds;

@@ -69,10 +69,16 @@ struct BatchResult {
   double value = 0.0;  // metric output
 };
 
-/// One metric's output on one cell of a multi-metric run.
+/// One metric's output on one cell of a multi-metric run. Under a
+/// tolerant FaultPolicy a unit that failed (after retries) reports
+/// `failed` with its classification instead of a value.
 struct BatchMetricValue {
   uint32_t metric = 0;  // index into RunTasksMulti's metric list
   double value = 0.0;
+  bool failed = false;
+  std::string error_class;    // "transient" | "permanent" (failed only)
+  std::string error_message;  // what() of the final attempt's failure
+  int attempts = 0;           // tries consumed (failed only)
 };
 
 /// All requested metric outputs of one task, in the same grid position.
@@ -110,10 +116,40 @@ struct BatchRunStats {
   size_t subgraph_builds = 0;  // sparsified Subgraphs materialized (== cells;
                                // the banner/bench contrast it with
                                // metric_units)
+  size_t failed_units = 0;     // units that ended in failure (tolerant mode)
+  size_t transient_failed_units = 0;  // failed_units whose final class was
+                                      // "transient" (retries exhausted)
+  size_t retried_units = 0;    // transient-failure retries performed
   double score_seconds = 0;     // summed duration of group scoring tasks
   double subgraph_seconds = 0;  // summed mask + Apply (or fused Sparsify)
                                 // durations
   double metric_seconds = 0;    // summed metric evaluation durations
+};
+
+/// How RunTasksMulti treats failures inside units of work. The default is
+/// the legacy contract: the first exception anywhere poisons the batch and
+/// propagates out of the run (fail-fast). With `tolerate` set, a failing
+/// metric unit no longer sinks its siblings: TransientError-classed
+/// failures are retried up to `max_unit_retries` extra attempts with
+/// capped exponential backoff (the unit's Rng is re-created from
+/// MetricSeed each attempt, so a retried success is bit-identical to a
+/// first-try success); anything else — and transient failures that
+/// exhaust their retries — is reported through `on_unit_failure` and in
+/// the result slot, and the rest of the batch runs to completion. A
+/// score-group or subgraph failure fails that cell's (or group's cells')
+/// units without retry, since re-running scoring wholesale is what a
+/// resumed sweep is for.
+struct FaultPolicy {
+  bool tolerate = false;
+  int max_unit_retries = 2;
+  /// Invoked once per permanently-failed unit, from the worker thread
+  /// (concurrently across workers — must synchronize like the result
+  /// callback). error_class is "transient" (retries exhausted) or
+  /// "permanent".
+  std::function<void(const BatchTask& task, uint32_t metric,
+                     const std::string& error_class,
+                     const std::string& error_message, int attempts)>
+      on_unit_failure;
 };
 
 /// Evaluates batch grids on a fixed-size thread pool.
@@ -237,13 +273,15 @@ class BatchRunner {
   /// Results are returned in `tasks` order with one value per requested
   /// metric id (task.metrics; empty = all) in that order. Throws
   /// std::invalid_argument when `metrics` is empty or a task names an
-  /// out-of-range metric id.
+  /// out-of-range metric id. `faults` selects fail-fast (default) or
+  /// error-tolerant execution; see FaultPolicy.
   std::vector<BatchMultiResult> RunTasksMulti(
       const Graph& g, const std::string& dataset,
       const std::vector<BatchTask>& tasks, uint64_t master_seed,
       const std::vector<BatchMetric>& metrics,
       const MetricResultCallback& on_result = nullptr,
-      BatchRunStats* stats = nullptr) const;
+      BatchRunStats* stats = nullptr,
+      const FaultPolicy& faults = FaultPolicy()) const;
 
  private:
   struct Impl;

@@ -46,6 +46,9 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
       std::optional<StoredCell> cached;
       if (store_ != nullptr && reuse_cached_) {
         cached = store_->Lookup(key_of(tasks[i], metrics[m].name));
+        // An error record is a unit that FAILED, not one that completed:
+        // it reads back as missing so this resume resubmits it.
+        if (cached.has_value() && cached->is_error) cached.reset();
       }
       if (cached.has_value()) {
         ++cached_units;
@@ -97,13 +100,40 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
         }
       };
     }
+    // Fault policy: in tolerant mode a permanently-failed unit lands in
+    // the store as a typed error record (same CellKey — the next resume
+    // sees it as missing and resubmits it) and counts as completed for
+    // progress purposes; everything else runs to the end.
+    FaultPolicy faults;
+    faults.tolerate = fault_tolerant_;
+    faults.max_unit_retries = max_unit_retries_;
+    if (fault_tolerant_ && (store_ != nullptr || progress_)) {
+      faults.on_unit_failure = [&](const BatchTask& task, uint32_t m,
+                                   const std::string& error_class,
+                                   const std::string& error_message,
+                                   int attempts) {
+        if (store_ != nullptr) {
+          store_->AppendError(key_of(task, metrics[m].name), error_class,
+                              error_message, attempts);
+        }
+        if (progress_) {
+          size_t done =
+              completed_units.fetch_add(1, std::memory_order_relaxed) + 1;
+          progress_(done, submitted_units);
+        }
+      };
+    }
     BatchRunStats run_stats;
     std::vector<BatchMultiResult> fresh = runner_.RunTasksMulti(
         g, dataset, missing, spec.master_seed, engine_metrics, on_unit,
-        &run_stats);
+        &run_stats, faults);
     for (size_t j = 0; j < fresh.size(); ++j) {
       size_t i = missing_pos[j];
       for (size_t slot = 0; slot < fresh[j].values.size(); ++slot) {
+        // Failed units (tolerant mode) keep the default-constructed slot:
+        // the returned series are complete minus the failures, and the
+        // store carries the error records for the next resume.
+        if (fresh[j].values[slot].failed) continue;
         uint32_t m = fresh[j].values[slot].metric;
         results[m][i].task = tasks[i];
         results[m][i].achieved_prune_rate = fresh[j].achieved_prune_rate;
@@ -113,6 +143,9 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
     if (stats != nullptr) {
       stats->score_groups = run_stats.score_groups;
       stats->subgraph_builds = run_stats.subgraph_builds;
+      stats->failed_units = run_stats.failed_units;
+      stats->transient_failed_units = run_stats.transient_failed_units;
+      stats->retried_units = run_stats.retried_units;
       stats->score_seconds = run_stats.score_seconds;
       stats->subgraph_seconds = run_stats.subgraph_seconds;
       stats->metric_seconds = run_stats.metric_seconds;

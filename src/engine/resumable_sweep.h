@@ -49,6 +49,13 @@ struct ResumableSweepStats {
   // fewer than submitted units on a multi-metric grid).
   size_t score_groups = 0;
   size_t subgraph_builds = 0;
+  // Fault-tolerant mode only: units that ended in failure (recorded as
+  // error records when a store is attached), the subset whose final
+  // failure was transient (retries exhausted — a re-run may succeed),
+  // and transient retries spent.
+  size_t failed_units = 0;
+  size_t transient_failed_units = 0;
+  size_t retried_units = 0;
   // Summed task durations from BatchRunStats: where the submitted units'
   // time went (score = PrepareScores groups, subgraph = mask + Apply,
   // metric = evaluations).
@@ -81,6 +88,17 @@ class ResumableSweep {
   using ProgressFn = std::function<void(size_t completed, size_t submitted)>;
   void set_progress(ProgressFn progress) { progress_ = std::move(progress); }
 
+  /// Error-tolerant execution (default off = legacy fail-fast). When on,
+  /// a unit that throws no longer aborts the sweep: TransientError-classed
+  /// failures retry up to max_unit_retries extra attempts (bit-identical
+  /// on success — the unit's RNG re-derives from MetricSeed), and a unit
+  /// that still fails is recorded in the store as a typed ERROR record
+  /// under its CellKey. Error records read back as missing, so the next
+  /// --resume resubmits exactly the failed units; a later success
+  /// overwrites the error (last write wins).
+  void set_fault_tolerant(bool on) { fault_tolerant_ = on; }
+  void set_max_unit_retries(int retries) { max_unit_retries_ = retries; }
+
   /// Runs every metric of `metrics` over the sweep grid of `config` on
   /// `g`, sparsifying each (sparsifier, rate, run) cell exactly once and
   /// evaluating all of the cell's missing metrics on that one subgraph.
@@ -111,6 +129,8 @@ class ResumableSweep {
   ResultStore* store_;  // not owned; may be null
   std::string code_rev_;
   bool reuse_cached_ = true;
+  bool fault_tolerant_ = false;
+  int max_unit_retries_ = 2;
   ProgressFn progress_;
 };
 

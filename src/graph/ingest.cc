@@ -1,16 +1,25 @@
 #include "src/graph/ingest.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <random>
 #include <stdexcept>
 
 #include "src/graph/binary_io.h"
 #include "src/graph/datasets.h"
+#include "src/util/errors.h"
+#include "src/util/failpoint.h"
 #include "src/util/thread_pool.h"
 
 namespace sparsify {
@@ -133,10 +142,49 @@ void ParseEdgeListText(const std::string& path, bool weighted,
   *num_vertices = any ? max_id + 1 : 0;
 }
 
+// Removes `<path>.tmp.<pid>.<nonce>` leftovers whose writer is gone.
+// Two racing processes building the same cache entry each write their own
+// tmp file (the suffix keeps them apart), so an orphan only exists when a
+// writer died mid-build — kill(pid, 0) == ESRCH is the liveness probe. A
+// still-running writer's tmp file is left alone.
+void RemoveStaleCacheTmpFiles(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  const std::string prefix = target.filename().string() + ".tmp.";
+  std::error_code ec;
+  fs::path dir = target.parent_path();
+  if (dir.empty()) dir = ".";
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string rest = name.substr(prefix.size());  // "<pid>.<nonce>"
+    char* end = nullptr;
+    const long pid = std::strtol(rest.c_str(), &end, 10);
+    if (end == rest.c_str() || *end != '.') continue;  // not ours
+    if (pid != static_cast<long>(::getpid()) &&
+        (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH)) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
 void WriteGraphCacheAtomic(const Graph& g, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  WriteGraphCache(g, tmp);
-  std::filesystem::rename(tmp, path);
+  RemoveStaleCacheTmpFiles(path);
+  // PID + random nonce: concurrent processes (or a PID-reusing successor
+  // of a crashed one) never clobber each other's in-flight tmp file.
+  static std::atomic<uint64_t> counter{std::random_device{}()};
+  const uint64_t nonce = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          HexHash(nonce);
+  try {
+    WriteGraphCache(g, tmp);
+    SPARSIFY_FAILPOINT("ingest.rename");
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
 }
 
 std::string SanitizeCacheName(const std::string& name) {
@@ -160,15 +208,29 @@ std::string IngestDatasetKey(const Graph& g) {
 }
 
 void WriteGraphCache(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path);
-  out.write(kCacheMagic, 4);
-  const uint32_t version = kCacheVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const uint64_t hash = RawGraphContentHash(g);
-  out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
-  WriteBinaryGraphStream(g, out);
-  if (!out) throw std::runtime_error("graph cache: write failure");
+  SPARSIFY_FAILPOINT("ingest.tmp_write");
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open " + path);
+    out.write(kCacheMagic, 4);
+    const uint32_t version = kCacheVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t hash = RawGraphContentHash(g);
+    out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+    WriteBinaryGraphStream(g, out);
+    // Flush before the state check: buffered bytes can fail at flush time
+    // (full disk), and a silently short cache file would replay as a torn
+    // entry on every future run.
+    out.flush();
+    if (!out) throw IoError("graph cache: write failure to " + path);
+  }
+  // Durability: the caller renames this file over the cache entry; fsync
+  // first so a power cut cannot promote an empty/partial inode.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throw IoError("graph cache: reopen for fsync failed: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw IoError("graph cache: fsync failed: " + path);
 }
 
 Graph ReadGraphCache(const std::string& path) {
@@ -188,6 +250,7 @@ Graph ReadGraphCache(const std::string& path) {
   in.read(reinterpret_cast<char*>(&stored_hash), sizeof(stored_hash));
   if (!in) throw std::runtime_error("graph cache: truncated input");
   Graph g = ReadBinaryGraphStream(in);
+  SPARSIFY_FAILPOINT("ingest.hash_verify");
   if (RawGraphContentHash(g) != stored_hash) {
     throw std::runtime_error(
         "graph cache: content hash mismatch (torn or corrupted cache file)");

@@ -9,6 +9,9 @@
 
 #include "src/obs/counters.h"
 #include "src/obs/trace.h"
+#include "src/util/crc32c.h"
+#include "src/util/errors.h"
+#include "src/util/failpoint.h"
 #include "src/util/timer.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -206,15 +209,69 @@ bool GetInt(const FieldMap& f, const std::string& key, int* out) {
 
 constexpr char kFormatName[] = "sparsify-result-store";
 
-std::string SerializeHeader() {
+// The record-final checksum field. The CRC covers the serialized record
+// WITHOUT this suffix (i.e. the bytes up to the suffix, plus the closing
+// brace), so writer and reader agree without re-serializing.
+constexpr char kCrcSuffix[] = ",\"crc32c\":\"";
+constexpr size_t kCrcSuffixLen = sizeof(kCrcSuffix) - 1;
+constexpr size_t kCrcHexLen = 8;
+
+std::string SerializeHeader(int version) {
   std::string line = "{\"format\":\"";
   line += kFormatName;
-  line += "\",\"version\":" + std::to_string(ResultStore::kFormatVersion) +
-          "}\n";
+  line += "\",\"version\":" + std::to_string(version) + "}\n";
   return line;
 }
 
-std::string SerializeRecord(const StoredCell& cell) {
+// Takes a serialized record "{...}" (no newline), returns it with the
+// checksum spliced in before the closing brace and a trailing newline:
+// {...,"crc32c":"xxxxxxxx"}\n
+std::string WithCrc(std::string record) {
+  const uint32_t crc = Crc32c(record);
+  char hex[kCrcHexLen + 1];
+  std::snprintf(hex, sizeof(hex), "%08x", crc);
+  record.pop_back();  // the '}' the CRC nonetheless covers
+  record += kCrcSuffix;
+  record += hex;
+  record += "\"}\n";
+  return record;
+}
+
+enum class CrcStatus {
+  kOk,      // checksum present and correct
+  kLegacy,  // no checksum field (version-1 record): accepted
+  kBad,     // checksum present but wrong, or malformed
+};
+
+CrcStatus CheckLineCrc(const std::string& line) {
+  const size_t p = line.rfind(kCrcSuffix);
+  if (p == std::string::npos) return CrcStatus::kLegacy;
+  // The suffix must be exactly the final field: ,"crc32c":"XXXXXXXX"}
+  if (p + kCrcSuffixLen + kCrcHexLen + 2 != line.size() ||
+      line.compare(line.size() - 2, 2, "\"}") != 0) {
+    return CrcStatus::kBad;
+  }
+  uint32_t want = 0;
+  for (size_t i = 0; i < kCrcHexLen; ++i) {
+    const char c = line[p + kCrcSuffixLen + i];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      return CrcStatus::kBad;  // writer emits lowercase hex only
+    }
+    want = (want << 4) | digit;
+  }
+  // Covered bytes: everything before the suffix, re-closed.
+  std::string covered = line.substr(0, p);
+  covered += '}';
+  return Crc32c(covered) == want ? CrcStatus::kOk : CrcStatus::kBad;
+}
+
+// Record body without checksum or newline; WithCrc finishes the line.
+std::string SerializeRecordBody(const StoredCell& cell) {
   std::string line = "{\"dataset\":";
   AppendEscaped(&line, cell.key.dataset);
   line += ",\"sparsifier\":";
@@ -227,24 +284,51 @@ std::string SerializeRecord(const StoredCell& cell) {
   AppendEscaped(&line, cell.key.metric);
   line += ",\"code_rev\":";
   AppendEscaped(&line, cell.key.code_rev);
-  line += ",\"achieved_prune_rate\":" + FormatDouble(cell.achieved_prune_rate);
-  line += ",\"value\":" + FormatDouble(cell.value);
-  line += "}\n";
+  if (cell.is_error) {
+    line += ",\"kind\":\"error\",\"error_class\":";
+    AppendEscaped(&line, cell.error_class);
+    line += ",\"error\":";
+    AppendEscaped(&line, cell.error_message);
+    line += ",\"attempts\":" + std::to_string(cell.attempts);
+  } else {
+    line +=
+        ",\"achieved_prune_rate\":" + FormatDouble(cell.achieved_prune_rate);
+    line += ",\"value\":" + FormatDouble(cell.value);
+  }
+  line += "}";
   return line;
+}
+
+std::string SerializeRecord(const StoredCell& cell) {
+  return WithCrc(SerializeRecordBody(cell));
 }
 
 bool ParseRecord(const std::string& line, StoredCell* cell) {
   FieldMap fields;
   if (!ParseFlatObject(line, &fields)) return false;
-  return GetString(fields, "dataset", &cell->key.dataset) &&
-         GetString(fields, "sparsifier", &cell->key.sparsifier) &&
-         GetDouble(fields, "prune_rate", &cell->key.prune_rate) &&
-         GetInt(fields, "run", &cell->key.run) &&
-         GetUint64(fields, "grid_index", &cell->key.grid_index) &&
-         GetUint64(fields, "master_seed", &cell->key.master_seed) &&
-         GetString(fields, "metric", &cell->key.metric) &&
-         GetString(fields, "code_rev", &cell->key.code_rev) &&
-         GetDouble(fields, "achieved_prune_rate",
+  if (!GetString(fields, "dataset", &cell->key.dataset) ||
+      !GetString(fields, "sparsifier", &cell->key.sparsifier) ||
+      !GetDouble(fields, "prune_rate", &cell->key.prune_rate) ||
+      !GetInt(fields, "run", &cell->key.run) ||
+      !GetUint64(fields, "grid_index", &cell->key.grid_index) ||
+      !GetUint64(fields, "master_seed", &cell->key.master_seed) ||
+      !GetString(fields, "metric", &cell->key.metric) ||
+      !GetString(fields, "code_rev", &cell->key.code_rev)) {
+    return false;
+  }
+  std::string kind;
+  if (GetString(fields, "kind", &kind)) {
+    if (kind != "error") return false;  // only other kind the store writes
+    cell->is_error = true;
+    if (!GetString(fields, "error_class", &cell->error_class) ||
+        !GetString(fields, "error", &cell->error_message)) {
+      return false;
+    }
+    GetInt(fields, "attempts", &cell->attempts);  // optional
+    return true;
+  }
+  cell->is_error = false;
+  return GetDouble(fields, "achieved_prune_rate",
                    &cell->achieved_prune_rate) &&
          GetDouble(fields, "value", &cell->value);
 }
@@ -259,12 +343,30 @@ bool ParseHeader(const std::string& line) {
     return false;
   }
   if (format != kFormatName) return false;
-  if (version != ResultStore::kFormatVersion) {
-    throw std::runtime_error("result store: unsupported version " +
-                             std::to_string(version));
+  // Version 1 (no record CRCs) is read- and append-compatible; anything
+  // newer than this binary writes is not.
+  if (version < 1 || version > ResultStore::kFormatVersion) {
+    throw StoreCorruptError("result store: unsupported version " +
+                            std::to_string(version));
   }
   return true;
 }
+
+FsyncPolicy FsyncPolicyFromEnv(FsyncPolicy fallback) {
+  const char* env = std::getenv("SPARSIFY_STORE_FSYNC");
+  if (env == nullptr || *env == '\0') return fallback;
+  const std::string v = env;
+  if (v == "none") return FsyncPolicy::kNone;
+  if (v == "batch") return FsyncPolicy::kBatch;
+  if (v == "always") return FsyncPolicy::kAlways;
+  throw std::invalid_argument(
+      "SPARSIFY_STORE_FSYNC: expected none|batch|always, got '" + v + "'");
+}
+
+// Appends between fsyncs under FsyncPolicy::kBatch. Small enough that a
+// power loss costs at most one batch of ~200-byte records, large enough
+// that fsync latency amortizes out of the append path.
+constexpr uint64_t kFsyncBatchInterval = 32;
 
 }  // namespace
 
@@ -293,6 +395,8 @@ std::string CellKey::Canonical() const {
 }
 
 ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  fsync_policy_ = FsyncPolicyFromEnv(FsyncPolicy::kBatch);
+  SPARSIFY_FAILPOINT("store.lock");
 #ifdef SPARSIFY_STORE_HAS_FLOCK
   // Exclusive inter-process lock, taken before Replay so a concurrent
   // writer can neither corrupt what we read nor interleave later appends.
@@ -303,17 +407,33 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
   const std::string lock_path = path_ + ".lock";
   lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
   if (lock_fd_ < 0) {
-    throw std::runtime_error("result store: cannot open lock file " +
-                             lock_path);
+    throw IoError("result store: cannot open lock file " + lock_path);
   }
   if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
     ::close(lock_fd_);
     lock_fd_ = -1;
-    throw std::runtime_error("result store: " + path_ +
+    throw StoreLockHeldError("result store: " + path_ +
                              " is locked by another process");
   }
 #endif
   try {
+    // Holding the exclusive lock, any leftover compaction temp file is an
+    // orphan from a crashed Compact(): the rename never happened, the log
+    // itself is intact, the temp is garbage.
+    {
+      const std::filesystem::path p(path_);
+      const std::string tmp_prefix =
+          p.filename().string() + ".compact.tmp";
+      std::error_code ec;
+      for (const auto& entry : std::filesystem::directory_iterator(
+               p.has_parent_path() ? p.parent_path()
+                                   : std::filesystem::path("."),
+               ec)) {
+        if (entry.path().filename().string().rfind(tmp_prefix, 0) == 0) {
+          std::filesystem::remove(entry.path(), ec);
+        }
+      }
+    }
     Replay();
   } catch (...) {
     // The destructor never runs when the constructor throws: release the
@@ -330,6 +450,21 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
 }
 
 ResultStore::~ResultStore() {
+  // Best-effort final flush/sync: the destructor must not throw, but a
+  // clean close should leave nothing in the page cache under kBatch.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (out_.is_open()) out_.flush();
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+    if (sync_fd_ >= 0) {
+      if (fsync_policy_ != FsyncPolicy::kNone && appends_since_sync_ > 0) {
+        ::fsync(sync_fd_);
+      }
+      ::close(sync_fd_);
+      sync_fd_ = -1;
+    }
+#endif
+  }
 #ifdef SPARSIFY_STORE_HAS_FLOCK
   if (lock_fd_ >= 0) {
     ::flock(lock_fd_, LOCK_UN);
@@ -350,6 +485,7 @@ ResultStore ResultStore::OpenInDir(const std::string& dir) {
 void ResultStore::Replay() {
   TRACE_SPAN(span, "store_replay");
   if (span.active()) span.Detail(path_);
+  SPARSIFY_FAILPOINT("store.replay");
   // Records on every exit path (multiple returns, throws on corruption).
   struct ReplayObs {
     Timer timer;
@@ -385,17 +521,36 @@ void ResultStore::Replay() {
     if (line_no == 0) {
       ok = ParseHeader(line);
       if (!ok && !is_tail) {
-        throw std::runtime_error("result store: " + path_ +
-                                 " is not a result-store log (bad header)");
+        throw StoreCorruptError("result store: " + path_ +
+                                " is not a result-store log (bad header)");
       }
     } else {
       ok = ParseRecord(line, &cell);
-      if (!ok && !is_tail) {
-        throw std::runtime_error(
-            "result store: corrupt record at line " +
-            std::to_string(line_no + 1) + " of " + path_);
+      if (ok) {
+        switch (CheckLineCrc(line)) {
+          case CrcStatus::kOk:
+          case CrcStatus::kLegacy:  // version-1 record: no checksum to check
+            break;
+          case CrcStatus::kBad:
+            // A parseable line whose checksum fails is bit rot, not a torn
+            // append — unless it is the unterminated tail, where a torn
+            // checksum field itself is expected and droppable.
+            if (!is_tail) {
+              throw StoreCorruptError(
+                  "result store: checksum mismatch at line " +
+                  std::to_string(line_no + 1) + " of " + path_);
+            }
+            ok = false;
+        }
       }
-      if (ok) InsertLocked(std::move(cell));
+      if (!ok && !is_tail) {
+        throw StoreCorruptError("result store: corrupt record at line " +
+                                std::to_string(line_no + 1) + " of " + path_);
+      }
+      if (ok) {
+        InsertLocked(std::move(cell));
+        ++log_records_;
+      }
     }
     if (!ok) {
       // Unterminated and unparseable: the torn tail of a crashed append.
@@ -415,6 +570,11 @@ void ResultStore::Replay() {
 size_t ResultStore::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.size();
+}
+
+size_t ResultStore::ErrorCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_cells_;
 }
 
 bool ResultStore::Contains(const CellKey& key) const {
@@ -438,8 +598,12 @@ void ResultStore::InsertLocked(StoredCell cell) {
   std::string canonical = cell.key.Canonical();
   auto it = index_.find(canonical);
   if (it != index_.end()) {
-    cells_[it->second] = std::move(cell);  // last write wins, keeps position
+    StoredCell& slot = cells_[it->second];
+    if (slot.is_error && !cell.is_error) --error_cells_;
+    if (!slot.is_error && cell.is_error) ++error_cells_;
+    slot = std::move(cell);  // last write wins, keeps position
   } else {
+    if (cell.is_error) ++error_cells_;
     index_.emplace(std::move(canonical), cells_.size());
     cells_.push_back(std::move(cell));
   }
@@ -454,17 +618,73 @@ void ResultStore::EnsureWritable() {
   }
   out_.open(path_, std::ios::binary | std::ios::app);
   if (!out_) {
-    throw std::runtime_error("result store: cannot open " + path_ +
-                             " for append");
+    throw IoError("result store: cannot open " + path_ + " for append");
   }
   if (!file_exists_ || valid_bytes_ == 0) {
-    out_ << SerializeHeader();
+    out_ << SerializeHeader(kFormatVersion);
   } else if (!ends_with_newline_) {
     // Valid final record that lost only its newline in a crash.
     out_ << '\n';
   }
   ends_with_newline_ = true;
   file_exists_ = true;
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  if (sync_fd_ < 0) {
+    // ofstream gives no access to its descriptor, and fsync needs one;
+    // a second descriptor on the same file syncs the same data.
+    sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+    if (sync_fd_ < 0 && fsync_policy_ != FsyncPolicy::kNone) {
+      throw IoError("result store: cannot open " + path_ + " for fsync");
+    }
+  }
+#endif
+}
+
+void ResultStore::SyncLocked(bool closing) {
+  if (fsync_policy_ == FsyncPolicy::kNone) {
+    appends_since_sync_ = 0;
+    return;
+  }
+  const uint64_t interval =
+      fsync_policy_ == FsyncPolicy::kAlways ? 1 : kFsyncBatchInterval;
+  if (!closing && appends_since_sync_ < interval) return;
+  if (appends_since_sync_ == 0) return;
+  SPARSIFY_FAILPOINT("store.fsync");
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  if (sync_fd_ >= 0 && ::fsync(sync_fd_) != 0) {
+    throw IoError("result store: fsync failed on " + path_);
+  }
+#endif
+  appends_since_sync_ = 0;
+}
+
+void ResultStore::CloseWriterLocked() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) throw IoError("result store: write failure on " + path_);
+    SyncLocked(/*closing=*/true);
+    out_.close();
+  }
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  if (sync_fd_ >= 0) {
+    ::close(sync_fd_);
+    sync_fd_ = -1;
+  }
+#endif
+}
+
+void ResultStore::AppendLocked(StoredCell cell) {
+  EnsureWritable();
+  SPARSIFY_FAILPOINT("store.append");
+  out_ << SerializeRecord(cell);
+  out_.flush();
+  if (!out_) {
+    throw IoError("result store: write failure on " + path_);
+  }
+  ++log_records_;
+  ++appends_since_sync_;
+  SyncLocked(/*closing=*/false);
+  InsertLocked(std::move(cell));
 }
 
 void ResultStore::Append(const CellKey& key, double achieved_prune_rate,
@@ -475,19 +695,113 @@ void ResultStore::Append(const CellKey& key, double achieved_prune_rate,
   static obs::Histogram& append_ns = obs::GetHistogram("store.append_ns");
   Timer append_timer;
   std::lock_guard<std::mutex> lock(mu_);
-  EnsureWritable();
   StoredCell cell;
   cell.key = key;
   cell.achieved_prune_rate = achieved_prune_rate;
   cell.value = value;
-  out_ << SerializeRecord(cell);
-  out_.flush();
-  if (!out_) {
-    throw std::runtime_error("result store: write failure on " + path_);
-  }
-  InsertLocked(std::move(cell));
+  AppendLocked(std::move(cell));
   appends.Add();
   append_ns.Record(static_cast<uint64_t>(append_timer.Seconds() * 1e9));
+}
+
+void ResultStore::AppendError(const CellKey& key,
+                              const std::string& error_class,
+                              const std::string& error_message,
+                              int attempts) {
+  static obs::Counter& errors = obs::GetCounter("store.error_appends");
+  std::lock_guard<std::mutex> lock(mu_);
+  StoredCell cell;
+  cell.key = key;
+  cell.is_error = true;
+  cell.error_class = error_class;
+  cell.error_message = error_message;
+  cell.attempts = attempts;
+  AppendLocked(std::move(cell));
+  errors.Add();
+}
+
+CompactStats ResultStore::Compact() {
+  TRACE_SPAN(span, "store_compact");
+  std::lock_guard<std::mutex> lock(mu_);
+  CompactStats stats;
+  stats.records_before = log_records_;
+  stats.records_after = cells_.size();
+  if (file_exists_) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec) stats.bytes_before = size;
+  }
+
+  CloseWriterLocked();
+
+  // Write the replacement log beside the original, then rename over it.
+  // A crash before the rename leaves the old log plus an orphan temp
+  // (cleaned on next open, under the lock); a crash after leaves the new
+  // log. Either way the store opens clean.
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  const std::string tmp =
+      path_ + ".compact.tmp." + std::to_string(::getpid());
+#else
+  const std::string tmp = path_ + ".compact.tmp";
+#endif
+  SPARSIFY_FAILPOINT("store.compact.write");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("result store: cannot open " + tmp + " for compaction");
+    }
+    out << SerializeHeader(kFormatVersion);  // upgrades version-1 logs
+    for (const StoredCell& cell : cells_) {
+      out << SerializeRecord(cell);
+    }
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw IoError("result store: write failure on " + tmp);
+    }
+  }
+#ifdef SPARSIFY_STORE_HAS_FLOCK
+  if (fsync_policy_ != FsyncPolicy::kNone) {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw IoError("result store: fsync failed on " + tmp);
+    }
+    ::close(fd);
+  }
+#endif
+  SPARSIFY_FAILPOINT("store.compact.rename");
+  std::filesystem::rename(tmp, path_);
+
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec) {
+      stats.bytes_after = size;
+      valid_bytes_ = static_cast<size_t>(size);
+    }
+  }
+  dropped_tail_bytes_ = 0;
+  ends_with_newline_ = true;
+  file_exists_ = true;
+  log_records_ = cells_.size();
+
+  static obs::Counter& compactions = obs::GetCounter("store.compactions");
+  compactions.Add();
+  return stats;
+}
+
+void ResultStore::SetFsyncPolicy(FsyncPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fsync_policy_ = policy;
+}
+
+FsyncPolicy ResultStore::fsync_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsync_policy_;
 }
 
 }  // namespace sparsify

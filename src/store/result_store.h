@@ -4,12 +4,18 @@
 // object per completed grid cell. Records are appended and flushed one at a
 // time, so after a crash the log is a valid prefix plus at most one
 // truncated tail line; replay detects and drops that tail (it is not
-// fatal), while corruption anywhere before the tail is. See README.md in
-// this directory for the format and the crash-recovery contract.
+// fatal), while corruption anywhere before the tail is. Format version 2
+// adds a CRC-32C to every record (interior bit-rot is detected, not
+// silently replayed) and an error-record kind (a unit that failed is
+// recorded under its CellKey so a resumed sweep knows to resubmit it).
+// Version-1 logs are still replayed (their records carry no CRC). See
+// README.md in this directory for the format and the crash-recovery
+// contract.
 #ifndef SPARSIFY_STORE_RESULT_STORE_H_
 #define SPARSIFY_STORE_RESULT_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -21,11 +27,35 @@
 
 namespace sparsify {
 
-/// One replayed or appended record: the key plus the cell's results.
+/// One replayed or appended record: the key plus the cell's results, or —
+/// when `is_error` — the failure that kept the cell from completing.
+/// Error records occupy the same key space as results, so a later success
+/// simply overwrites the error (last write wins).
 struct StoredCell {
   CellKey key;
   double achieved_prune_rate = 0.0;
   double value = 0.0;
+  bool is_error = false;
+  std::string error_class;    // "transient" | "permanent" (empty for results)
+  std::string error_message;  // sanitized what() of the failure
+  int attempts = 0;           // tries consumed before giving up (errors only)
+};
+
+/// What Compact() did: how many log lines and bytes the rewrite removed.
+struct CompactStats {
+  size_t records_before = 0;  // record lines in the log pre-compaction
+  size_t records_after = 0;   // distinct keys written out
+  uintmax_t bytes_before = 0;
+  uintmax_t bytes_after = 0;
+};
+
+/// When appended records are fsync'd (flush-to-OS always happens; this
+/// controls flush-to-disk). Default kBatch; the SPARSIFY_STORE_FSYNC
+/// environment variable (none|batch|always) overrides it at open.
+enum class FsyncPolicy {
+  kNone,    // never fsync (fastest; a power loss may drop recent records)
+  kBatch,   // fsync every ~32 appends and on clean close
+  kAlways,  // fsync every append (torture-harness mode)
 };
 
 /// Durable map from CellKey to results, backed by an append-only JSONL log.
@@ -40,19 +70,24 @@ struct StoredCell {
 /// process" instead of interleaving JSONL appends.
 class ResultStore {
  public:
-  static constexpr int kFormatVersion = 1;
+  /// Current write version. Version 2 = CRC'd records + error kind;
+  /// version 1 logs (no CRCs) are read-compatible.
+  static constexpr int kFormatVersion = 2;
 
   /// Conventional file name inside a store directory.
   static std::string DefaultFileName() { return "results.jsonl"; }
 
   /// Opens (and replays) the log at `path`. A missing file is an empty
   /// store; the header is written on the first Append. Throws
-  /// std::runtime_error when the file exists but is not a result-store log
-  /// (bad header), is corrupt before the final line, or is already locked
-  /// by another ResultStore instance or process.
+  /// StoreCorruptError when the file exists but is not a result-store log
+  /// (bad header), has a corrupt or checksum-failing record before the
+  /// final line, or has an unsupported version; StoreLockHeldError when
+  /// another ResultStore instance or process holds the lock; IoError on
+  /// filesystem failures. (All derive from std::runtime_error.)
   explicit ResultStore(std::string path);
 
-  /// Releases the inter-process lock.
+  /// Flushes (per the fsync policy, best-effort) and releases the
+  /// inter-process lock.
   ~ResultStore();
 
   /// Creates `dir` if needed and returns the conventional log path inside
@@ -68,8 +103,11 @@ class ResultStore {
 
   const std::string& Path() const { return path_; }
 
-  /// Number of distinct keys currently stored.
+  /// Number of distinct keys currently stored (results AND error records).
   size_t Size() const;
+
+  /// Number of keys whose latest record is an error.
+  size_t ErrorCount() const;
 
   bool Contains(const CellKey& key) const;
 
@@ -85,12 +123,36 @@ class ResultStore {
   /// Durably appends one record: the line is written and flushed before
   /// returning, and the in-memory index is updated. On the first append
   /// after replaying a crashed log, the truncated tail is cut off first so
-  /// the file stays a sequence of whole lines.
+  /// the file stays a sequence of whole lines. Throws IoError when the
+  /// write, flush, or (policy-dependent) fsync fails — a result the caller
+  /// believes persisted MUST actually be on its way to disk.
   void Append(const CellKey& key, double achieved_prune_rate, double value);
+
+  /// Appends an error record for `key`: the unit failed with
+  /// `error_class` ("transient" or "permanent") after `attempts` tries.
+  /// Replaces any previous record for the key in the index; a later
+  /// successful Append for the same key supersedes it in turn.
+  void AppendError(const CellKey& key, const std::string& error_class,
+                   const std::string& error_message, int attempts);
+
+  /// Rewrites the log to one record per live key (dropping superseded
+  /// duplicates; keys whose latest record is still an error are kept as
+  /// error records). Atomic: writes a temp file beside the log, fsyncs it,
+  /// and renames over the original — a crash at any point leaves either
+  /// the old or the new complete log. Also upgrades version-1 logs to the
+  /// current format. Returns what was reclaimed.
+  CompactStats Compact();
+
+  /// Overrides the fsync policy (normally from SPARSIFY_STORE_FSYNC).
+  void SetFsyncPolicy(FsyncPolicy policy);
+  FsyncPolicy fsync_policy() const;
 
  private:
   void Replay();
   void EnsureWritable();  // opens out_, repairing the tail if needed
+  void AppendLocked(StoredCell cell);
+  void SyncLocked(bool closing);  // fsync per policy; throws IoError
+  void CloseWriterLocked();       // flush + final sync + close fds
 
   void InsertLocked(StoredCell cell);
 
@@ -101,9 +163,14 @@ class ResultStore {
   std::unordered_map<std::string, size_t> index_;  // Canonical() -> cells_ idx
   size_t valid_bytes_ = 0;         // replayed prefix length incl. header
   size_t dropped_tail_bytes_ = 0;  // garbage after the valid prefix
+  size_t log_records_ = 0;         // record lines in the log (incl. dupes)
+  size_t error_cells_ = 0;         // keys whose latest record is an error
   bool file_exists_ = false;
   bool ends_with_newline_ = true;  // valid prefix ends in '\n'
   int lock_fd_ = -1;  // flock'd `path_`.lock descriptor (-1 off-POSIX)
+  int sync_fd_ = -1;  // fsync descriptor for the log (ofstream hides its fd)
+  FsyncPolicy fsync_policy_ = FsyncPolicy::kBatch;
+  uint64_t appends_since_sync_ = 0;
 };
 
 }  // namespace sparsify

@@ -1,0 +1,35 @@
+#include "src/util/crc32c.h"
+
+namespace sparsify {
+
+namespace {
+
+// 256-entry table for the reflected Castagnoli polynomial, built once at
+// first use (constant-initialized would also work, but a runtime build
+// keeps the table out of the binary image).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len) {
+  static const Crc32cTable table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace sparsify

@@ -1,0 +1,30 @@
+// CRC-32C (Castagnoli), the store's per-record integrity check.
+//
+// Software table-driven implementation (no SSE4.2 dependency — the
+// store's appends are bounded by fsync, not by checksumming a ~200-byte
+// JSONL line). The Castagnoli polynomial (0x1EDC6F41, reflected
+// 0x82F63B78) is the variant used by iSCSI, ext4, and RocksDB; it
+// detects all burst errors up to 32 bits and any odd number of bit
+// flips, which is exactly the torn-write/bit-rot model the result store
+// defends against.
+#ifndef SPARSIFY_UTIL_CRC32C_H_
+#define SPARSIFY_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sparsify {
+
+/// CRC-32C of `len` bytes at `data` (init 0xFFFFFFFF, final xor-out —
+/// the standard whole-message form; there is no streaming state to
+/// resume because store records are checksummed line-at-a-time).
+uint32_t Crc32c(const void* data, size_t len);
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_UTIL_CRC32C_H_

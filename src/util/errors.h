@@ -1,0 +1,63 @@
+// Typed error hierarchy: the library's failure classes.
+//
+// Every layer that can fail in a way a caller might handle differently
+// throws one of these instead of a bare std::runtime_error, so the CLI
+// can map uncaught exceptions to distinct documented exit codes (see
+// sparsify_cli.h) and the engine can decide whether a failed unit is
+// worth retrying. All classes derive from std::runtime_error, so code
+// (and tests) written against the old untyped throws keeps working.
+//
+// Retry classification: TransientError marks failures where retrying the
+// exact same computation may succeed (resource pressure, injected
+// transient faults, interrupted syscalls). Everything else is permanent:
+// retrying a deterministic computation that threw will throw again, so
+// the engine records a typed error record instead of burning retries.
+#ifndef SPARSIFY_UTIL_ERRORS_H_
+#define SPARSIFY_UTIL_ERRORS_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace sparsify {
+
+/// Root of the typed hierarchy. Catch-all handlers should still catch
+/// std::exception — not everything in the process throws typed errors.
+class SparsifyError : public std::runtime_error {
+ public:
+  explicit SparsifyError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// I/O failure: unreadable input, failed write/flush/fsync, rename.
+class IoError : public SparsifyError {
+ public:
+  explicit IoError(const std::string& what) : SparsifyError(what) {}
+};
+
+/// A result store (or its directory) is exclusively locked by another
+/// live ResultStore instance or process.
+class StoreLockHeldError : public SparsifyError {
+ public:
+  explicit StoreLockHeldError(const std::string& what)
+      : SparsifyError(what) {}
+};
+
+/// Persistent data failed validation: bad header, unsupported version,
+/// CRC mismatch, interior corruption, graph-cache hash mismatch.
+class StoreCorruptError : public SparsifyError {
+ public:
+  explicit StoreCorruptError(const std::string& what)
+      : SparsifyError(what) {}
+};
+
+/// Retryable failure class: the same computation, retried, may succeed.
+/// The engine retries these with capped exponential backoff (bounded by
+/// --max-unit-retries); every other exception type is permanent.
+class TransientError : public SparsifyError {
+ public:
+  explicit TransientError(const std::string& what) : SparsifyError(what) {}
+};
+
+}  // namespace sparsify
+
+#endif  // SPARSIFY_UTIL_ERRORS_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "src/obs/counters.h"
+#include "src/util/failpoint.h"
 
 namespace sparsify {
 namespace {
@@ -86,6 +87,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
                                                              task.enqueued)
             .count()));
     try {
+      SPARSIFY_FAILPOINT("pool.task");
       task.fn();
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);

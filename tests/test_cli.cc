@@ -3,11 +3,17 @@
 // runs — RunSparsifyCli is the binary's main).
 #include "src/cli/sparsify_cli.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/store/result_store.h"
+#include "src/util/failpoint.h"
 
 namespace sparsify {
 namespace {
@@ -190,6 +196,109 @@ TEST(CliTest, SweepResumeExportLsEndToEnd) {
 
   EXPECT_NE(RunCli({"export", "--store=" + StoreDir(), "--format=bogus"}),
             0);
+}
+
+// Exit codes are the torture harness's (and CI's) contract: each failure
+// class maps to a distinct documented code.
+class CliExitCodeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("SPARSIFY_FAILPOINTS");
+    fail::DisarmAll();
+  }
+
+  std::string FreshDir(const std::string& name) {
+    std::string dir = (fs::path(::testing::TempDir()) / name).string();
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  std::vector<std::string> SweepArgs(const std::string& dir) {
+    return {"sweep",      "--dataset=ego-Facebook",
+            "--metrics=degree,kcore", "--algos=RN",
+            "--rates=0.5", "--runs=1",
+            "--scale=0.1", "--store=" + dir,
+            "--resume",    "--csv"};
+  }
+};
+
+TEST_F(CliExitCodeTest, LockedStoreExitsWithLockHeldCode) {
+  std::string dir = FreshDir("exit_lock_store");
+  ResultStore holder(ResultStore::PathInDir(dir));
+  EXPECT_EQ(RunCli({"ls", "--store=" + dir}), cli::kExitLockHeld);
+}
+
+TEST_F(CliExitCodeTest, CorruptStoreExitsWithCorruptCode) {
+  std::string dir = FreshDir("exit_corrupt_store");
+  ASSERT_EQ(RunCli(SweepArgs(dir)), cli::kExitOk);
+  // Flip a digit inside the first record; the line stays terminated, so
+  // replay must classify it as corruption, not a torn tail.
+  std::string path = ResultStore::PathInDir(dir);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  size_t pos = bytes.find("\"value\":") + 8;
+  bytes[pos] = bytes[pos] == '2' ? '3' : '2';
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_EQ(RunCli({"ls", "--store=" + dir}), cli::kExitCorruptStore);
+}
+
+TEST_F(CliExitCodeTest, PermanentUnitFailuresExitWithUnitFailureCode) {
+  std::string dir = FreshDir("exit_perm_store");
+  ASSERT_EQ(::setenv("SPARSIFY_FAILPOINTS",
+                     "engine.metric_unit/degree=throw", 1),
+            0);
+  ::testing::internal::CaptureStdout();
+  int rc = RunCli(SweepArgs(dir));
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, cli::kExitUnitFailures);
+  EXPECT_NE(out.find("failed=1"), std::string::npos);
+
+  // The failure-free metric completed and is in the store; the resume
+  // (faults disarmed) submits only the failed unit and exits clean.
+  ::unsetenv("SPARSIFY_FAILPOINTS");
+  fail::DisarmAll();
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli(SweepArgs(dir)), cli::kExitOk);
+  std::string healed = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(healed.find("submitted=1"), std::string::npos);
+  EXPECT_NE(healed.find("cached=1"), std::string::npos);
+}
+
+TEST_F(CliExitCodeTest, AllTransientFailuresExitWithTransientCode) {
+  std::string dir = FreshDir("exit_trans_store");
+  ASSERT_EQ(::setenv("SPARSIFY_FAILPOINTS",
+                     "engine.metric_unit=throw-transient", 1),
+            0);
+  EXPECT_EQ(RunCli(SweepArgs(dir)), cli::kExitTransientFailures);
+}
+
+TEST_F(CliExitCodeTest, CompactSubcommandShrinksAndKeepsExport) {
+  std::string dir = FreshDir("exit_compact_store");
+  // Two passes without --resume: every cell recomputed and re-appended,
+  // so the log carries superseded records for compact to drop.
+  std::vector<std::string> args = SweepArgs(dir);
+  args.erase(std::find(args.begin(), args.end(), "--resume"));
+  ASSERT_EQ(RunCli(args), cli::kExitOk);
+  ASSERT_EQ(RunCli(args), cli::kExitOk);
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"export", "--store=" + dir}), cli::kExitOk);
+  std::string before = ::testing::internal::GetCapturedStdout();
+
+  const auto bytes_before = fs::file_size(ResultStore::PathInDir(dir));
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"compact", "--store=" + dir}), cli::kExitOk);
+  std::string compact_out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(compact_out.find("compacted"), std::string::npos);
+  EXPECT_LT(fs::file_size(ResultStore::PathInDir(dir)), bytes_before);
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"export", "--store=" + dir}), cli::kExitOk);
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(), before);
+
+  EXPECT_EQ(RunCli({"compact"}), cli::kExitUsage);  // --store required
 }
 
 }  // namespace

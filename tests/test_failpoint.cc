@@ -1,0 +1,161 @@
+// Failpoint subsystem: spec grammar, trigger semantics (every-hit, Nth-hit,
+// seeded probability), scoped-site resolution, and the determinism contract
+// (a seeded probability trigger fires on the same hits every run).
+#include "src/util/failpoint.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sparsify {
+namespace {
+
+// Every test disarms in teardown so armed state never leaks into other
+// tests in this binary (the registry is process-global).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsANoop) {
+  SPARSIFY_FAILPOINT("test.never_armed");  // must not throw
+  EXPECT_EQ(fail::HitCount("test.never_armed"), 0u);
+}
+
+TEST_F(FailpointTest, MalformedSpecThrowsInvalidArgument) {
+  // A typo in a torture spec must abort loudly, never silently no-op.
+  EXPECT_THROW(fail::ArmFromSpec("no-equals-sign"), std::invalid_argument);
+  EXPECT_THROW(fail::ArmFromSpec("site=explode"), std::invalid_argument);
+  EXPECT_THROW(fail::ArmFromSpec("site=throw@"), std::invalid_argument);
+  EXPECT_THROW(fail::ArmFromSpec("site=throw@pZ"), std::invalid_argument);
+  EXPECT_THROW(fail::ArmFromSpec("site=delay:abc"), std::invalid_argument);
+  EXPECT_THROW(fail::ArmFromSpec("=throw"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, ThrowActionFiresEveryHit) {
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw"), 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), fail::InjectedFault);
+  }
+  EXPECT_EQ(fail::HitCount("test.site"), 3u);
+  EXPECT_EQ(fail::FiredCount("test.site"), 3u);
+}
+
+TEST_F(FailpointTest, ThrowTransientThrowsTheRetryableClass) {
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw-transient"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), TransientError);
+}
+
+TEST_F(FailpointTest, InjectedClassesAreSparsifyErrors) {
+  // Both injection classes slot into the engine's typed-error ladder (and
+  // stay catchable as std::runtime_error by pre-existing call sites).
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), SparsifyError);
+  fail::DisarmAll();
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw-transient"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), std::runtime_error);
+}
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnce) {
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw@3"), 1);
+  SPARSIFY_FAILPOINT("test.site");  // hit 1
+  SPARSIFY_FAILPOINT("test.site");  // hit 2
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), fail::InjectedFault);
+  SPARSIFY_FAILPOINT("test.site");  // hit 4: fired already, passes
+  SPARSIFY_FAILPOINT("test.site");  // hit 5
+  EXPECT_EQ(fail::HitCount("test.site"), 5u);
+  EXPECT_EQ(fail::FiredCount("test.site"), 1u);
+}
+
+TEST_F(FailpointTest, DelayActionContinues) {
+  ASSERT_EQ(fail::ArmFromSpec("test.site=delay:1"), 1);
+  SPARSIFY_FAILPOINT("test.site");  // sleeps 1ms, does not throw
+  EXPECT_EQ(fail::FiredCount("test.site"), 1u);
+}
+
+TEST_F(FailpointTest, SeededProbabilityIsDeterministic) {
+  auto fire_pattern = []() {
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      bool f = false;
+      try {
+        SPARSIFY_FAILPOINT("test.site");
+      } catch (const fail::InjectedFault&) {
+        f = true;
+      }
+      fired.push_back(f);
+    }
+    return fired;
+  };
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw@p0.5/42"), 1);
+  std::vector<bool> first = fire_pattern();
+  // Re-arming the same spec resets the site's RNG: identical pattern.
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw@p0.5/42"), 1);
+  EXPECT_EQ(fire_pattern(), first);
+
+  size_t fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 50u);  // p=0.5 over 200 draws: wildly loose bounds
+  EXPECT_LT(fires, 150u);
+
+  // A different seed produces a different pattern.
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw@p0.5/43"), 1);
+  EXPECT_NE(fire_pattern(), first);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFiresAndOneAlwaysFires) {
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw@p0"), 1);
+  for (int i = 0; i < 50; ++i) SPARSIFY_FAILPOINT("test.site");
+  EXPECT_EQ(fail::FiredCount("test.site"), 0u);
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw@p1"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), fail::InjectedFault);
+}
+
+TEST_F(FailpointTest, ScopedSiteMatchesBeforeBareSite) {
+  ASSERT_EQ(fail::ArmFromSpec("test.scoped/degree=throw"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT_SCOPED("test.scoped", "degree"),
+               fail::InjectedFault);
+  SPARSIFY_FAILPOINT_SCOPED("test.scoped", "kcore");  // unarmed scope: passes
+  SPARSIFY_FAILPOINT("test.scoped");                  // bare site: passes
+
+  // A bare policy catches every scope.
+  fail::DisarmAll();
+  ASSERT_EQ(fail::ArmFromSpec("test.scoped=throw"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT_SCOPED("test.scoped", "degree"),
+               fail::InjectedFault);
+  EXPECT_THROW(SPARSIFY_FAILPOINT_SCOPED("test.scoped", "kcore"),
+               fail::InjectedFault);
+}
+
+TEST_F(FailpointTest, MultiSiteSpecArmsEverySite) {
+  ASSERT_EQ(fail::ArmFromSpec("test.a=throw@2;test.b=delay:1"), 2);
+  SPARSIFY_FAILPOINT("test.a");
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.a"), fail::InjectedFault);
+  SPARSIFY_FAILPOINT("test.b");
+  EXPECT_EQ(fail::FiredCount("test.b"), 1u);
+}
+
+TEST_F(FailpointTest, DisarmAllStopsFiringAndResetsCounters) {
+  ASSERT_EQ(fail::ArmFromSpec("test.site=throw"), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.site"), fail::InjectedFault);
+  fail::DisarmAll();
+  SPARSIFY_FAILPOINT("test.site");  // disarmed: free and silent
+  EXPECT_EQ(fail::HitCount("test.site"), 0u);
+  EXPECT_EQ(fail::FiredCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsTheVariable) {
+  ASSERT_EQ(::setenv("SPARSIFY_FAILPOINTS", "test.env=throw", 1), 0);
+  EXPECT_EQ(fail::ArmFromEnv(), 1);
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.env"), fail::InjectedFault);
+  ASSERT_EQ(::unsetenv("SPARSIFY_FAILPOINTS"), 0);
+  fail::DisarmAll();
+  EXPECT_EQ(fail::ArmFromEnv(), 0);
+  SPARSIFY_FAILPOINT("test.env");
+}
+
+}  // namespace
+}  // namespace sparsify
