@@ -24,6 +24,7 @@
 #include "src/obs/counters.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
+#include "src/util/cancel.h"
 #include "src/util/errors.h"
 #include "src/util/failpoint.h"
 #include "src/util/thread_pool.h"
@@ -218,7 +219,8 @@ int Usage() {
          "             [--runs=3] [--scale=0.5[,web-Google=0.2,..]]\n"
          "             [--seed=42] [--threads=0] [--csv] [--store=DIR]\n"
          "             [--resume] [--trace=FILE] [--progress]\n"
-         "             [--max-unit-retries=2]\n"
+         "             [--max-unit-retries=2] [--deadline=SECS]\n"
+         "             [--unit-timeout=SECS] [--watchdog-stall=SECS]\n"
          "  profile    (same flags as sweep) run a sweep and print the\n"
          "             per-stage/per-metric breakdown (p50/p95/max,\n"
          "             units/s, pool utilization)\n"
@@ -254,9 +256,20 @@ int Usage() {
          "retried (transient failures, --max-unit-retries extra attempts)\n"
          "or recorded as a typed error record in the store; the rest of\n"
          "the sweep completes, and --resume resubmits exactly the failed\n"
-         "units. Exit codes: 0 ok, 1 usage/unclassified error, 2 I/O\n"
-         "failure, 3 store locked by another process, 4 corrupt store,\n"
-         "5 permanent unit failures, 6 transient unit failures only.\n";
+         "units. --deadline cancels the whole run after SECS (like a\n"
+         "signal: in-flight units drain, completed units persist);\n"
+         "--unit-timeout fails any single (cell, metric) unit exceeding\n"
+         "SECS (recorded as a 'deadline' error record, the rest of the\n"
+         "sweep unaffected); --watchdog-stall dumps in-flight activities\n"
+         "and counters to stderr when a unit makes no progress for SECS\n"
+         "(default 300) and then cancels it. SIGINT/SIGTERM cancel the\n"
+         "run cooperatively: queued units are skipped, in-flight units\n"
+         "drain, and --resume continues bit-identically; a second signal\n"
+         "aborts immediately. Exit codes: 0 ok, 1 usage/unclassified\n"
+         "error, 2 I/O failure, 3 store locked by another process,\n"
+         "4 corrupt store, 5 permanent unit failures, 6 transient/\n"
+         "deadline unit failures only, 7 interrupted by signal,\n"
+         "8 --deadline expired.\n";
   return 1;
 }
 
@@ -425,6 +438,23 @@ int CmdSweep(const Args& args, bool profile_mode) {
   // Spans are recorded whenever the profile table needs them or a trace
   // file was requested; otherwise the span sites stay one relaxed load.
   bool tracing = profile_mode || !trace_path.empty();
+  // Robustness knobs. Strictly positive: zero or negative is a config
+  // mistake, not "off" (omit the flag for off).
+  double run_deadline = args.GetDouble("deadline", 0);
+  double unit_timeout = args.GetDouble("unit-timeout", 0);
+  double watchdog_stall = args.GetDouble("watchdog-stall", 0);
+  if (args.Has("deadline") && run_deadline <= 0) {
+    std::cerr << "error: --deadline must be > 0 seconds\n";
+    return 1;
+  }
+  if (args.Has("unit-timeout") && unit_timeout <= 0) {
+    std::cerr << "error: --unit-timeout must be > 0 seconds\n";
+    return 1;
+  }
+  if (args.Has("watchdog-stall") && watchdog_stall <= 0) {
+    std::cerr << "error: --watchdog-stall must be > 0 seconds\n";
+    return 1;
+  }
 
   SweepConfig config;
   if (args.Has("algos")) config.sparsifiers = SplitCsv(args.Get("algos"));
@@ -441,6 +471,30 @@ int CmdSweep(const Args& args, bool profile_mode) {
     obs::ResetAllStats();
     runner.ResetPoolStats();
   }
+  // Whole-run cancellation: one token shared by the signal bridge, the
+  // --deadline, and (as parent) every submitted unit's own token.
+  // Installed before the store opens so a signal during a long replay
+  // still drains cleanly; a second signal aborts immediately.
+  CancelToken run_token;
+  if (run_deadline > 0) run_token.SetDeadlineAfter(run_deadline);
+  InstallSignalCancel(&run_token);
+  // The watchdog samples in-flight activities and dumps the obs counter/
+  // histogram state to stderr when one stalls, then cancels it (the unit
+  // fails alone as a "deadline" error record). Default threshold 5min;
+  // with a --unit-timeout the engine usually fires first, so the watchdog
+  // trails it as a backstop.
+  WatchdogOptions wd;
+  wd.stall_seconds =
+      watchdog_stall > 0
+          ? watchdog_stall
+          : (unit_timeout > 0 ? std::max(30.0, 4.0 * unit_timeout) : 300.0);
+  StartWatchdog(wd);
+  struct CancelGuard {
+    ~CancelGuard() {
+      StopWatchdog();
+      ClearSignalCancel();
+    }
+  } cancel_guard;
   // Start before the store opens so its replay span is captured too.
   if (tracing) obs::StartTracing();
   std::unique_ptr<ResultStore> store;
@@ -457,8 +511,13 @@ int CmdSweep(const Args& args, bool profile_mode) {
   size_t total_submitted_units = 0;
   size_t total_failed_units = 0;
   size_t total_transient_failed = 0;
+  size_t total_deadline_units = 0;
+  size_t total_cancelled_units = 0;
   Timer run_timer;
   for (const std::string& dataset_name : datasets) {
+    // A tripped run token (signal or --deadline) skips every remaining
+    // dataset; the one in flight already drained inside RunMulti.
+    if (run_token.Cancelled()) break;
     auto override_it = scales.overrides.find(dataset_name);
     double scale = override_it != scales.overrides.end()
                        ? override_it->second
@@ -476,6 +535,8 @@ int CmdSweep(const Args& args, bool profile_mode) {
     // --resume resubmits exactly the failed units.
     sweep.set_fault_tolerant(true);
     sweep.set_max_unit_retries(args.GetInt("max-unit-retries", 2));
+    sweep.set_cancel_token(&run_token);
+    sweep.set_unit_timeout(unit_timeout);
     if (progress) {
       // ~1s heartbeat on stderr. Fires on worker threads; the CAS on the
       // last-print time elects one printer per interval. The final unit
@@ -510,6 +571,8 @@ int CmdSweep(const Args& args, bool profile_mode) {
     total_submitted_units += stats.submitted_cells;
     total_failed_units += stats.failed_units;
     total_transient_failed += stats.transient_failed_units;
+    total_deadline_units += stats.deadline_exceeded_units;
+    total_cancelled_units += stats.cancelled_units;
     // Wall clock, throughput, and the score/subgraph/metric time split in
     // the banner make resumed-vs-cold and shared-vs-rebuilt speedups
     // visible without a profiler. The rate counts only SUBMITTED units:
@@ -536,12 +599,21 @@ int CmdSweep(const Args& args, bool profile_mode) {
               << " submitted=" << stats.submitted_cells
               << " subgraph_builds=" << stats.subgraph_builds
               << " score_groups=" << stats.score_groups;
-    if (stats.failed_units > 0 || stats.retried_units > 0) {
+    if (stats.failed_units > 0 || stats.retried_units > 0 ||
+        stats.cancelled_units > 0) {
       // ok / failed / retried accounting, only when there is anything to
       // report (the usual all-green banner stays byte-stable).
-      std::cout << " ok=" << (stats.submitted_cells - stats.failed_units)
+      std::cout << " ok="
+                << (stats.submitted_cells - stats.failed_units -
+                    stats.cancelled_units)
                 << " failed=" << stats.failed_units
                 << " retried=" << stats.retried_units;
+      if (stats.deadline_exceeded_units > 0) {
+        std::cout << " deadline_exceeded=" << stats.deadline_exceeded_units;
+      }
+      if (stats.cancelled_units > 0) {
+        std::cout << " cancelled=" << stats.cancelled_units;
+      }
     }
     std::cout << ", " << timing << "\n";
     if (profile_mode) continue;  // breakdown table instead of series
@@ -588,15 +660,32 @@ int CmdSweep(const Args& args, bool profile_mode) {
                 << "\n";
     }
   }
+  // A cancelled run dominates every other exit class: what completed is
+  // persisted, nothing was recorded for the rest, and --resume picks up
+  // exactly where this run stopped.
+  if (run_token.Cancelled()) {
+    const bool signalled = SignalCancelSigno() != 0;
+    std::cerr << "# " << cmd_name
+              << (signalled ? " interrupted by signal"
+                            : " stopped at --deadline")
+              << ": " << total_cancelled_units
+              << " unit(s) cancelled; completed units"
+              << (store ? " are persisted -- re-run with --resume to continue"
+                        : " were printed (no --store: nothing persisted)")
+              << "\n";
+    return signalled ? kExitInterrupted : kExitDeadline;
+  }
   if (total_failed_units > 0) {
     std::cerr << "# " << cmd_name << " finished with " << total_failed_units
               << " failed unit(s) (" << total_transient_failed
-              << " transient); recorded as error records"
+              << " transient, " << total_deadline_units
+              << " deadline); recorded as error records"
               << (store ? "" : " (no --store: failures not persisted)")
               << " -- re-run with --store/--resume to retry just those\n";
     // Permanent failures dominate the exit code: they will not clear on
-    // their own, while an all-transient run may succeed if simply re-run.
-    return total_failed_units > total_transient_failed
+    // their own, while a transient or deadline-exceeded unit may succeed
+    // if simply re-run (the latter with a larger --unit-timeout).
+    return total_failed_units > total_transient_failed + total_deadline_units
                ? kExitUnitFailures
                : kExitTransientFailures;
   }
@@ -676,11 +765,13 @@ const std::map<std::string, std::set<std::string>>& AllowedKeys() {
       {"sweep",
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
         "scale", "seed", "threads", "csv", "store", "resume", "trace",
-        "progress", "max-unit-retries"}},
+        "progress", "max-unit-retries", "deadline", "unit-timeout",
+        "watchdog-stall"}},
       {"profile",
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
         "scale", "seed", "threads", "csv", "store", "resume", "trace",
-        "progress", "max-unit-retries"}},
+        "progress", "max-unit-retries", "deadline", "unit-timeout",
+        "watchdog-stall"}},
       {"ingest", {"input", "directed", "weighted", "cache", "threads"}},
       {"export", {"store", "format", "dataset", "metric"}},
       {"ls", {"store"}},
@@ -734,6 +825,14 @@ int RunSparsifyCli(int argc, char** argv) {
   } catch (const StoreCorruptError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitCorruptStore;
+  } catch (const DeadlineExceededError& e) {
+    // Safety net for cancellation escaping a non-tolerant path (e.g. a
+    // figure run); sweeps normally classify and exit via CmdSweep.
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitDeadline;
+  } catch (const CancelledError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitInterrupted;
   } catch (const IoError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitIo;

@@ -28,8 +28,14 @@ inline constexpr int kExitUnitFailures = 5; // sweep finished, but >=1 unit
                                             // failed permanently
 inline constexpr int kExitTransientFailures = 6;  // sweep finished; every
                                                   // failure was transient
-                                                  // (retries exhausted) —
+                                                  // (retries exhausted) or a
+                                                  // unit deadline —
                                                   // re-running may succeed
+inline constexpr int kExitInterrupted = 7;  // SIGINT/SIGTERM: in-flight units
+                                            // drained, completed units
+                                            // persisted; --resume continues
+inline constexpr int kExitDeadline = 8;     // --deadline expired: same drain
+                                            // + persist contract as a signal
 
 /// argv-level entry point; returns the process exit code. Unknown
 /// subcommands and unknown --flags print an error plus usage and return

@@ -275,7 +275,17 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
   const bool tolerate = faults.tolerate;
   std::atomic<size_t> failed_units{0};
   std::atomic<size_t> transient_failed_units{0};
+  std::atomic<size_t> deadline_units{0};
+  std::atomic<size_t> cancelled_units{0};
   std::atomic<size_t> retried_units{0};
+
+  // Run-level cancellation: once the caller's token trips, tasks still
+  // queued skip their work entirely and in-flight units are interrupted
+  // at their next cooperative check.
+  const CancelToken* run_cancel = faults.cancel;
+  auto run_cancelled = [run_cancel] {
+    return run_cancel != nullptr && run_cancel->Cancelled();
+  };
 
   // Tolerant-mode handling of a failed score-group or subgraph stage:
   // every dependent unit of cell i is marked failed (no retry — scoring
@@ -296,10 +306,30 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
       if (error_class == "transient") {
         transient_failed_units.fetch_add(1, std::memory_order_relaxed);
       }
+      if (error_class == "deadline") {
+        deadline_units.fetch_add(1, std::memory_order_relaxed);
+      }
       if (faults.on_unit_failure) {
         faults.on_unit_failure(task, (*ids_of[i])[slot], error_class,
                                error_message, 1);
       }
+    }
+  };
+
+  // Run-level cancellation of cell i's units. The slots are still marked
+  // failed (a default slot would fold as metric-0 value 0.0) but this is
+  // NOT a failure: on_unit_failure is not invoked and nothing is
+  // recorded, so a resumed sweep resubmits exactly these units. Only the
+  // worker owning cell i calls this.
+  auto cancel_cell = [&](size_t i) {
+    for (size_t slot = 0; slot < ids_of[i]->size(); ++slot) {
+      BatchMetricValue v;
+      v.metric = (*ids_of[i])[slot];
+      v.failed = true;
+      v.error_class = "cancelled";
+      v.error_message = "run cancelled";
+      results[i].values[slot] = std::move(v);
+      cancelled_units.fetch_add(1, std::memory_order_relaxed);
     }
   };
 
@@ -313,6 +343,20 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         if (failed.load(std::memory_order_relaxed)) return;
         const BatchTask& task = results[i].task;
         uint32_t m = (*ids_of[i])[slot];
+        if (run_cancelled()) {
+          // Skipped before starting. Still release the subgraph chain.
+          BatchMetricValue v;
+          v.metric = m;
+          v.failed = true;
+          v.error_class = "cancelled";
+          v.error_message = "run cancelled";
+          results[i].values[slot] = std::move(v);
+          cancelled_units.fetch_add(1, std::memory_order_relaxed);
+          if (units_left[i].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            cell_graph[i].reset();
+          }
+          return;
+        }
         // One span per (cell x metric) evaluation unit — the unit CI
         // counts against the sweep banner. The detail key is the metric
         // registry name; the cell identity rides in the args.
@@ -325,14 +369,35 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         }
         Timer unit_timer;
         bool ok = false;
+        bool cancelled = false;  // run-level: skip, don't fail
         std::string error_class, error_message;
         int attempts = 0;
+        const bool cancellable =
+            run_cancel != nullptr || faults.unit_timeout_seconds > 0;
         while (true) {
           ++attempts;
+          // Per-attempt unit token: parented under the run token so a
+          // run-level cancel interrupts the unit at its next check, with
+          // a fresh --unit-timeout deadline each attempt. Declared
+          // before the activity scope so the watchdog (which cancels the
+          // token of a stuck activity while holding its slot lock) can
+          // never observe a destroyed token.
+          CancelToken unit_token;
+          unit_token.set_parent(run_cancel);
+          if (faults.unit_timeout_seconds > 0) {
+            unit_token.SetDeadlineAfter(faults.unit_timeout_seconds);
+          }
+          CancelScope cancel_scope(cancellable ? &unit_token : nullptr);
+          ActivityScope activity(
+              "metric_unit",
+              metrics[m].name.empty() ? "metric" : metrics[m].name,
+              cancellable ? &unit_token : nullptr);
           try {
             // The Rng is re-created from MetricSeed on every attempt, so
             // a retried success draws the exact samples a first-try
             // success would — retries are invisible in the numbers.
+            // (Cancellation checks never touch this stream either: an
+            // interrupted-then-resumed unit is bit-identical.)
             Rng metric_rng(MetricSeed(master_seed, dataset, task.sparsifier,
                                       task.prune_rate, task.run,
                                       metrics[m].name));
@@ -347,6 +412,30 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
             if (on_result) {
               on_result(task, results[i].achieved_prune_rate, m, value);
             }
+            break;
+          } catch (const DeadlineExceededError& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;  // recorded as the pool's first error, rethrown by Wait
+            }
+            if (run_cancelled()) {
+              cancelled = true;  // the whole run is going down, not just us
+            } else {
+              error_class = "deadline";  // no retry: it would time out again
+            }
+            error_message = e.what();
+            break;
+          } catch (const CancelledError& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            if (run_cancelled()) {
+              cancelled = true;
+            } else {
+              error_class = "cancelled";
+            }
+            error_message = e.what();
             break;
           } catch (const TransientError& e) {
             if (!tolerate) {
@@ -380,17 +469,25 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
           BatchMetricValue v;
           v.metric = m;
           v.failed = true;
-          v.error_class = error_class;
+          v.error_class = cancelled ? "cancelled" : error_class;
           v.error_message = error_message;
           v.attempts = attempts;
           results[i].values[slot] = std::move(v);
-          failed_units.fetch_add(1, std::memory_order_relaxed);
-          if (error_class == "transient") {
-            transient_failed_units.fetch_add(1, std::memory_order_relaxed);
-          }
-          if (faults.on_unit_failure) {
-            faults.on_unit_failure(task, m, error_class, error_message,
-                                   attempts);
+          if (cancelled) {
+            // Not a failure: nothing recorded, resume resubmits the unit.
+            cancelled_units.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed_units.fetch_add(1, std::memory_order_relaxed);
+            if (error_class == "transient") {
+              transient_failed_units.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (error_class == "deadline") {
+              deadline_units.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (faults.on_unit_failure) {
+              faults.on_unit_failure(task, m, error_class, error_message,
+                                     attempts);
+            }
           }
         }
         double unit_seconds = unit_timer.Seconds();
@@ -418,11 +515,18 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
     for (size_t i = 0; i < tasks.size(); ++i) {
       impl_->pool.Submit([&, i] {
         if (failed.load(std::memory_order_relaxed)) return;
+        if (run_cancelled()) {
+          cancel_cell(i);
+          return;
+        }
         TRACE_SPAN(span, "subgraph");
         if (span.active()) {
           span.Detail(results[i].task.sparsifier);
           span.Arg("rate", FormatRate(results[i].task.prune_rate));
         }
+        CancelScope cancel_scope(run_cancel);
+        ActivityScope activity("subgraph", results[i].task.sparsifier,
+                               run_cancel);
         Timer build_timer;
         bool built = false;
         try {
@@ -440,6 +544,16 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
               Sparsifier::AchievedPruneRate(input, sparsified);
           cell_graph[i].emplace(std::move(sparsified));
           built = true;
+        } catch (const CancelledError& e) {
+          if (!tolerate) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;
+          }
+          if (run_cancelled()) {
+            cancel_cell(i);
+          } else {
+            fail_cell(i, "cancelled", e.what());
+          }
         } catch (const TransientError& e) {
           if (!tolerate) {
             failed.store(true, std::memory_order_relaxed);
@@ -478,8 +592,12 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
       stats->score_groups = tasks.size();  // every cell rescored
       stats->subgraph_builds = tasks.size();
       stats->failed_units = failed_units.load(std::memory_order_relaxed);
-    stats->transient_failed_units =
-        transient_failed_units.load(std::memory_order_relaxed);
+      stats->transient_failed_units =
+          transient_failed_units.load(std::memory_order_relaxed);
+      stats->deadline_exceeded_units =
+          deadline_units.load(std::memory_order_relaxed);
+      stats->cancelled_units =
+          cancelled_units.load(std::memory_order_relaxed);
       stats->retried_units = retried_units.load(std::memory_order_relaxed);
       stats->subgraph_seconds = subgraph_seconds;
       stats->metric_seconds = metric_seconds;
@@ -548,12 +666,20 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     impl_->pool.Submit([&, gi] {
       if (failed.load(std::memory_order_relaxed)) return;
+      if (run_cancelled()) {
+        for (size_t i : cells_of[gi]) cancel_cell(i);
+        return;
+      }
       Group& group = groups[gi];
       TRACE_SPAN(span, "score_group");
       if (span.active()) {
         span.Detail(group.sparsifier);
         span.Arg("run", std::to_string(group.run));
       }
+      // The run token is ambient while scoring so PrepareScores' own
+      // checks (ER's CG iterations, JL dimensions) observe cancellation.
+      CancelScope cancel_scope(run_cancel);
+      ActivityScope activity("score_group", group.sparsifier, run_cancel);
       Timer score_timer;
       bool scored = false;
       try {
@@ -562,6 +688,16 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
         Rng group_rng(GroupSeed(master_seed, group.sparsifier, group.run));
         group.state = group.instance->PrepareScores(*group.input, group_rng);
         scored = true;
+      } catch (const CancelledError& e) {
+        if (!tolerate) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+        if (run_cancelled()) {
+          for (size_t i : cells_of[gi]) cancel_cell(i);
+        } else {
+          for (size_t i : cells_of[gi]) fail_cell(i, "cancelled", e.what());
+        }
       } catch (const TransientError& e) {
         if (!tolerate) {
           failed.store(true, std::memory_order_relaxed);
@@ -594,14 +730,25 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
       if (!scored) return;  // tolerant mode: the group's cells are failed
       for (size_t i : cells_of[gi]) {
         impl_->pool.SubmitUrgent([&, gi, i] {
-          if (failed.load(std::memory_order_relaxed)) return;
           Group& cell_group = groups[gi];
+          if (failed.load(std::memory_order_relaxed)) return;
+          if (run_cancelled()) {
+            cancel_cell(i);
+            if (cells_left[gi].fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+              cell_group.state.reset();
+            }
+            return;
+          }
           TRACE_SPAN(span, "subgraph");
           if (span.active()) {
             span.Detail(results[i].task.sparsifier);
             span.Arg("rate", FormatRate(results[i].task.prune_rate));
             span.Arg("run", std::to_string(results[i].task.run));
           }
+          CancelScope cancel_scope(run_cancel);
+          ActivityScope activity("subgraph", results[i].task.sparsifier,
+                                 run_cancel);
           Timer build_timer;
           bool built = false;
           try {
@@ -615,6 +762,16 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
                 Sparsifier::AchievedPruneRate(*cell_group.input, sparsified);
             cell_graph[i].emplace(std::move(sparsified));
             built = true;
+          } catch (const CancelledError& e) {
+            if (!tolerate) {
+              failed.store(true, std::memory_order_relaxed);
+              throw;
+            }
+            if (run_cancelled()) {
+              cancel_cell(i);
+            } else {
+              fail_cell(i, "cancelled", e.what());
+            }
           } catch (const TransientError& e) {
             if (!tolerate) {
               failed.store(true, std::memory_order_relaxed);
@@ -662,6 +819,9 @@ std::vector<BatchMultiResult> BatchRunner::RunTasksMulti(
     stats->failed_units = failed_units.load(std::memory_order_relaxed);
     stats->transient_failed_units =
         transient_failed_units.load(std::memory_order_relaxed);
+    stats->deadline_exceeded_units =
+        deadline_units.load(std::memory_order_relaxed);
+    stats->cancelled_units = cancelled_units.load(std::memory_order_relaxed);
     stats->retried_units = retried_units.load(std::memory_order_relaxed);
     stats->score_seconds = score_seconds;
     stats->subgraph_seconds = subgraph_seconds;

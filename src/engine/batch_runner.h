@@ -27,6 +27,7 @@
 
 #include "src/graph/graph.h"
 #include "src/sparsifiers/sparsifier.h"
+#include "src/util/cancel.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
@@ -119,6 +120,12 @@ struct BatchRunStats {
   size_t failed_units = 0;     // units that ended in failure (tolerant mode)
   size_t transient_failed_units = 0;  // failed_units whose final class was
                                       // "transient" (retries exhausted)
+  size_t deadline_exceeded_units = 0;  // failed_units whose final class was
+                                       // "deadline" (--unit-timeout or
+                                       // watchdog escalation)
+  size_t cancelled_units = 0;  // units skipped or interrupted by run-level
+                               // cancellation: NOT failures, nothing is
+                               // recorded, a resume resubmits them
   size_t retried_units = 0;    // transient-failure retries performed
   double score_seconds = 0;     // summed duration of group scoring tasks
   double subgraph_seconds = 0;  // summed mask + Apply (or fused Sparsify)
@@ -144,12 +151,25 @@ struct FaultPolicy {
   int max_unit_retries = 2;
   /// Invoked once per permanently-failed unit, from the worker thread
   /// (concurrently across workers — must synchronize like the result
-  /// callback). error_class is "transient" (retries exhausted) or
-  /// "permanent".
+  /// callback). error_class is "transient" (retries exhausted),
+  /// "permanent", "deadline" (unit timeout / watchdog escalation), or
+  /// "cancelled" (a CancelledError thrown while the run itself was NOT
+  /// cancelled).
   std::function<void(const BatchTask& task, uint32_t metric,
                      const std::string& error_class,
                      const std::string& error_message, int attempts)>
       on_unit_failure;
+  /// Whole-run cooperative cancellation. When the token trips, queued
+  /// work is skipped and in-flight units are interrupted at their next
+  /// check; affected units are counted as cancelled_units, NOT failures,
+  /// and nothing is recorded for them (a resumed sweep resubmits them).
+  /// Must outlive the run. Null = no run-level cancellation.
+  const CancelToken* cancel = nullptr;
+  /// Per-(cell, metric) unit deadline in seconds (0 = none). Each
+  /// attempt gets a fresh deadline; a unit that exceeds it fails alone
+  /// with error_class "deadline" (no retry — the same computation would
+  /// time out again) and the rest of the batch completes.
+  double unit_timeout_seconds = 0;
 };
 
 /// Evaluates batch grids on a fixed-size thread pool.

@@ -107,6 +107,8 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
     FaultPolicy faults;
     faults.tolerate = fault_tolerant_;
     faults.max_unit_retries = max_unit_retries_;
+    faults.cancel = cancel_;
+    faults.unit_timeout_seconds = unit_timeout_seconds_;
     if (fault_tolerant_ && (store_ != nullptr || progress_)) {
       faults.on_unit_failure = [&](const BatchTask& task, uint32_t m,
                                    const std::string& error_class,
@@ -146,6 +148,8 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
       stats->failed_units = run_stats.failed_units;
       stats->transient_failed_units = run_stats.transient_failed_units;
       stats->retried_units = run_stats.retried_units;
+      stats->deadline_exceeded_units = run_stats.deadline_exceeded_units;
+      stats->cancelled_units = run_stats.cancelled_units;
       stats->score_seconds = run_stats.score_seconds;
       stats->subgraph_seconds = run_stats.subgraph_seconds;
       stats->metric_seconds = run_stats.metric_seconds;

@@ -56,6 +56,13 @@ struct ResumableSweepStats {
   size_t failed_units = 0;
   size_t transient_failed_units = 0;
   size_t retried_units = 0;
+  // Units that hit their --unit-timeout (or were watchdog-escalated):
+  // a subset of failed_units, recorded as "deadline" error records.
+  size_t deadline_exceeded_units = 0;
+  // Units skipped or interrupted by run-level cancellation (SIGINT/
+  // SIGTERM or --deadline): not failures, nothing recorded, the next
+  // --resume resubmits them.
+  size_t cancelled_units = 0;
   // Summed task durations from BatchRunStats: where the submitted units'
   // time went (score = PrepareScores groups, subgraph = mask + Apply,
   // metric = evaluations).
@@ -99,6 +106,18 @@ class ResumableSweep {
   void set_fault_tolerant(bool on) { fault_tolerant_ = on; }
   void set_max_unit_retries(int retries) { max_unit_retries_ = retries; }
 
+  /// Whole-run cooperative cancellation token (see FaultPolicy::cancel).
+  /// When it trips — SIGINT/SIGTERM via the CLI's signal bridge, or a
+  /// --deadline — queued units are skipped, in-flight units interrupted
+  /// at their next check, completed units are already appended, and
+  /// nothing is recorded for the rest: the next --resume picks up where
+  /// the cancelled run stopped, bit-identically. Must outlive RunMulti.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
+  /// Per-(cell, metric) deadline in seconds (0 = off). A unit exceeding
+  /// it fails alone with a "deadline" error record; see FaultPolicy.
+  void set_unit_timeout(double seconds) { unit_timeout_seconds_ = seconds; }
+
   /// Runs every metric of `metrics` over the sweep grid of `config` on
   /// `g`, sparsifying each (sparsifier, rate, run) cell exactly once and
   /// evaluating all of the cell's missing metrics on that one subgraph.
@@ -131,6 +150,8 @@ class ResumableSweep {
   bool reuse_cached_ = true;
   bool fault_tolerant_ = false;
   int max_unit_retries_ = 2;
+  const CancelToken* cancel_ = nullptr;  // not owned; may be null
+  double unit_timeout_seconds_ = 0;
   ProgressFn progress_;
 };
 

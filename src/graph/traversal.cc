@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "src/obs/counters.h"
+#include "src/util/cancel.h"
 
 namespace sparsify {
 
@@ -126,6 +127,10 @@ TraversalSummary BfsLevels(const Graph& g, NodeId src,
   const size_t words = (static_cast<size_t>(n) + 63) / 64;
 
   while (frontier_count > 0) {
+    // Cooperative cancellation at round granularity: one relaxed load
+    // per level when no token is armed, so the per-edge loops below stay
+    // untouched (the zero-alloc + hybrid-gate benches measure this path).
+    SPARSIFY_CHECK_CANCELLED();
     // Switch to pull only when the frontier's out-arc mass exceeds
     // 1/kAlpha of the pull-side scan cost AND the frontier is not tiny
     // relative to the undiscovered region (a pull round pays a fixed
@@ -156,6 +161,7 @@ TraversalSummary BfsLevels(const Graph& g, NodeId src,
       NodeId awake = 0;
       uint64_t awake_scout = 0;
       do {
+        SPARSIFY_CHECK_CANCELLED();  // pull rounds are levels too
         ++sum.pull_rounds;
         awake = 0;
         awake_scout = 0;
@@ -269,7 +275,9 @@ TraversalSummary DijkstraBinaryHeap(const Graph& g, NodeId src,
   double max_dist = 0.0;
   NodeId farthest = src;
   const auto cmp = std::greater<std::pair<double, NodeId>>();
+  uint32_t pops = 0;  // cancellation poll cadence: every 4096 pops
   while (!s.heap_.empty()) {
+    if ((++pops & 4095u) == 0) SPARSIFY_CHECK_CANCELLED();
     std::pop_heap(s.heap_.begin(), s.heap_.end(), cmp);
     auto [d, v] = s.heap_.back();
     s.heap_.pop_back();
@@ -335,9 +343,12 @@ TraversalSummary DijkstraDeltaStepping(const Graph& g, NodeId src,
   size_t pending = 1;
   uint64_t k = 0;  // absolute index of the bucket being drained
   uint64_t bucket_advances = 0;
+  uint32_t pops = 0;  // cancellation poll cadence: every 4096 pops
   while (pending > 0) {
+    SPARSIFY_CHECK_CANCELLED();  // once per bucket advance
     auto& bucket = s.buckets_[k % num_buckets];
     while (!bucket.empty()) {
+      if ((++pops & 4095u) == 0) SPARSIFY_CHECK_CANCELLED();
       const NodeId v = bucket.back();
       bucket.pop_back();
       --pending;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/linalg/laplacian.h"
+#include "src/util/cancel.h"
 
 namespace sparsify {
 
@@ -33,6 +34,9 @@ CgResult SolveLaplacian(const Graph& g, const Vec& b, Vec* x, double tol,
   p = z;
   double rz = Dot(r, z);
   for (int it = 0; it < max_iters; ++it) {
+    // ER's CG solves dominate its PrepareScores cost; poll per iteration
+    // (one matvec each) so a deadline lands within one iteration.
+    SPARSIFY_CHECK_CANCELLED();
     result.iterations = it + 1;
     LaplacianMultiply(g, p, &lp);
     double plp = Dot(p, lp);

@@ -8,6 +8,7 @@
 #include "src/graph/traversal.h"
 #include "src/linalg/vector_ops.h"
 #include "src/metrics/distance.h"
+#include "src/util/cancel.h"
 #include "src/util/thread_pool.h"
 
 namespace sparsify {
@@ -104,6 +105,9 @@ std::vector<double> ApproxBetweennessCentrality(const Graph& g,
     TraversalScratch& scratch = LocalTraversalScratch();
     size_t end = std::min(pivots.size(), (b + 1) * kBatch);
     for (size_t s = b * kBatch; s < end; ++s) {
+      // Per-pivot poll: a batch is 32 full traversals, too coarse for a
+      // unit deadline on large graphs.
+      SPARSIFY_CHECK_CANCELLED();
       BrandesAccumulate(g, static_cast<NodeId>(pivots[s]), scale, &partial,
                         scratch);
     }

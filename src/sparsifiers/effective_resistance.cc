@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/linalg/cg.h"
+#include "src/util/cancel.h"
 
 namespace sparsify {
 
@@ -21,6 +22,7 @@ std::vector<double> ApproxEffectiveResistances(const Graph& g, Rng& rng,
   std::vector<double> resistance(m, 0.0);
   Vec b(n), z(n);
   for (int i = 0; i < k; ++i) {
+    SPARSIFY_CHECK_CANCELLED();  // once per JL dimension (one CG solve)
     // b = B^T W^{1/2} q_i where q_i has +-1/sqrt(k) entries: each edge e
     // contributes q_i[e] * sqrt(w_e) * (e_u - e_v).
     std::fill(b.begin(), b.end(), 0.0);
@@ -125,6 +127,9 @@ std::unique_ptr<ScoreState> EffectiveResistanceSparsifier::PrepareScores(
   uint64_t draws = 0;
   const uint64_t max_draws = 400ULL * m + 1000000ULL;
   while (distinct < m && draws < max_draws) {
+    // Poll rarely: the check must not perturb the RNG stream, and the
+    // draw loop is hot (one binary search per draw).
+    if ((draws & 0xFFFFu) == 0) SPARSIFY_CHECK_CANCELLED();
     double r = rng.NextDouble() * acc;
     auto it = std::lower_bound(cum.begin(), cum.end(), r);
     EdgeId e = static_cast<EdgeId>(it - cum.begin());

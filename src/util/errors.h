@@ -58,6 +58,25 @@ class TransientError : public SparsifyError {
   explicit TransientError(const std::string& what) : SparsifyError(what) {}
 };
 
+/// Cooperative cancellation tripped (src/util/cancel.h): a CancelToken
+/// the computation was polling was cancelled. Not a retry candidate in
+/// place — the engine either skips the unit (run-level cancellation,
+/// nothing recorded, resume resubmits) or records it as a typed error.
+class CancelledError : public SparsifyError {
+ public:
+  explicit CancelledError(const std::string& what) : SparsifyError(what) {}
+};
+
+/// A deadline expired (--unit-timeout, watchdog escalation, or a
+/// run-level --deadline). Derives from CancelledError so generic
+/// cancellation handlers see both; the engine records unit deadlines as
+/// "deadline" error records, which resume treats as missing.
+class DeadlineExceededError : public CancelledError {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : CancelledError(what) {}
+};
+
 }  // namespace sparsify
 
 #endif  // SPARSIFY_UTIL_ERRORS_H_

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/obs/counters.h"
+#include "src/util/cancel.h"
 
 namespace sparsify::fail {
 
@@ -99,6 +100,17 @@ void Act(const Decision& d) {
     case Action::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
       return;
+    case Action::kHang:
+      // Block until the ambient cancel token trips (the cancellation
+      // then propagates as its typed exception — exactly what a wedged
+      // unit looks like to the deadline/watchdog machinery) or every
+      // failpoint is disarmed (then continue as if nothing happened).
+      while (internal::AnyArmed()) {
+        const CancelToken* token = CurrentCancelToken();
+        if (token != nullptr) token->ThrowIfCancelled();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;
   }
 }
 
@@ -124,6 +136,8 @@ Policy ParsePolicy(const std::string& spec_entry, const std::string& text) {
     policy.action = Action::kAbort;
   } else if (action == "kill") {
     policy.action = Action::kKill;
+  } else if (action == "hang") {
+    policy.action = Action::kHang;
   } else if (action.rfind("delay:", 0) == 0) {
     policy.action = Action::kDelay;
     char* end = nullptr;

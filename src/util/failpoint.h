@@ -22,6 +22,13 @@
 //            kill             raise(SIGKILL) — the torture harness's
 //                             crash: no atexit, no stream flush, nothing
 //            delay:MS         sleep MS milliseconds, then continue
+//            hang             block until the ambient CancelToken
+//                             (src/util/cancel.h) trips — then the
+//                             cancellation propagates as its typed
+//                             exception — or until every failpoint is
+//                             disarmed (then continue). Makes deadline
+//                             and watchdog paths testable without
+//                             timing-flaky sleeps.
 //   trigger  (none)           fire on every hit
 //            @N               fire on exactly the Nth hit (1-based), once
 //            @pP              fire per-hit with probability P in [0,1]
@@ -66,6 +73,7 @@ enum class Action {
   kAbort,           // std::abort()
   kKill,            // raise(SIGKILL)
   kDelay,           // sleep delay_ms, then continue
+  kHang,            // block until cancelled or disarmed
 };
 
 /// When and what a failpoint does. Default-constructed: fire on every

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 #include "src/obs/counters.h"
+#include "src/util/cancel.h"
 #include "src/util/failpoint.h"
 
 namespace sparsify {
@@ -30,18 +32,37 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Stop(StopMode::kDrain); }
+
+void ThreadPool::Stop(StopMode mode) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) return;
     shutdown_ = true;
+    if (mode == StopMode::kAbandon) {
+      // Abandoned tasks count as "done" for Wait()'s bookkeeping: they
+      // will never run, so nothing should block on them. abandon_ also
+      // makes submissions from still-running tasks drop silently.
+      abandon_ = true;
+      const size_t dropped = queue_.size();
+      queue_.clear();
+      in_flight_ -= dropped;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
   }
   work_available_.notify_all();
   for (std::thread& w : workers_) w.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  stopped_ = true;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) {
+      throw std::logic_error("ThreadPool::Submit after Stop");
+    }
+    if (abandon_) return;  // dropped, like the rest of the queue
     queue_.push_back({std::move(task), Timer::Now()});
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
     ++in_flight_;
@@ -52,6 +73,10 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::SubmitUrgent(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) {
+      throw std::logic_error("ThreadPool::SubmitUrgent after Stop");
+    }
+    if (abandon_) return;  // dropped, like the rest of the queue
     queue_.push_front({std::move(task), Timer::Now()});
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
     ++in_flight_;
@@ -140,9 +165,17 @@ void NestedParallelFor(ThreadPool* pool, size_t n,
                        const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (pool == nullptr || pool->NumThreads() < 2 || n < 2) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      SPARSIFY_CHECK_CANCELLED();
+      fn(i);
+    }
     return;
   }
+
+  // Helpers run on pool threads that do not inherit this thread's
+  // ambient cancel token; capture it here and re-install it in each
+  // helper so every claimed index polls the same token.
+  const CancelToken* cancel_token = CurrentCancelToken();
 
   struct State {
     std::atomic<size_t> next{0};
@@ -165,6 +198,7 @@ void NestedParallelFor(ThreadPool* pool, size_t n,
       if (i >= s->n) return;
       if (!s->failed.load(std::memory_order_relaxed)) {
         try {
+          SPARSIFY_CHECK_CANCELLED();
           fn(i);
         } catch (...) {
           if (!s->failed.exchange(true, std::memory_order_relaxed)) {
@@ -187,7 +221,10 @@ void NestedParallelFor(ThreadPool* pool, size_t n,
   size_t helpers =
       std::min(n, static_cast<size_t>(pool->NumThreads())) - 1;
   for (size_t h = 0; h < helpers; ++h) {
-    pool->SubmitUrgent([state, claim_loop] { claim_loop(state); });
+    pool->SubmitUrgent([state, claim_loop, cancel_token] {
+      CancelScope cancel_scope(cancel_token);
+      claim_loop(state);
+    });
   }
   claim_loop(state);
 
@@ -219,15 +256,18 @@ void ParallelFor(ThreadPool& pool, size_t n,
   // new indices (at most one in-flight call each finishes), so the error
   // surfaces without draining the whole range first.
   auto failed = std::make_shared<std::atomic<bool>>(false);
+  const CancelToken* cancel_token = CurrentCancelToken();
   size_t num_workers =
       std::min(n, static_cast<size_t>(pool.NumThreads()));
   for (size_t w = 0; w < num_workers; ++w) {
-    pool.Submit([cursor, failed, n, &fn] {
+    pool.Submit([cursor, failed, n, &fn, cancel_token] {
+      CancelScope cancel_scope(cancel_token);
       for (;;) {
         if (failed->load(std::memory_order_relaxed)) return;
         size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         try {
+          SPARSIFY_CHECK_CANCELLED();
           fn(i);
         } catch (...) {
           failed->store(true, std::memory_order_relaxed);

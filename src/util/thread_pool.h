@@ -44,11 +44,26 @@ class ThreadPool {
   /// (minimum 1).
   explicit ThreadPool(int num_threads = 0);
 
-  /// Drains remaining tasks, then joins all workers.
+  /// Equivalent to Stop(StopMode::kDrain) if not already stopped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// How Stop treats tasks still sitting in the queue.
+  enum class StopMode {
+    kDrain,    // run everything already queued, then join
+    kAbandon,  // drop queued tasks unrun; join after in-progress finish
+  };
+
+  /// Shuts the pool down and joins every worker. With kAbandon, tasks
+  /// still queued are dropped (they never run — a cancelled sweep must
+  /// not execute a backlog it no longer wants) and any Wait()er is
+  /// released as if they had completed. In both modes, once Stop
+  /// returns no task is running or will ever run; Submit afterwards
+  /// throws std::logic_error. Idempotent; must not be called from a
+  /// pool task.
+  void Stop(StopMode mode);
 
   int NumThreads() const { return static_cast<int>(workers_.size()); }
 
@@ -102,6 +117,8 @@ class ThreadPool {
   size_t queue_high_water_ = 0;   // under mu_
   std::exception_ptr first_error_;
   bool shutdown_ = false;
+  bool abandon_ = false;  // Stop(kAbandon): drop queued + new submissions
+  bool stopped_ = false;  // Stop() ran to completion (workers joined)
 };
 
 /// Runs fn(i) for every i in [0, n) on `pool`, blocking until all complete.

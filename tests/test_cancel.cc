@@ -1,0 +1,474 @@
+// Cancellation, deadlines, watchdog, and graceful-shutdown plumbing:
+// token semantics (flag, deadline latch, parent chain), the one-load-
+// when-unarmed check macro, cooperative checks inside the traversal /
+// CG / ER kernels, ThreadPool Stop(drain|abandon), the hang failpoint,
+// the watchdog's dump-then-cancel escalation, the signal bridge, and
+// the engine-level contracts: a timed-out unit fails ALONE as a typed
+// "deadline" error record, and a run-level cancellation leaves the
+// store consistent so --resume reproduces the cold run bit-identically.
+#include "src/util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/resumable_sweep.h"
+#include "src/graph/datasets.h"
+#include "src/graph/generators.h"
+#include "src/graph/traversal.h"
+#include "src/metrics/basic.h"
+#include "src/sparsifiers/effective_resistance.h"
+#include "src/util/errors.h"
+#include "src/util/failpoint.h"
+#include "src/util/thread_pool.h"
+
+namespace sparsify {
+namespace {
+
+namespace fs = std::filesystem;
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ---------------------------------------------------------------------------
+// Token semantics
+// ---------------------------------------------------------------------------
+
+TEST(CancelTokenTest, FreshTokenIsNotCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kNone);
+  EXPECT_NO_THROW(token.ThrowIfCancelled());
+}
+
+TEST(CancelTokenTest, CancelIsStickyAndFirstCauseWins) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kCancelled);
+  // A later Cancel with a different reason must not rewrite history.
+  token.Cancel(CancelToken::Reason::kDeadline);
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kCancelled);
+  EXPECT_THROW(token.ThrowIfCancelled(), CancelledError);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineLatchesAndThrowsTyped) {
+  CancelToken token;
+  token.SetDeadlineAfter(-1.0);  // already expired
+  EXPECT_TRUE(token.Cancelled());
+  // The first check latched the deadline into the flag.
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kDeadline);
+  EXPECT_THROW(token.ThrowIfCancelled(), DeadlineExceededError);
+  // DeadlineExceededError IS-A CancelledError: generic handlers see both.
+  EXPECT_THROW(token.ThrowIfCancelled(), CancelledError);
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotTripEarly) {
+  CancelToken token;
+  token.SetDeadlineAfter(3600.0);
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_NO_THROW(token.ThrowIfCancelled());
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagatesToChild) {
+  CancelToken parent, child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.Cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.Cancelled());
+  // The child's OWN flag stays clean; the effective reason walks up.
+  EXPECT_EQ(child.reason(), CancelToken::Reason::kNone);
+  EXPECT_EQ(child.EffectiveReason(), CancelToken::Reason::kCancelled);
+  EXPECT_THROW(child.ThrowIfCancelled(), CancelledError);
+}
+
+TEST(CancelTokenTest, ChildDeadlineDoesNotTripParent) {
+  CancelToken parent, child;
+  child.set_parent(&parent);
+  child.SetDeadlineAfter(-1.0);
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_FALSE(parent.Cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Scope + check macro
+// ---------------------------------------------------------------------------
+
+TEST(CancelScopeTest, CheckIsNoopWithoutAnInstalledScope) {
+  CancelToken token;
+  token.Cancel();
+  // The token exists but no scope installed it anywhere: checks must
+  // stay the unarmed single-load no-op.
+  EXPECT_NO_THROW(SPARSIFY_CHECK_CANCELLED());
+}
+
+TEST(CancelScopeTest, ScopeInstallsAndRestoresTheAmbientToken) {
+  CancelToken token;
+  EXPECT_EQ(CurrentCancelToken(), nullptr);
+  {
+    CancelScope scope(&token);
+    EXPECT_EQ(CurrentCancelToken(), &token);
+    EXPECT_NO_THROW(SPARSIFY_CHECK_CANCELLED());  // not tripped yet
+    token.Cancel();
+    EXPECT_THROW(SPARSIFY_CHECK_CANCELLED(), CancelledError);
+  }
+  EXPECT_EQ(CurrentCancelToken(), nullptr);
+  EXPECT_NO_THROW(SPARSIFY_CHECK_CANCELLED());
+}
+
+TEST(CancelScopeTest, NullScopeIsANoop) {
+  CancelToken token;
+  token.Cancel();
+  CancelScope outer(&token);
+  {
+    // The engine installs CancelScope(nullptr) on non-cancellable units;
+    // that must not mask or disturb an enclosing scope.
+    CancelScope inner(nullptr);
+    EXPECT_EQ(CurrentCancelToken(), &token);
+  }
+  EXPECT_EQ(CurrentCancelToken(), &token);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel checks: BFS rounds, Dijkstra buckets, CG-backed ER scoring
+// ---------------------------------------------------------------------------
+
+class KernelCancelTest : public ::testing::Test {
+ protected:
+  KernelCancelTest() {
+    Rng rng(7);
+    graph_ = WattsStrogatz(2000, 4, 0.1, rng);
+  }
+  Graph graph_;
+  TraversalScratch scratch_;
+};
+
+TEST_F(KernelCancelTest, BfsObservesCancellationAtRoundGranularity) {
+  CancelToken token;
+  token.Cancel();
+  CancelScope scope(&token);
+  EXPECT_THROW(BfsLevels(graph_, 0, scratch_), CancelledError);
+}
+
+TEST_F(KernelCancelTest, DijkstraObservesCancellation) {
+  CancelToken token;
+  token.Cancel();
+  CancelScope scope(&token);
+  EXPECT_THROW(DijkstraDistances(graph_, 0, scratch_), CancelledError);
+}
+
+TEST_F(KernelCancelTest, ErScoringObservesDeadlineBeforeAnyCgSolve) {
+  Rng gen(11);
+  Graph g = ErdosRenyi(300, 1200, /*directed=*/false, gen);
+  CancelToken token;
+  token.SetDeadlineAfter(-1.0);
+  CancelScope scope(&token);
+  EffectiveResistanceSparsifier er(/*reweight=*/false);
+  Rng rng(42);
+  EXPECT_THROW(er.PrepareScores(g, rng), DeadlineExceededError);
+}
+
+TEST_F(KernelCancelTest, NestedParallelForPropagatesTheCallerToken) {
+  CancelToken token;
+  token.Cancel();
+  CancelScope scope(&token);
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  // Every index is checked before fn runs, on the caller AND on helper
+  // workers (which re-install the caller's ambient token).
+  EXPECT_THROW(NestedParallelFor(&pool, 64,
+                                 [&](size_t) {
+                                   executed.fetch_add(
+                                       1, std::memory_order_relaxed);
+                                 }),
+               CancelledError);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool Stop(drain | abandon)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStopTest, DrainRunsEverythingQueued) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Stop(ThreadPool::StopMode::kDrain);
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_THROW(pool.Submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPoolStopTest, AbandonDropsQueuedTasksUnrun) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> counter{0};
+  // Block both workers so the 50 counter tasks stay queued, then Stop:
+  // the queue is cleared synchronously before the workers are released,
+  // so none of the queued tasks can ever run.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      while (!release.load(std::memory_order_acquire)) SleepMs(1);
+    });
+  }
+  SleepMs(20);  // let the workers pick the blockers up
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::thread releaser([&] {
+    SleepMs(50);
+    release.store(true, std::memory_order_release);
+  });
+  pool.Stop(ThreadPool::StopMode::kAbandon);
+  releaser.join();
+  // Once Stop returned, no task is running or will ever run.
+  EXPECT_EQ(counter.load(), 0);
+  EXPECT_THROW(pool.Submit([] {}), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// hang failpoint
+// ---------------------------------------------------------------------------
+
+class HangFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+TEST_F(HangFailpointTest, HangReleasesWhenDisarmed) {
+  fail::ArmFromSpec("test.hang_site=hang");
+  std::thread disarmer([] {
+    SleepMs(100);
+    fail::DisarmAll();
+  });
+  // Blocks ~100ms, then continues as if nothing happened (no token).
+  EXPECT_NO_THROW(SPARSIFY_FAILPOINT("test.hang_site"));
+  disarmer.join();
+}
+
+TEST_F(HangFailpointTest, HangReleasesWhenTheAmbientTokenTrips) {
+  fail::ArmFromSpec("test.hang_site=hang");
+  CancelToken token;
+  CancelScope scope(&token);
+  std::thread canceller([&] {
+    SleepMs(100);
+    token.Cancel();
+  });
+  EXPECT_THROW(SPARSIFY_FAILPOINT("test.hang_site"), CancelledError);
+  canceller.join();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, DumpsAndCancelsAStuckActivity) {
+  WatchdogOptions options;
+  options.stall_seconds = 0.1;
+  options.poll_seconds = 0.05;
+  options.cancel_stuck = true;
+  const int64_t dumps_before = WatchdogDumpCount();
+  CancelToken token;
+  ::testing::internal::CaptureStderr();
+  StartWatchdog(options);
+  {
+    ActivityScope activity("test_stage", "stuck-unit", &token);
+    // Wait (bounded) for the watchdog to notice the stalled activity.
+    for (int i = 0; i < 100 && !token.Cancelled(); ++i) SleepMs(20);
+  }
+  StopWatchdog();
+  std::string dump = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kDeadline);
+  EXPECT_GT(WatchdogDumpCount(), dumps_before);
+  EXPECT_NE(dump.find("sparsify watchdog: no progress"), std::string::npos);
+  EXPECT_NE(dump.find("test_stage/stuck-unit"), std::string::npos);
+  EXPECT_NE(dump.find("in-flight activities"), std::string::npos);
+}
+
+TEST(WatchdogTest, IdleRegistryNeverDumps) {
+  WatchdogOptions options;
+  options.stall_seconds = 0.05;
+  options.poll_seconds = 0.02;
+  const int64_t dumps_before = WatchdogDumpCount();
+  StartWatchdog(options);
+  SleepMs(150);  // several polls with no activity in flight
+  StopWatchdog();
+  EXPECT_EQ(WatchdogDumpCount(), dumps_before);
+}
+
+// ---------------------------------------------------------------------------
+// Signal bridge
+// ---------------------------------------------------------------------------
+
+TEST(SignalCancelTest, FirstSignalCancelsTheToken) {
+  CancelToken token;
+  InstallSignalCancel(&token);
+  EXPECT_EQ(SignalCancelSigno(), 0);
+  ::raise(SIGTERM);  // delivered synchronously to this thread
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kCancelled);
+  EXPECT_EQ(SignalCancelSigno(), SIGTERM);
+  ClearSignalCancel();
+}
+
+// ---------------------------------------------------------------------------
+// Engine contracts: unit deadlines and run-level cancellation
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+MetricFn SampledMetric() {
+  return [](const Graph& g, const Graph& h, Rng& rng) {
+    return QuadraticFormSimilarity(g, h, 5, rng);
+  };
+}
+
+SweepConfig TestConfig() {
+  SweepConfig config;
+  config.sparsifiers = {"RN", "LD"};
+  config.runs_nondeterministic = 2;
+  config.seed = 321;
+  return config;
+}
+
+void ExpectSeriesBitIdentical(const std::vector<SweepSeries>& a,
+                              const std::vector<SweepSeries>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].sparsifier, b[s].sparsifier);
+    ASSERT_EQ(a[s].points.size(), b[s].points.size());
+    for (size_t p = 0; p < a[s].points.size(); ++p) {
+      EXPECT_EQ(a[s].points[p].mean, b[s].points[p].mean);
+      EXPECT_EQ(a[s].points[p].stddev, b[s].points[p].stddev);
+      EXPECT_EQ(a[s].points[p].runs, b[s].points[p].runs);
+    }
+  }
+}
+
+class EngineCancelTest : public ::testing::Test {
+ protected:
+  EngineCancelTest()
+      : graph_(LoadDatasetScaled("ego-Facebook", 0.1).graph), runner_(2) {}
+  void TearDown() override { fail::DisarmAll(); }
+
+  std::vector<SweepMetric> TwoMetrics() {
+    return {SweepMetric{"m_good", SampledMetric()},
+            SweepMetric{"m_bad", SampledMetric()}};
+  }
+
+  Graph graph_;
+  BatchRunner runner_;
+};
+
+TEST_F(EngineCancelTest, UnitTimeoutFailsAloneAsDeadlineErrorRecord) {
+  std::string dir = TempPath("deadline_store");
+  fs::remove_all(dir);
+  SweepConfig config = TestConfig();
+
+  // Cold reference, no store, no faults.
+  ResumableSweep cold(runner_, nullptr, "test-rev");
+  auto reference =
+      cold.RunMulti(graph_, "fb@0.1", TwoMetrics(), config, nullptr);
+
+  // Every m_bad unit wedges until its own deadline fires; m_good units
+  // on the SAME cells must complete untouched.
+  fail::ArmFromSpec("engine.metric_unit/m_bad=hang");
+  auto store = std::make_unique<ResultStore>(ResultStore::PathInDir(dir));
+  ResumableSweep sweep(runner_, store.get(), "test-rev");
+  sweep.set_fault_tolerant(true);
+  sweep.set_unit_timeout(0.05);
+  ResumableSweepStats stats;
+  auto out = sweep.RunMulti(graph_, "fb@0.1", TwoMetrics(), config, &stats);
+
+  const size_t cells = stats.total_cells / 2;  // two metrics
+  EXPECT_EQ(stats.failed_units, cells);
+  EXPECT_EQ(stats.deadline_exceeded_units, cells);
+  EXPECT_EQ(stats.cancelled_units, 0u);
+  EXPECT_EQ(stats.transient_failed_units, 0u);
+  EXPECT_EQ(store->ErrorCount(), cells);
+  for (const StoredCell& cell : store->Cells()) {
+    if (!cell.is_error) continue;
+    EXPECT_EQ(cell.key.metric, "m_bad");
+    EXPECT_EQ(cell.error_class, "deadline");
+    EXPECT_EQ(cell.attempts, 1);  // a deadline unit never retries
+  }
+  ASSERT_EQ(out.size(), 2u);
+  ExpectSeriesBitIdentical(out[0].series, reference[0].series);
+
+  // Un-wedge and resume: exactly the timed-out units are resubmitted and
+  // the healed sweep is bit-identical to the cold run.
+  fail::DisarmAll();
+  ResumableSweep resume(runner_, store.get(), "test-rev");
+  resume.set_fault_tolerant(true);
+  resume.set_unit_timeout(0.05);
+  ResumableSweepStats resume_stats;
+  auto healed =
+      resume.RunMulti(graph_, "fb@0.1", TwoMetrics(), config, &resume_stats);
+  EXPECT_EQ(resume_stats.submitted_cells, cells);
+  EXPECT_EQ(resume_stats.failed_units, 0u);
+  EXPECT_EQ(store->ErrorCount(), 0u);
+  ExpectSeriesBitIdentical(healed[0].series, reference[0].series);
+  ExpectSeriesBitIdentical(healed[1].series, reference[1].series);
+}
+
+TEST_F(EngineCancelTest, RunCancellationLeavesStoreResumableBitIdentically) {
+  std::string dir = TempPath("cancel_store");
+  fs::remove_all(dir);
+  SweepConfig config = TestConfig();
+
+  ResumableSweep cold(runner_, nullptr, "test-rev");
+  auto reference =
+      cold.RunMulti(graph_, "fb@0.1", TwoMetrics(), config, nullptr);
+
+  // Single-threaded runner: the progress callback cancels the run token
+  // after two units, so the remaining units are deterministically still
+  // queued and must be skipped with NO store record.
+  BatchRunner serial(1);
+  auto store = std::make_unique<ResultStore>(ResultStore::PathInDir(dir));
+  CancelToken run_token;
+  ResumableSweep sweep(serial, store.get(), "test-rev");
+  sweep.set_fault_tolerant(true);
+  sweep.set_cancel_token(&run_token);
+  sweep.set_progress([&](size_t done, size_t) {
+    if (done >= 2) run_token.Cancel();
+  });
+  ResumableSweepStats stats;
+  sweep.RunMulti(graph_, "fb@0.1", TwoMetrics(), config, &stats);
+
+  EXPECT_GE(stats.cancelled_units, 1u);
+  EXPECT_EQ(stats.failed_units, 0u);
+  // Cancelled units are NOT failures: no error records, store replays
+  // clean, and the skipped units simply read back as missing.
+  EXPECT_EQ(store->ErrorCount(), 0u);
+  EXPECT_LT(store->Cells().size(), stats.total_cells);
+
+  // Resume with a fresh (untripped) run: exactly the not-yet-done units
+  // are submitted and the result matches the cold run bit-for-bit.
+  ResumableSweep resume(runner_, store.get(), "test-rev");
+  resume.set_fault_tolerant(true);
+  ResumableSweepStats resume_stats;
+  auto healed =
+      resume.RunMulti(graph_, "fb@0.1", TwoMetrics(), config, &resume_stats);
+  EXPECT_EQ(resume_stats.cached_cells,
+            stats.total_cells - stats.cancelled_units);
+  EXPECT_EQ(resume_stats.submitted_cells, stats.cancelled_units);
+  EXPECT_EQ(resume_stats.failed_units, 0u);
+  ExpectSeriesBitIdentical(healed[0].series, reference[0].series);
+  ExpectSeriesBitIdentical(healed[1].series, reference[1].series);
+}
+
+}  // namespace
+}  // namespace sparsify

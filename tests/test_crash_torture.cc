@@ -7,6 +7,7 @@
 // The child runs the real CLI entry point (RunSparsifyCli is the binary's
 // main) with SPARSIFY_FAILPOINTS armed, so the path under torture is the
 // shipped one end to end: ingest, engine, store, banner.
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -172,6 +173,71 @@ TEST_F(CrashTortureTest, AbortActionAlsoRecovers) {
   ASSERT_EQ(RunCli(SweepArgs(dir)), cli::kExitOk);
   ::testing::internal::GetCapturedStdout();
   EXPECT_EQ(CaptureExport(dir), want);
+}
+
+// Forks a child running the sweep with `spec` armed, streams silenced.
+// Returns the child's pid (the caller signals and reaps it).
+pid_t ForkSweep(const std::string& dir, const std::string& spec) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    std::freopen("/dev/null", "w", stdout);
+    std::freopen("/dev/null", "w", stderr);
+    ::setenv("SPARSIFY_FAILPOINTS", spec.c_str(), 1);
+    int rc = 99;
+    try {
+      rc = RunCli(SweepArgs(dir));
+    } catch (...) {
+    }
+    std::_Exit(rc);
+  }
+  return pid;
+}
+
+TEST_F(CrashTortureTest, SigtermMidSweepDrainsAndResumesIdentically) {
+  // Graceful shutdown is the THIRD tear shape: unlike SIGKILL/SIGABRT the
+  // process gets to drain in-flight units and exit with a documented code,
+  // but the store contract is the same — resume must reproduce the cold
+  // run byte-identically.
+  std::string cold_dir = FreshDir("torture_term_cold");
+  ASSERT_EQ(RunCli(SweepArgs(cold_dir)), cli::kExitOk);
+  const std::string want = CaptureExport(cold_dir);
+
+  std::string dir = FreshDir("torture_term");
+  // Every metric unit sleeps 2s, so the run is guaranteed to still be in
+  // flight when the signal lands ~300ms in, at any thread count.
+  const pid_t pid = ForkSweep(dir, "engine.metric_unit=delay:2000");
+  ASSERT_GT(pid, 0);
+  ::usleep(300 * 1000);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // A clean drain: normal exit (not signal death) with the documented
+  // interrupted code.
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), cli::kExitInterrupted);
+
+  // The survived store replays without repair and the resumed sweep
+  // finishes exactly where the interrupted one would have.
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli(SweepArgs(dir)), cli::kExitOk);
+  ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(CaptureExport(dir), want);
+}
+
+TEST_F(CrashTortureTest, SecondSigtermAbortsImmediately) {
+  std::string dir = FreshDir("torture_term2");
+  // 10s per unit: at 1s the workers are deep inside the delay, so the
+  // first signal cannot finish draining before the second arrives.
+  const pid_t pid = ForkSweep(dir, "engine.metric_unit=delay:10000");
+  ASSERT_GT(pid, 0);
+  ::usleep(1000 * 1000);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);  // cancels + starts draining
+  ::usleep(300 * 1000);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);  // the user means it: _exit(128+15)
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
 }
 
 }  // namespace
