@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cli/figures.h"
@@ -101,8 +103,9 @@ struct Args {
 // Flags that never take a value. They must not consume a following token
 // (`figure --resume 1a` would otherwise silently swallow the figure id).
 const std::set<std::string>& BooleanKeys() {
-  static const std::set<std::string> keys = {"csv",      "resume", "directed",
-                                             "weighted", "paper",  "progress"};
+  static const std::set<std::string> keys = {
+      "csv",   "resume",   "directed", "weighted",
+      "paper", "progress", "no-steal"};
   return keys;
 }
 
@@ -221,6 +224,7 @@ int Usage() {
          "             [--resume] [--trace=FILE] [--progress]\n"
          "             [--max-unit-retries=2] [--deadline=SECS]\n"
          "             [--unit-timeout=SECS] [--watchdog-stall=SECS]\n"
+         "             [--shard=i/N] [--no-steal] [--lease-ttl=SECS]\n"
          "  profile    (same flags as sweep) run a sweep and print the\n"
          "             per-stage/per-metric breakdown (p50/p95/max,\n"
          "             units/s, pool utilization)\n"
@@ -231,6 +235,9 @@ int Usage() {
          "  ls         --store=DIR\n"
          "  compact    --store=DIR  rewrite the log to one record per\n"
          "             live cell (drops superseded duplicates; atomic)\n"
+         "  merge      DIR [DIR ...] -o OUT  fold stores (e.g. from\n"
+         "             --no-steal shard workers on different machines)\n"
+         "             into OUT, last-write-wins per cell (atomic)\n"
          "  figure     <id ...> [--scale=f] [--runs=3] [--threads=0]\n"
          "             [--seed=42] [--csv] [--store=DIR] [--resume]\n"
          "\n"
@@ -265,11 +272,23 @@ int Usage() {
          "(default 300) and then cancels it. SIGINT/SIGTERM cancel the\n"
          "run cooperatively: queued units are skipped, in-flight units\n"
          "drain, and --resume continues bit-identically; a second signal\n"
-         "aborts immediately. Exit codes: 0 ok, 1 usage/unclassified\n"
-         "error, 2 I/O failure, 3 store locked by another process,\n"
-         "4 corrupt store, 5 permanent unit failures, 6 transient/\n"
-         "deadline unit failures only, 7 interrupted by signal,\n"
-         "8 --deadline expired.\n";
+         "aborts immediately.\n"
+         "\n"
+         "Multi-process sweeps: any number of workers may share one\n"
+         "--store directory (each appends to its own lease-guarded log\n"
+         "segment). --shard=i/N runs this process as worker i of N: the\n"
+         "grid is split into chunks, each worker claims and runs its own\n"
+         "share, then steals chunks whose claimants died (kill -9 a\n"
+         "worker and the survivors converge to the complete store,\n"
+         "bit-identical to a cold run). --no-steal exits after the own\n"
+         "share instead — use it for disjoint stores on separate\n"
+         "machines, then fold them with `merge`. --lease-ttl tunes how\n"
+         "fast a dead worker is declared stale (default 30s). Exit\n"
+         "codes: 0 ok, 1 usage/unclassified error, 2 I/O failure,\n"
+         "3 store has other live writers (compact/merge need\n"
+         "exclusivity), 4 corrupt store, 5 permanent unit failures,\n"
+         "6 transient/deadline unit failures only, 7 interrupted by\n"
+         "signal, 8 --deadline expired.\n";
   return 1;
 }
 
@@ -455,6 +474,42 @@ int CmdSweep(const Args& args, bool profile_mode) {
     std::cerr << "error: --watchdog-stall must be > 0 seconds\n";
     return 1;
   }
+  double lease_ttl = args.GetDouble("lease-ttl", 30.0);
+  if (args.Has("lease-ttl") && lease_ttl <= 0) {
+    std::cerr << "error: --lease-ttl must be > 0 seconds\n";
+    return 1;
+  }
+  // --shard=i/N: run as worker i of N cooperating processes sharing the
+  // store directory (see ShardSpec). Without a store there is nothing to
+  // coordinate through.
+  ShardSpec shard;
+  if (args.Has("shard")) {
+    const std::string spec = args.Get("shard");
+    const size_t slash = spec.find('/');
+    bool ok = slash != std::string::npos && slash > 0 &&
+              slash + 1 < spec.size();
+    if (ok) {
+      try {
+        shard.index = static_cast<size_t>(
+            ParseUint64Value("shard", spec.substr(0, slash)));
+        shard.total = static_cast<size_t>(
+            ParseUint64Value("shard", spec.substr(slash + 1)));
+      } catch (const std::invalid_argument&) {
+        ok = false;
+      }
+    }
+    if (!ok || shard.total == 0 || shard.index >= shard.total) {
+      std::cerr << "error: --shard expects i/N with 0 <= i < N, got '"
+                << spec << "'\n";
+      return 1;
+    }
+    if (!args.Has("store")) {
+      std::cerr << "error: --shard requires --store (workers coordinate "
+                   "through the store directory)\n";
+      return 1;
+    }
+  }
+  shard.steal = !args.Has("no-steal");
 
   SweepConfig config;
   if (args.Has("algos")) config.sparsifiers = SplitCsv(args.Get("algos"));
@@ -499,8 +554,10 @@ int CmdSweep(const Args& args, bool profile_mode) {
   if (tracing) obs::StartTracing();
   std::unique_ptr<ResultStore> store;
   if (args.Has("store")) {
+    ResultStoreOptions store_options;
+    store_options.lease_ttl_seconds = lease_ttl;
     store = std::make_unique<ResultStore>(
-        ResultStore::PathInDir(args.Get("store")));
+        ResultStore::PathInDir(args.Get("store")), store_options);
   }
 
   std::string joined_metrics;
@@ -537,6 +594,7 @@ int CmdSweep(const Args& args, bool profile_mode) {
     sweep.set_max_unit_retries(args.GetInt("max-unit-retries", 2));
     sweep.set_cancel_token(&run_token);
     sweep.set_unit_timeout(unit_timeout);
+    sweep.set_shard(shard);
     if (progress) {
       // ~1s heartbeat on stderr. Fires on worker threads; the CAS on the
       // last-print time elects one printer per interval. The final unit
@@ -599,6 +657,13 @@ int CmdSweep(const Args& args, bool profile_mode) {
               << " submitted=" << stats.submitted_cells
               << " subgraph_builds=" << stats.subgraph_builds
               << " score_groups=" << stats.score_groups;
+    if (shard.total > 1) {
+      // Shard accounting: how much of the grid this worker claimed as
+      // its own share and how much it took over from dead workers.
+      std::cout << " shard=" << shard.index << "/" << shard.total
+                << " claimed=" << stats.shard_claimed
+                << " stolen=" << stats.shard_stolen;
+    }
     if (stats.failed_units > 0 || stats.retried_units > 0 ||
         stats.cancelled_units > 0) {
       // ok / failed / retried accounting, only when there is anything to
@@ -702,7 +767,11 @@ int CmdExport(const Args& args) {
     std::cerr << "unknown --format '" << format << "' (csv or table)\n";
     return 1;
   }
-  ResultStore store(ResultStore::PathInDir(args.Get("store")));
+  // Read-only snapshot: no lease, nothing mutated — a live sweep's store
+  // can be exported mid-run.
+  ResultStoreOptions snapshot;
+  snapshot.read_only = true;
+  ResultStore store(ResultStore::PathInDir(args.Get("store")), snapshot);
   ExportStore(store, std::cout, format == "csv", args.Get("dataset"),
               args.Get("metric"));
   return 0;
@@ -713,7 +782,9 @@ int CmdLs(const Args& args) {
     std::cerr << "ls requires --store=DIR\n";
     return 1;
   }
-  ResultStore store(ResultStore::PathInDir(args.Get("store")));
+  ResultStoreOptions snapshot;
+  snapshot.read_only = true;
+  ResultStore store(ResultStore::PathInDir(args.Get("store")), snapshot);
   SummarizeStore(store, std::cout);
   return 0;
 }
@@ -734,6 +805,85 @@ int CmdCompact(const Args& args) {
               << " error record(s) (unresolved failed units; a resumed "
                  "sweep retries them)\n";
   }
+  return 0;
+}
+
+int CmdMerge(const Args& args) {
+  // `merge A B -o OUT`: "-o" is not a --flag, so it and the directory
+  // after it arrive as positionals; --out=DIR works too.
+  std::vector<std::string> inputs;
+  std::string out_dir = args.Get("out");
+  for (size_t i = 0; i < args.positional.size(); ++i) {
+    const std::string& p = args.positional[i];
+    if (p == "-o") {
+      if (i + 1 >= args.positional.size()) {
+        std::cerr << "merge: -o requires an output store directory\n";
+        return 1;
+      }
+      out_dir = args.positional[++i];
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  if (out_dir.empty() || inputs.empty()) {
+    std::cerr << "usage: sparsify_cli merge DIR [DIR ...] -o OUT\n";
+    return 1;
+  }
+  for (const std::string& dir : inputs) {
+    if (!std::filesystem::is_directory(dir)) {
+      std::cerr << "merge: input store directory not found: " << dir << "\n";
+      return kExitIo;
+    }
+  }
+
+  // The output opens WRITABLE first (a cooperative lease like any
+  // writer); the commit itself demands sole-writer exclusivity and
+  // throws StoreLockHeldError -> exit 3 while a sweep is running there.
+  ResultStore out(ResultStore::PathInDir(out_dir));
+
+  // Fold order: OUT's own cells first, then each input in argv order, so
+  // later inputs win ties. Cross-store, a success always beats an error
+  // record for the same key — equal keys compute bit-identical values,
+  // so any success IS the value and the error just records a worker's
+  // failed attempt elsewhere.
+  std::vector<StoredCell> merged = out.Cells();
+  std::unordered_map<std::string, size_t> index;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    index.emplace(merged[i].key.Canonical(), i);
+  }
+  auto fold = [&](const StoredCell& cell) {
+    std::string canonical = cell.key.Canonical();
+    auto it = index.find(canonical);
+    if (it == index.end()) {
+      index.emplace(std::move(canonical), merged.size());
+      merged.push_back(cell);
+      return;
+    }
+    StoredCell& slot = merged[it->second];
+    if (cell.is_error && !slot.is_error) return;
+    slot = cell;
+  };
+  size_t input_records = 0;
+  for (const std::string& dir : inputs) {
+    ResultStoreOptions snapshot;
+    snapshot.read_only = true;
+    ResultStore in(ResultStore::PathInDir(dir), snapshot);
+    for (const StoredCell& cell : in.Cells()) {
+      fold(cell);
+      ++input_records;
+    }
+  }
+  out.ReplaceWithMerged(std::move(merged));
+
+  std::cout << "merged " << inputs.size() << " store(s), " << input_records
+            << " cell(s) -> " << out.Path() << ": " << out.Size()
+            << " cell(s)";
+  if (out.ErrorCount() > 0) {
+    std::cout << " (" << out.ErrorCount()
+              << " unresolved error record(s); a resumed sweep retries "
+                 "them)";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -766,16 +916,17 @@ const std::map<std::string, std::set<std::string>>& AllowedKeys() {
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
         "scale", "seed", "threads", "csv", "store", "resume", "trace",
         "progress", "max-unit-retries", "deadline", "unit-timeout",
-        "watchdog-stall"}},
+        "watchdog-stall", "shard", "no-steal", "lease-ttl"}},
       {"profile",
        {"dataset", "metric", "metrics", "paper", "algos", "rates", "runs",
         "scale", "seed", "threads", "csv", "store", "resume", "trace",
         "progress", "max-unit-retries", "deadline", "unit-timeout",
-        "watchdog-stall"}},
+        "watchdog-stall", "shard", "no-steal", "lease-ttl"}},
       {"ingest", {"input", "directed", "weighted", "cache", "threads"}},
       {"export", {"store", "format", "dataset", "metric"}},
       {"ls", {"store"}},
       {"compact", {"store"}},
+      {"merge", {"out"}},
       {"figure",
        {"scale", "runs", "threads", "seed", "csv", "store", "resume"}},
   };
@@ -818,6 +969,7 @@ int RunSparsifyCli(int argc, char** argv) {
     if (cmd == "export") return CmdExport(args);
     if (cmd == "ls") return CmdLs(args);
     if (cmd == "compact") return CmdCompact(args);
+    if (cmd == "merge") return CmdMerge(args);
     if (cmd == "figure") return CmdFigure(args);
   } catch (const StoreLockHeldError& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -58,28 +58,18 @@ std::vector<StoreGroup> RebuildSeries(const ResultStore& store,
     std::tie(group.dataset, group.metric, group.master_seed, group.code_rev) =
         key;
 
+    // Since r4 a (sparsifier, rate, run) triple IS the cell's identity
+    // within a group — grid position is no longer part of the key — so
+    // the sort is a total order over distinct cells; nothing to dedup.
     std::sort(cells.begin(), cells.end(),
               [](const StoredCell& a, const StoredCell& b) {
                 size_t ra = SparsifierRank(a.key.sparsifier);
                 size_t rb = SparsifierRank(b.key.sparsifier);
                 return std::tie(ra, a.key.sparsifier, a.key.prune_rate,
-                                a.key.run, a.key.grid_index) <
+                                a.key.run) <
                        std::tie(rb, b.key.sparsifier, b.key.prune_rate,
-                                b.key.run, b.key.grid_index);
+                                b.key.run);
               });
-    // A store may hold the same (sparsifier, rate, run) cell from several
-    // grid shapes (different --algos/--rates/--runs lists place it at
-    // different grid indices — numerically different experiments). Folding
-    // them together would average distinct RNG streams and inflate the run
-    // count, so keep one per logical cell: the lowest grid index, which is
-    // deterministic regardless of append order.
-    cells.erase(std::unique(cells.begin(), cells.end(),
-                            [](const StoredCell& a, const StoredCell& b) {
-                              return a.key.sparsifier == b.key.sparsifier &&
-                                     a.key.prune_rate == b.key.prune_rate &&
-                                     a.key.run == b.key.run;
-                            }),
-                cells.end());
     group.cells = cells.size();
 
     size_t i = 0;

@@ -19,7 +19,7 @@ struct StoreGroup {
   std::string metric;
   uint64_t master_seed = 0;
   std::string code_rev;
-  size_t cells = 0;  // after per-grid dedup (see RebuildSeries)
+  size_t cells = 0;  // result cells folded into this group's series
   std::vector<SweepSeries> series;
 };
 
@@ -27,13 +27,12 @@ struct StoreGroup {
 /// log's append order: groups sort by (dataset, metric, seed, rev), series
 /// by sparsifier registry order (unknown names after, alphabetical), points
 /// by (prune_rate, run). Statistics therefore fold from the same values in
-/// the same order whether the store was filled cold or across resumed
-/// runs. Fixed-output algorithms get their requested rate replaced by the
-/// achieved mean, mirroring FoldSweepResults. When a store holds the same
-/// (sparsifier, rate, run) cell from several grid shapes (distinct
-/// grid_index = distinct RNG stream), only the lowest grid index is kept —
-/// averaging across grids would mix numerically different experiments.
-/// Empty filters match all.
+/// the same order whether the store was filled cold, across resumed runs,
+/// or by a fleet of shard workers. Fixed-output algorithms get their
+/// requested rate replaced by the achieved mean, mirroring
+/// FoldSweepResults. Since r4 a (sparsifier, rate, run) triple IS the
+/// cell's identity within a group, so the sort is a total order over
+/// distinct cells. Empty filters match all.
 std::vector<StoreGroup> RebuildSeries(const ResultStore& store,
                                       const std::string& dataset_filter = "",
                                       const std::string& metric_filter = "");

@@ -13,6 +13,9 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
     const Graph& g, const std::string& dataset,
     const std::vector<SweepMetric>& metrics, const SweepConfig& config,
     ResumableSweepStats* stats) {
+  if (shard_.total > 1) {
+    return RunShardedMulti(g, dataset, metrics, config, stats);
+  }
   BatchSpec spec = ToBatchSpec(config);
   std::vector<BatchTask> tasks = BatchRunner::ExpandGrid(spec);
 
@@ -22,7 +25,6 @@ std::vector<MetricSweepSeries> ResumableSweep::RunMulti(
     key.sparsifier = task.sparsifier;
     key.prune_rate = task.prune_rate;
     key.run = task.run;
-    key.grid_index = task.index;
     key.master_seed = spec.master_seed;
     key.metric = metric_name;
     key.code_rev = code_rev_;

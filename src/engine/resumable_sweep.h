@@ -35,6 +35,21 @@ struct MetricSweepSeries {
   std::vector<SweepSeries> series;
 };
 
+/// Shard-worker configuration for multi-process sweeps (set_shard). The
+/// full grid is partitioned into contiguous chunks of cells in task
+/// order; chunk c's preferred owner is worker c % total. Each worker
+/// claims and runs its preferred chunks first, then (with `steal` on)
+/// takes over incomplete chunks whose claimants died — guaranteeing a
+/// `kill -9` of any worker loses at most its in-flight units. Because
+/// every unit's RNG stream derives from grid-shape-independent
+/// identities, any worker recomputes a stolen unit bit-identically.
+struct ShardSpec {
+  size_t index = 0;  // this worker's 0-based shard id
+  size_t total = 1;  // worker count; <= 1 disables sharding
+  bool steal = true;           // take over dead workers' chunks
+  double poll_seconds = 0.25;  // peer-refresh cadence while waiting
+};
+
 /// Scheduling counters of one resumable run — the test/CI hook asserting
 /// that a warm store leads to zero submitted units. A "unit" is one
 /// (cell, metric) evaluation; for a single-metric sweep units == cells.
@@ -69,6 +84,13 @@ struct ResumableSweepStats {
   double score_seconds = 0;
   double subgraph_seconds = 0;
   double metric_seconds = 0;
+  // Sharded scheduling only (set_shard): chunks in the partition, chunks
+  // this worker claimed as preferred owner, chunks it stole from dead
+  // workers, and units whose results came from peer workers' records.
+  size_t shard_chunks = 0;
+  size_t shard_claimed = 0;
+  size_t shard_stolen = 0;
+  size_t peer_units = 0;
 };
 
 /// One sweep of one (dataset graph, metric) pair against a store.
@@ -118,6 +140,14 @@ class ResumableSweep {
   /// it fails alone with a "deadline" error record; see FaultPolicy.
   void set_unit_timeout(double seconds) { unit_timeout_seconds_ = seconds; }
 
+  /// Runs this sweep as shard `spec.index` of `spec.total` cooperating
+  /// worker processes sharing one store directory (implemented in
+  /// shard_scheduler.cc). Requires a store; the store is always consulted
+  /// (sharding IS resume semantics — each worker runs only units nobody
+  /// has completed). With spec.total <= 1 this is a no-op and RunMulti
+  /// behaves exactly as unsharded.
+  void set_shard(const ShardSpec& spec) { shard_ = spec; }
+
   /// Runs every metric of `metrics` over the sweep grid of `config` on
   /// `g`, sparsifying each (sparsifier, rate, run) cell exactly once and
   /// evaluating all of the cell's missing metrics on that one subgraph.
@@ -144,6 +174,13 @@ class ResumableSweep {
                                ResumableSweepStats* stats = nullptr);
 
  private:
+  // The multi-process claim/steal scheduler (shard_scheduler.cc); RunMulti
+  // delegates here when shard_.total > 1.
+  std::vector<MetricSweepSeries> RunShardedMulti(
+      const Graph& g, const std::string& dataset,
+      const std::vector<SweepMetric>& metrics, const SweepConfig& config,
+      ResumableSweepStats* stats);
+
   BatchRunner& runner_;
   ResultStore* store_;  // not owned; may be null
   std::string code_rev_;
@@ -153,6 +190,7 @@ class ResumableSweep {
   const CancelToken* cancel_ = nullptr;  // not owned; may be null
   double unit_timeout_seconds_ = 0;
   ProgressFn progress_;
+  ShardSpec shard_;
 };
 
 }  // namespace sparsify

@@ -3,8 +3,9 @@
 // A cell is one (dataset, sparsifier, prune_rate, run) evaluation of one
 // metric under one master seed. Two processes that agree on a CellKey and
 // the code revision compute bit-identical values (every cell's RNG stream
-// derives from (master_seed, grid index) — see src/engine/README.md), which
-// is what makes stored results safely reusable across runs.
+// derives from grid-shape-independent identities — see src/engine/
+// README.md), which is what makes stored results safely reusable across
+// runs AND relocatable across differently-shaped grids and shard workers.
 #ifndef SPARSIFY_STORE_CELL_KEY_H_
 #define SPARSIFY_STORE_CELL_KEY_H_
 
@@ -38,7 +39,19 @@ namespace sparsify {
 ///       Deterministic (rng-free) metrics are numerically unchanged, but
 ///       their cells are keyed by the same pipeline revision; r2 cells
 ///       never satisfy r3 lookups.
-inline constexpr char kResultCodeRev[] = "r3";
+///   r4  grid-shape-independent cell identity: the grid_index field was
+///       dropped from CellKey (and from the store's canonical index key).
+///       Since r3 every RNG stream already derives from stable names —
+///       GroupSeed(master_seed, sparsifier, run) for scoring and
+///       MetricSeed(master_seed, dataset, sparsifier, rate, run, metric)
+///       for metric samples — so the same logical cell computes the SAME
+///       bits at any grid position, and keying it by position only forced
+///       spurious re-runs under reordered --algos/--rates lists (and
+///       under shard workers launched with different grids). r4 values
+///       are numerically identical to r3 values; the bump is conservative
+///       identity retirement, because an r3 record cannot prove which
+///       (possibly pre-r3-keyed) grid shape produced it.
+inline constexpr char kResultCodeRev[] = "r4";
 
 /// Key of one completed grid cell. Field semantics:
 ///   dataset      caller-chosen graph identity; the CLI encodes the scale
@@ -48,12 +61,6 @@ inline constexpr char kResultCodeRev[] = "r3";
 ///   prune_rate   requested rate of the cell's grid entry (0.0 for
 ///                fixed-output algorithms, mirroring ExpandGrid)
 ///   run          0-based repeat index
-///   grid_index   the cell's position in the expanded grid. Part of the
-///                key because the cell's RNG streams derive from
-///                (master_seed, grid_index): the same (sparsifier, rate,
-///                run) cell at a different position — e.g. under a
-///                different --algos list — is a numerically different
-///                experiment and must not be reused
 ///   master_seed  sweep-level seed the per-cell streams derive from
 ///   metric       metric registry name
 ///   code_rev     numeric-pipeline revision (kResultCodeRev)
@@ -62,7 +69,6 @@ struct CellKey {
   std::string sparsifier;
   double prune_rate = 0.0;
   int run = 0;
-  uint64_t grid_index = 0;
   uint64_t master_seed = 0;
   std::string metric;
   std::string code_rev = kResultCodeRev;

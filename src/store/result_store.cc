@@ -1,11 +1,13 @@
 #include "src/store/result_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "src/obs/counters.h"
 #include "src/obs/trace.h"
@@ -16,14 +18,17 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/file.h>
 #include <unistd.h>
-#define SPARSIFY_STORE_HAS_FLOCK 1
+#define SPARSIFY_STORE_HAS_POSIX 1
 #endif
 
 namespace sparsify {
 
 namespace {
+
+namespace fs = std::filesystem;
 
 // ---------------------------------------------------------------------------
 // Minimal flat-JSON line codec. The store both writes and reads every line,
@@ -278,7 +283,6 @@ std::string SerializeRecordBody(const StoredCell& cell) {
   AppendEscaped(&line, cell.key.sparsifier);
   line += ",\"prune_rate\":" + FormatDouble(cell.key.prune_rate);
   line += ",\"run\":" + std::to_string(cell.key.run);
-  line += ",\"grid_index\":" + std::to_string(cell.key.grid_index);
   line += ",\"master_seed\":" + std::to_string(cell.key.master_seed);
   line += ",\"metric\":";
   AppendEscaped(&line, cell.key.metric);
@@ -303,34 +307,60 @@ std::string SerializeRecord(const StoredCell& cell) {
   return WithCrc(SerializeRecordBody(cell));
 }
 
-bool ParseRecord(const std::string& line, StoredCell* cell) {
+std::string SerializeClaim(const StoredClaim& claim) {
+  std::string line = "{\"kind\":\"claim\",\"writer\":";
+  AppendEscaped(&line, claim.writer);
+  line += ",\"scope\":";
+  AppendEscaped(&line, claim.scope);
+  line += ",\"chunk\":" + std::to_string(claim.chunk);
+  line += "}";
+  return WithCrc(line);
+}
+
+enum class LineKind { kCell, kClaim, kBad };
+
+// Parses a record line into either a cell or a claim. grid_index, an r3
+// key component dropped in r4, parses as an ignored extra field, so
+// pre-r4 logs still replay (their records simply never match r4 keys).
+LineKind ParseLine(const std::string& line, StoredCell* cell,
+                   StoredClaim* claim) {
   FieldMap fields;
-  if (!ParseFlatObject(line, &fields)) return false;
+  if (!ParseFlatObject(line, &fields)) return LineKind::kBad;
+  std::string kind;
+  const bool has_kind = GetString(fields, "kind", &kind);
+  if (has_kind && kind == "claim") {
+    if (!GetString(fields, "writer", &claim->writer) ||
+        !GetString(fields, "scope", &claim->scope) ||
+        !GetUint64(fields, "chunk", &claim->chunk)) {
+      return LineKind::kBad;
+    }
+    return LineKind::kClaim;
+  }
   if (!GetString(fields, "dataset", &cell->key.dataset) ||
       !GetString(fields, "sparsifier", &cell->key.sparsifier) ||
       !GetDouble(fields, "prune_rate", &cell->key.prune_rate) ||
       !GetInt(fields, "run", &cell->key.run) ||
-      !GetUint64(fields, "grid_index", &cell->key.grid_index) ||
       !GetUint64(fields, "master_seed", &cell->key.master_seed) ||
       !GetString(fields, "metric", &cell->key.metric) ||
       !GetString(fields, "code_rev", &cell->key.code_rev)) {
-    return false;
+    return LineKind::kBad;
   }
-  std::string kind;
-  if (GetString(fields, "kind", &kind)) {
-    if (kind != "error") return false;  // only other kind the store writes
+  if (has_kind) {
+    if (kind != "error") return LineKind::kBad;  // unknown record kind
     cell->is_error = true;
     if (!GetString(fields, "error_class", &cell->error_class) ||
         !GetString(fields, "error", &cell->error_message)) {
-      return false;
+      return LineKind::kBad;
     }
     GetInt(fields, "attempts", &cell->attempts);  // optional
-    return true;
+    return LineKind::kCell;
   }
   cell->is_error = false;
   return GetDouble(fields, "achieved_prune_rate",
                    &cell->achieved_prune_rate) &&
-         GetDouble(fields, "value", &cell->value);
+                 GetDouble(fields, "value", &cell->value)
+             ? LineKind::kCell
+             : LineKind::kBad;
 }
 
 bool ParseHeader(const std::string& line) {
@@ -363,10 +393,154 @@ FsyncPolicy FsyncPolicyFromEnv(FsyncPolicy fallback) {
       "SPARSIFY_STORE_FSYNC: expected none|batch|always, got '" + v + "'");
 }
 
+uint64_t SegmentBytesFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("SPARSIFY_STORE_SEGMENT_BYTES");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) {
+    throw std::invalid_argument(
+        std::string("SPARSIFY_STORE_SEGMENT_BYTES: expected bytes > 0, "
+                    "got '") +
+        env + "'");
+  }
+  return v;
+}
+
 // Appends between fsyncs under FsyncPolicy::kBatch. Small enough that a
 // power loss costs at most one batch of ~200-byte records, large enough
 // that fsync latency amortizes out of the append path.
 constexpr uint64_t kFsyncBatchInterval = 32;
+
+long OwnPid() {
+#ifdef SPARSIFY_STORE_HAS_POSIX
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+// True when `pid` is provably dead on this host. Conservative: any
+// answer other than ESRCH (including EPERM) counts as alive.
+bool PidProvablyDead(long pid) {
+#ifdef SPARSIFY_STORE_HAS_POSIX
+  if (pid <= 0) return true;
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+#else
+  (void)pid;
+  return true;  // no liveness oracle: treat orphans as dead
+#endif
+}
+
+// Segment file name pattern: log.<writer>.<n>.jsonl. Returns false for
+// anything else in the directory.
+bool ParseSegmentName(const std::string& name, std::string* writer,
+                      uint64_t* n) {
+  if (name.rfind("log.", 0) != 0) return false;
+  if (name.size() < 11 || name.compare(name.size() - 6, 6, ".jsonl") != 0) {
+    return false;
+  }
+  const std::string middle = name.substr(4, name.size() - 10);
+  const size_t dot = middle.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= middle.size()) {
+    return false;
+  }
+  const std::string num = middle.substr(dot + 1);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(num.c_str(), &end, 10);
+  if (end != num.c_str() + num.size()) return false;
+  *writer = middle.substr(0, dot);
+  *n = v;
+  return true;
+}
+
+// All segment files in `dir`, sorted by (writer, n) for deterministic
+// replay order.
+std::vector<std::pair<std::pair<std::string, uint64_t>, std::string>>
+ListSegments(const std::string& dir) {
+  std::vector<std::pair<std::pair<std::string, uint64_t>, std::string>> segs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string writer;
+    uint64_t n = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &writer, &n)) {
+      segs.push_back({{writer, n}, entry.path().string()});
+    }
+  }
+  std::sort(segs.begin(), segs.end());
+  return segs;
+}
+
+// Trailing ".<pid>" of an orphan temp-file name; 0 when absent/garbled.
+long PidSuffixOf(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= name.size()) return 0;
+  const std::string num = name.substr(dot + 1);
+  char* end = nullptr;
+  const long v = std::strtol(num.c_str(), &end, 10);
+  if (end != num.c_str() + num.size()) return 0;
+  return v;
+}
+
+// Truncates the torn (unterminated or checksum-torn) tail of a dead
+// writer's segment so the file returns to whole-line form — the "sealed"
+// state. Interior corruption is left alone: sealing must never mask bit
+// rot that replay is supposed to report.
+void SealSegmentFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  size_t pos = 0;
+  size_t line_no = 0;
+  size_t valid = 0;
+  while (pos < content.size()) {
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: cut at `valid`
+    const std::string line = content.substr(pos, nl - pos);
+    bool ok;
+    if (line_no == 0) {
+      try {
+        ok = ParseHeader(line);
+      } catch (const StoreCorruptError&) {
+        ok = false;
+      }
+    } else {
+      StoredCell cell;
+      StoredClaim claim;
+      ok = ParseLine(line, &cell, &claim) != LineKind::kBad &&
+           CheckLineCrc(line) != CrcStatus::kBad;
+    }
+    if (!ok) return;  // terminated bad line: not a torn tail, leave it
+    pos = nl + 1;
+    valid = pos;
+    ++line_no;
+  }
+  if (valid < content.size()) {
+    std::error_code ec;
+    fs::resize_file(path, valid, ec);
+  }
+}
+
+// True when `path` holds nothing but (at most) a header line — the
+// leftover of a writer killed right after segment rotation.
+bool SegmentIsEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  if (content.empty()) return true;
+  const size_t nl = content.find('\n');
+  if (nl == std::string::npos) return true;  // torn header only
+  if (nl + 1 != content.size()) return false;
+  try {
+    return ParseHeader(content.substr(0, nl));
+  } catch (const StoreCorruptError&) {
+    return false;
+  }
+}
 
 }  // namespace
 
@@ -375,7 +549,7 @@ std::string CellKey::Canonical() const {
   // so joined fields never collide.
   std::string s;
   s.reserve(dataset.size() + sparsifier.size() + metric.size() +
-            code_rev.size() + 48);
+            code_rev.size() + 40);
   s += dataset;
   s.push_back('\x1f');
   s += sparsifier;
@@ -383,8 +557,6 @@ std::string CellKey::Canonical() const {
   s += FormatDouble(prune_rate);
   s.push_back('\x1f');
   s += std::to_string(run);
-  s.push_back('\x1f');
-  s += std::to_string(grid_index);
   s.push_back('\x1f');
   s += std::to_string(master_seed);
   s.push_back('\x1f');
@@ -394,68 +566,41 @@ std::string CellKey::Canonical() const {
   return s;
 }
 
-ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+ResultStore::ResultStore(std::string path, ResultStoreOptions options)
+    : path_(std::move(path)), options_(options) {
+  const fs::path p(path_);
+  dir_ = p.has_parent_path() ? p.parent_path().string() : std::string(".");
   fsync_policy_ = FsyncPolicyFromEnv(FsyncPolicy::kBatch);
+  options_.lease_ttl_seconds =
+      lease::TtlFromEnv(options_.lease_ttl_seconds);
+  options_.segment_bytes = SegmentBytesFromEnv(options_.segment_bytes);
   SPARSIFY_FAILPOINT("store.lock");
-#ifdef SPARSIFY_STORE_HAS_FLOCK
-  // Exclusive inter-process lock, taken before Replay so a concurrent
-  // writer can neither corrupt what we read nor interleave later appends.
-  // flock conflicts between two descriptors even within one process, so
-  // double-opening a store in tests (or one binary) fails the same way.
-  // The lock lives on a sidecar `.lock` file: locking the log itself
-  // would pin an inode that tail repair (resize_file) may replace.
-  const std::string lock_path = path_ + ".lock";
-  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
-  if (lock_fd_ < 0) {
-    throw IoError("result store: cannot open lock file " + lock_path);
+  if (!options_.read_only) {
+    writer_id_ = lease::NewWriterId();
+    AcquireLease();
   }
-  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
-    ::close(lock_fd_);
-    lock_fd_ = -1;
-    throw StoreLockHeldError("result store: " + path_ +
-                             " is locked by another process");
-  }
-#endif
   try {
-    // Holding the exclusive lock, any leftover compaction temp file is an
-    // orphan from a crashed Compact(): the rename never happened, the log
-    // itself is intact, the temp is garbage.
-    {
-      const std::filesystem::path p(path_);
-      const std::string tmp_prefix =
-          p.filename().string() + ".compact.tmp";
-      std::error_code ec;
-      for (const auto& entry : std::filesystem::directory_iterator(
-               p.has_parent_path() ? p.parent_path()
-                                   : std::filesystem::path("."),
-               ec)) {
-        if (entry.path().filename().string().rfind(tmp_prefix, 0) == 0) {
-          std::filesystem::remove(entry.path(), ec);
-        }
-      }
-    }
     Replay();
+    if (!options_.read_only) StartHeartbeat();
   } catch (...) {
-    // The destructor never runs when the constructor throws: release the
-    // lock here or a failed open would wedge the path for the process.
-#ifdef SPARSIFY_STORE_HAS_FLOCK
-    if (lock_fd_ >= 0) {
-      ::flock(lock_fd_, LOCK_UN);
-      ::close(lock_fd_);
-      lock_fd_ = -1;
+    // The destructor never runs when the constructor throws: drop the
+    // lease here or a failed open would leave a ghost writer for the
+    // lease TTL.
+    if (!options_.read_only) {
+      lease::RemoveLease(dir_, writer_id_);
     }
-#endif
     throw;
   }
 }
 
 ResultStore::~ResultStore() {
+  StopHeartbeat();
   // Best-effort final flush/sync: the destructor must not throw, but a
   // clean close should leave nothing in the page cache under kBatch.
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (out_.is_open()) out_.flush();
-#ifdef SPARSIFY_STORE_HAS_FLOCK
+#ifdef SPARSIFY_STORE_HAS_POSIX
     if (sync_fd_ >= 0) {
       if (fsync_policy_ != FsyncPolicy::kNone && appends_since_sync_ > 0) {
         ::fsync(sync_fd_);
@@ -465,12 +610,11 @@ ResultStore::~ResultStore() {
     }
 #endif
   }
-#ifdef SPARSIFY_STORE_HAS_FLOCK
-  if (lock_fd_ >= 0) {
-    ::flock(lock_fd_, LOCK_UN);
-    ::close(lock_fd_);
+  if (!options_.read_only && !writer_id_.empty()) {
+    // Release the lease so peers see this writer as dead immediately
+    // (a leaked lease file is reaped as stale by the next acquirer).
+    lease::RemoveLease(dir_, writer_id_);
   }
-#endif
 }
 
 std::string ResultStore::PathInDir(const std::string& dir) {
@@ -478,8 +622,134 @@ std::string ResultStore::PathInDir(const std::string& dir) {
   return (std::filesystem::path(dir) / DefaultFileName()).string();
 }
 
-ResultStore ResultStore::OpenInDir(const std::string& dir) {
-  return ResultStore(PathInDir(dir));
+ResultStore ResultStore::OpenInDir(const std::string& dir,
+                                   ResultStoreOptions options) {
+  return ResultStore(PathInDir(dir), options);
+}
+
+void ResultStore::AcquireLease() {
+  SPARSIFY_FAILPOINT("store.lease.acquire");
+  lease::LeaseDirLock dir_lock(dir_);
+  ReapStaleWritersLocked();
+  // Base-file ownership: exactly one live writer appends to the base
+  // `results.jsonl` (so a single-process store looks exactly like it
+  // always did); everyone else appends to their own segment chain. First
+  // live acquirer without a competing owner takes it.
+  owns_base_ = true;
+  for (const lease::LeaseInfo& info : lease::ListLeases(dir_)) {
+    if (info.writer != writer_id_ && info.owns_base) {
+      owns_base_ = false;
+      break;
+    }
+  }
+  lease::LeaseInfo mine;
+  mine.writer = writer_id_;
+  mine.pid = OwnPid();
+  mine.heartbeat = 0;
+  mine.ttl_seconds = options_.lease_ttl_seconds;
+  mine.owns_base = owns_base_;
+  lease::WriteLease(dir_, mine);
+}
+
+void ResultStore::ReapStaleWritersLocked() {
+  static obs::Counter& reaped = obs::GetCounter("store.reaped_leases");
+  const std::string base_name = fs::path(path_).filename().string();
+  // Dead writers first: seal their newest segment (truncate a torn tail),
+  // drop segments that never got past their header, drop the lease.
+  for (const lease::LeaseInfo& info : lease::ListLeases(dir_)) {
+    if (info.writer == writer_id_) continue;
+    if (!PidProvablyDead(info.pid)) continue;
+    std::vector<std::pair<uint64_t, std::string>> own_segs;
+    for (const auto& [key, seg_path] : ListSegments(dir_)) {
+      if (key.first == info.writer) own_segs.push_back({key.second, seg_path});
+    }
+    if (!own_segs.empty()) {
+      SealSegmentFile(own_segs.back().second);
+    }
+    for (const auto& [n, seg_path] : own_segs) {
+      if (SegmentIsEmpty(seg_path)) {
+        std::error_code ec;
+        fs::remove(seg_path, ec);
+      }
+    }
+    // A dead base owner's torn base tail stays: the next base owner
+    // repairs it in EnsureWritable, exactly like the single-writer store
+    // always has.
+    lease::RemoveLease(dir_, info.writer);
+    reaped.Add();
+  }
+  // Orphan temp files from killed Compact()/merge commits: the rename
+  // never happened, the log itself is intact, the temp is garbage. Only
+  // provably-dead owners are swept — a live process may be mid-commit.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool is_tmp =
+        name.rfind(base_name + ".compact.tmp", 0) == 0 ||
+        name.rfind(base_name + ".merge.tmp", 0) == 0;
+    if (!is_tmp) continue;
+    const long pid = PidSuffixOf(name);
+    if (pid == OwnPid()) continue;
+    if (pid == 0 || PidProvablyDead(pid)) {
+      std::error_code rec;
+      fs::remove(entry.path(), rec);
+    }
+  }
+}
+
+void ResultStore::RequireSoleWriter(const char* op) {
+  // Caller holds the lease-dir flock. Reap first so a crashed worker
+  // never blocks maintenance forever, then demand exclusivity.
+  ReapStaleWritersLocked();
+  for (const lease::LeaseInfo& info : lease::ListLeases(dir_)) {
+    if (info.writer == writer_id_) continue;
+    if (prober_.Alive(info)) {
+      throw StoreLockHeldError(std::string("result store: ") + path_ +
+                               " has other live writers (" + op +
+                               " needs exclusive access)");
+    }
+  }
+}
+
+void ResultStore::StartHeartbeat() {
+  heartbeat_stop_ = false;
+  heartbeat_thread_ = std::thread([this] {
+    static obs::Counter& renew_failures =
+        obs::GetCounter("store.lease_renew_failures");
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.05, options_.lease_ttl_seconds / 4.0));
+    std::unique_lock<std::mutex> lk(heartbeat_mu_);
+    while (!heartbeat_stop_) {
+      if (heartbeat_cv_.wait_for(lk, interval,
+                                 [this] { return heartbeat_stop_; })) {
+        break;
+      }
+      lease::LeaseInfo info;
+      info.writer = writer_id_;
+      info.pid = OwnPid();
+      info.heartbeat = ++heartbeat_;
+      info.ttl_seconds = options_.lease_ttl_seconds;
+      info.owns_base = owns_base_;
+      try {
+        // Recreates the lease file if a peer reaped it while this
+        // process was wedged; worst case our claims were stolen and the
+        // thief recomputed bit-identical values.
+        lease::WriteLease(dir_, info);
+      } catch (...) {
+        renew_failures.Add();
+      }
+    }
+  });
+}
+
+void ResultStore::StopHeartbeat() {
+  {
+    std::lock_guard<std::mutex> lk(heartbeat_mu_);
+    if (!heartbeat_thread_.joinable()) return;
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  heartbeat_thread_.join();
 }
 
 void ResultStore::Replay() {
@@ -496,17 +766,43 @@ void ResultStore::Replay() {
     }
   } replay_obs;
 
-  std::ifstream in(path_, std::ios::binary);
+  // Base first (it holds the oldest records — compaction folds into it),
+  // then every segment in (writer, n) order. Cross-writer ambiguity is
+  // harmless: concurrent writers compute bit-identical values for equal
+  // keys, and the peer insert rule never lets an error shadow a success.
+  ReplayFile(path_, /*own_base=*/options_.read_only || owns_base_,
+             /*peer=*/!options_.read_only && !owns_base_);
+  for (const auto& [key, seg_path] : ListSegments(dir_)) {
+    if (!writer_id_.empty() && key.first == writer_id_) continue;
+    ReplayFile(seg_path, /*own_base=*/false, /*peer=*/true);
+  }
+}
+
+void ResultStore::ReplayFile(const std::string& file, bool own_base,
+                             bool peer) {
+  std::ifstream in(file, std::ios::binary);
+  const bool is_base = file == path_;
   if (!in) {
-    file_exists_ = false;
+    if (is_base) file_exists_ = false;
     return;  // missing file = empty store; header written on first Append
   }
-  file_exists_ = true;
+  ++replayed_files_;
+  if (is_base) file_exists_ = true;
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string content = buf.str();
-  if (content.empty()) return;  // empty file: treat like a fresh store
 
+  if (peer || !own_base) {
+    // Peer-owned file (a live writer may still be appending): absorb the
+    // terminated prefix, leave any partial tail pending for
+    // RefreshPeers. Strict about interior corruption — a live writer
+    // never produces a terminated-but-garbled line, so one is bit rot.
+    PeerFile& state = peers_[file];
+    AbsorbPeerLines(file, state, content, /*strict=*/true);
+    return;
+  }
+
+  if (content.empty()) return;  // empty file: treat like a fresh store
   size_t pos = 0;
   size_t line_no = 0;
   while (pos < content.size()) {
@@ -518,14 +814,17 @@ void ResultStore::Replay() {
 
     bool ok;
     StoredCell cell;
+    StoredClaim claim;
+    LineKind kind = LineKind::kBad;
     if (line_no == 0) {
       ok = ParseHeader(line);
       if (!ok && !is_tail) {
-        throw StoreCorruptError("result store: " + path_ +
+        throw StoreCorruptError("result store: " + file +
                                 " is not a result-store log (bad header)");
       }
     } else {
-      ok = ParseRecord(line, &cell);
+      kind = ParseLine(line, &cell, &claim);
+      ok = kind != LineKind::kBad;
       if (ok) {
         switch (CheckLineCrc(line)) {
           case CrcStatus::kOk:
@@ -538,17 +837,21 @@ void ResultStore::Replay() {
             if (!is_tail) {
               throw StoreCorruptError(
                   "result store: checksum mismatch at line " +
-                  std::to_string(line_no + 1) + " of " + path_);
+                  std::to_string(line_no + 1) + " of " + file);
             }
             ok = false;
         }
       }
       if (!ok && !is_tail) {
         throw StoreCorruptError("result store: corrupt record at line " +
-                                std::to_string(line_no + 1) + " of " + path_);
+                                std::to_string(line_no + 1) + " of " + file);
       }
       if (ok) {
-        InsertLocked(std::move(cell));
+        if (kind == LineKind::kClaim) {
+          claims_.push_back(std::move(claim));
+        } else {
+          InsertLocked(std::move(cell), /*peer=*/false);
+        }
         ++log_records_;
       }
     }
@@ -565,6 +868,96 @@ void ResultStore::Replay() {
     pos = end + (terminated ? 1 : 0);
     ++line_no;
   }
+}
+
+size_t ResultStore::AbsorbPeerLines(const std::string& file, PeerFile& state,
+                                    const std::string& view, bool strict) {
+  static obs::Counter& poisoned_files =
+      obs::GetCounter("store.poisoned_peer_files");
+  if (state.poisoned) return 0;
+  size_t absorbed = 0;
+  size_t pos = 0;  // offset into `view`, i.e. file offset - state.consumed
+  while (pos < view.size()) {
+    const size_t nl = view.find('\n', pos);
+    if (nl == std::string::npos) break;  // partial line: peer mid-append
+    const std::string line = view.substr(pos, nl - pos);
+    if (state.line_no == 0) {
+      if (!ParseHeader(line)) {
+        throw StoreCorruptError("result store: " + file +
+                                " is not a result-store log (bad header)");
+      }
+    } else {
+      StoredCell cell;
+      StoredClaim claim;
+      const LineKind kind = ParseLine(line, &cell, &claim);
+      const bool ok =
+          kind != LineKind::kBad && CheckLineCrc(line) != CrcStatus::kBad;
+      if (!ok) {
+        // At open the whole prefix is settled history: corruption is
+        // fatal exactly like in the base file. Mid-run (RefreshPeers)
+        // the sweep must survive a peer's bit rot: poison the file —
+        // everything already absorbed stays, the rest is ignored and
+        // recomputed by this worker if the scheduler needs it.
+        if (strict) {
+          throw StoreCorruptError("result store: corrupt record at line " +
+                                  std::to_string(state.line_no + 1) + " of " +
+                                  file);
+        }
+        state.poisoned = true;
+        poisoned_files.Add();
+        return absorbed;
+      }
+      if (kind == LineKind::kClaim) {
+        claims_.push_back(std::move(claim));
+      } else {
+        InsertLocked(std::move(cell), /*peer=*/true);
+        ++absorbed;
+      }
+      ++log_records_;
+    }
+    ++state.line_no;
+    state.consumed += (nl + 1) - pos;
+    pos = nl + 1;
+  }
+  return absorbed;
+}
+
+size_t ResultStore::RefreshPeers() {
+  static obs::Counter& refreshed =
+      obs::GetCounter("store.peer_refresh_records");
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t absorbed = 0;
+  auto refresh_file = [&](const std::string& file) {
+    PeerFile& state = peers_[file];
+    if (state.poisoned) return;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) return;
+    in.seekg(static_cast<std::streamoff>(state.consumed));
+    if (!in) return;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string tail = buf.str();
+    if (tail.empty()) return;
+    // Mid-run: peer bit rot poisons the file, never throws.
+    absorbed += AbsorbPeerLines(file, state, tail, /*strict=*/false);
+  };
+  if (!owns_base_ && !options_.read_only) refresh_file(path_);
+  for (const auto& [key, seg_path] : ListSegments(dir_)) {
+    if (!writer_id_.empty() && key.first == writer_id_) continue;
+    refresh_file(seg_path);
+  }
+  refreshed.Add(absorbed);
+  return absorbed;
+}
+
+bool ResultStore::WriterAlive(const std::string& writer) const {
+  if (!writer_id_.empty() && writer == writer_id_) return true;
+  for (const lease::LeaseInfo& info : lease::ListLeases(dir_)) {
+    if (info.writer != writer) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    return prober_.Alive(info);
+  }
+  return false;  // no lease file: released on clean exit, or reaped
 }
 
 size_t ResultStore::Size() const {
@@ -594,11 +987,20 @@ std::vector<StoredCell> ResultStore::Cells() const {
   return cells_;
 }
 
-void ResultStore::InsertLocked(StoredCell cell) {
+std::vector<StoredClaim> ResultStore::Claims() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claims_;
+}
+
+void ResultStore::InsertLocked(StoredCell cell, bool peer) {
   std::string canonical = cell.key.Canonical();
   auto it = index_.find(canonical);
   if (it != index_.end()) {
     StoredCell& slot = cells_[it->second];
+    // A peer's error never shadows a completed result: equal keys carry
+    // bit-identical values across writers, so any success IS the value;
+    // the error just means some other worker's attempt failed.
+    if (peer && cell.is_error && !slot.is_error) return;
     if (slot.is_error && !cell.is_error) --error_cells_;
     if (!slot.is_error && cell.is_error) ++error_cells_;
     slot = std::move(cell);  // last write wins, keeps position
@@ -609,35 +1011,99 @@ void ResultStore::InsertLocked(StoredCell cell) {
   }
 }
 
+std::string ResultStore::SegmentPath(uint64_t n) const {
+  return (fs::path(dir_) /
+          ("log." + writer_id_ + "." + std::to_string(n) + ".jsonl"))
+      .string();
+}
+
 void ResultStore::EnsureWritable() {
+  if (options_.read_only) {
+    throw IoError("result store: " + path_ +
+                  " was opened read-only (snapshot)");
+  }
   if (out_.is_open()) return;
-  if (file_exists_ && dropped_tail_bytes_ > 0) {
-    // Cut the torn tail so the file returns to whole-line form.
-    std::filesystem::resize_file(path_, valid_bytes_);
-    dropped_tail_bytes_ = 0;
+  if (append_path_.empty()) {
+    if (owns_base_) {
+      append_path_ = path_;
+      if (file_exists_ && dropped_tail_bytes_ > 0) {
+        // Cut the torn tail so the file returns to whole-line form.
+        std::filesystem::resize_file(path_, valid_bytes_);
+        dropped_tail_bytes_ = 0;
+      }
+      out_.open(append_path_, std::ios::binary | std::ios::app);
+      if (!out_) {
+        throw IoError("result store: cannot open " + append_path_ +
+                      " for append");
+      }
+      if (!file_exists_ || valid_bytes_ == 0) {
+        const std::string header = SerializeHeader(kFormatVersion);
+        out_ << header;
+        append_path_bytes_ = header.size();
+      } else {
+        if (!ends_with_newline_) {
+          // Valid final record that lost only its newline in a crash.
+          out_ << '\n';
+        }
+        append_path_bytes_ = valid_bytes_ + (ends_with_newline_ ? 0 : 1);
+      }
+      ends_with_newline_ = true;
+      file_exists_ = true;
+    } else {
+      // Not the base owner: this writer's records live in its own
+      // segment chain, so concurrent processes never share an append fd.
+      append_path_ = SegmentPath(next_segment_++);
+      out_.open(append_path_, std::ios::binary | std::ios::trunc);
+      if (!out_) {
+        throw IoError("result store: cannot open " + append_path_ +
+                      " for append");
+      }
+      const std::string header = SerializeHeader(kFormatVersion);
+      out_ << header;
+      append_path_bytes_ = header.size();
+    }
+  } else {
+    out_.open(append_path_, std::ios::binary | std::ios::app);
+    if (!out_) {
+      throw IoError("result store: cannot open " + append_path_ +
+                    " for append");
+    }
   }
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_) {
-    throw IoError("result store: cannot open " + path_ + " for append");
-  }
-  if (!file_exists_ || valid_bytes_ == 0) {
-    out_ << SerializeHeader(kFormatVersion);
-  } else if (!ends_with_newline_) {
-    // Valid final record that lost only its newline in a crash.
-    out_ << '\n';
-  }
-  ends_with_newline_ = true;
-  file_exists_ = true;
-#ifdef SPARSIFY_STORE_HAS_FLOCK
+#ifdef SPARSIFY_STORE_HAS_POSIX
   if (sync_fd_ < 0) {
     // ofstream gives no access to its descriptor, and fsync needs one;
     // a second descriptor on the same file syncs the same data.
-    sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+    sync_fd_ = ::open(append_path_.c_str(), O_WRONLY | O_CLOEXEC);
     if (sync_fd_ < 0 && fsync_policy_ != FsyncPolicy::kNone) {
-      throw IoError("result store: cannot open " + path_ + " for fsync");
+      throw IoError("result store: cannot open " + append_path_ +
+                    " for fsync");
     }
   }
 #endif
+}
+
+void ResultStore::RotateLocked() {
+  static obs::Counter& rotations =
+      obs::GetCounter("store.segment_rotations");
+  SPARSIFY_FAILPOINT("store.rotate");
+  CloseWriterLocked();
+  append_path_ = SegmentPath(next_segment_++);
+  out_.open(append_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw IoError("result store: cannot open " + append_path_ +
+                  " for append");
+  }
+  const std::string header = SerializeHeader(kFormatVersion);
+  out_ << header;
+  append_path_bytes_ = header.size();
+#ifdef SPARSIFY_STORE_HAS_POSIX
+  sync_fd_ = ::open(append_path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (sync_fd_ < 0 && fsync_policy_ != FsyncPolicy::kNone) {
+    throw IoError("result store: cannot open " + append_path_ +
+                  " for fsync");
+  }
+#endif
+  rotations.Add();
 }
 
 void ResultStore::SyncLocked(bool closing) {
@@ -650,9 +1116,9 @@ void ResultStore::SyncLocked(bool closing) {
   if (!closing && appends_since_sync_ < interval) return;
   if (appends_since_sync_ == 0) return;
   SPARSIFY_FAILPOINT("store.fsync");
-#ifdef SPARSIFY_STORE_HAS_FLOCK
+#ifdef SPARSIFY_STORE_HAS_POSIX
   if (sync_fd_ >= 0 && ::fsync(sync_fd_) != 0) {
-    throw IoError("result store: fsync failed on " + path_);
+    throw IoError("result store: fsync failed on " + append_path_);
   }
 #endif
   appends_since_sync_ = 0;
@@ -661,11 +1127,13 @@ void ResultStore::SyncLocked(bool closing) {
 void ResultStore::CloseWriterLocked() {
   if (out_.is_open()) {
     out_.flush();
-    if (!out_) throw IoError("result store: write failure on " + path_);
+    if (!out_) {
+      throw IoError("result store: write failure on " + append_path_);
+    }
     SyncLocked(/*closing=*/true);
     out_.close();
   }
-#ifdef SPARSIFY_STORE_HAS_FLOCK
+#ifdef SPARSIFY_STORE_HAS_POSIX
   if (sync_fd_ >= 0) {
     ::close(sync_fd_);
     sync_fd_ = -1;
@@ -673,18 +1141,26 @@ void ResultStore::CloseWriterLocked() {
 #endif
 }
 
-void ResultStore::AppendLocked(StoredCell cell) {
+void ResultStore::AppendRecordLocked(const std::string& line) {
   EnsureWritable();
   SPARSIFY_FAILPOINT("store.append");
-  out_ << SerializeRecord(cell);
+  out_ << line;
   out_.flush();
   if (!out_) {
-    throw IoError("result store: write failure on " + path_);
+    throw IoError("result store: write failure on " + append_path_);
   }
   ++log_records_;
   ++appends_since_sync_;
   SyncLocked(/*closing=*/false);
-  InsertLocked(std::move(cell));
+  append_path_bytes_ += line.size();
+  if (append_path_bytes_ >= options_.segment_bytes) {
+    RotateLocked();
+  }
+}
+
+void ResultStore::AppendLocked(StoredCell cell) {
+  AppendRecordLocked(SerializeRecord(cell));
+  InsertLocked(std::move(cell), /*peer=*/false);
 }
 
 void ResultStore::Append(const CellKey& key, double achieved_prune_rate,
@@ -720,38 +1196,36 @@ void ResultStore::AppendError(const CellKey& key,
   errors.Add();
 }
 
-CompactStats ResultStore::Compact() {
-  TRACE_SPAN(span, "store_compact");
+void ResultStore::AppendClaim(const std::string& scope, uint64_t chunk) {
+  static obs::Counter& claims = obs::GetCounter("store.claim_appends");
   std::lock_guard<std::mutex> lock(mu_);
-  CompactStats stats;
-  stats.records_before = log_records_;
-  stats.records_after = cells_.size();
-  if (file_exists_) {
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(path_, ec);
-    if (!ec) stats.bytes_before = size;
-  }
+  StoredClaim claim;
+  claim.writer = writer_id_;
+  claim.scope = scope;
+  claim.chunk = chunk;
+  AppendRecordLocked(SerializeClaim(claim));
+  claims_.push_back(std::move(claim));
+  claims.Add();
+}
 
-  CloseWriterLocked();
-
+void ResultStore::RewriteLogLocked(const std::vector<StoredCell>& cells,
+                                   const std::string& tmp,
+                                   const char* fp_write,
+                                   const char* fp_rename) {
   // Write the replacement log beside the original, then rename over it.
   // A crash before the rename leaves the old log plus an orphan temp
-  // (cleaned on next open, under the lock); a crash after leaves the new
-  // log. Either way the store opens clean.
-#ifdef SPARSIFY_STORE_HAS_FLOCK
-  const std::string tmp =
-      path_ + ".compact.tmp." + std::to_string(::getpid());
-#else
-  const std::string tmp = path_ + ".compact.tmp";
-#endif
-  SPARSIFY_FAILPOINT("store.compact.write");
+  // (cleaned on next open, under the lease-dir flock); a crash after
+  // the rename but before the segment unlinks replays to the same
+  // contents (the folded records shadow the segments). Either way the
+  // store opens clean.
+  SPARSIFY_FAILPOINT(fp_write);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      throw IoError("result store: cannot open " + tmp + " for compaction");
+      throw IoError("result store: cannot open " + tmp + " for rewrite");
     }
     out << SerializeHeader(kFormatVersion);  // upgrades version-1 logs
-    for (const StoredCell& cell : cells_) {
+    for (const StoredCell& cell : cells) {
       out << SerializeRecord(cell);
     }
     out.flush();
@@ -761,7 +1235,7 @@ CompactStats ResultStore::Compact() {
       throw IoError("result store: write failure on " + tmp);
     }
   }
-#ifdef SPARSIFY_STORE_HAS_FLOCK
+#ifdef SPARSIFY_STORE_HAS_POSIX
   if (fsync_policy_ != FsyncPolicy::kNone) {
     const int fd = ::open(tmp.c_str(), O_WRONLY | O_CLOEXEC);
     if (fd < 0 || ::fsync(fd) != 0) {
@@ -773,25 +1247,119 @@ CompactStats ResultStore::Compact() {
     ::close(fd);
   }
 #endif
-  SPARSIFY_FAILPOINT("store.compact.rename");
+  SPARSIFY_FAILPOINT(fp_rename);
   std::filesystem::rename(tmp, path_);
+  // The folded segments are garbage now; every writer is dead (sole-
+  // writer precondition) except us, and ours were folded too.
+  for (const auto& [key, seg_path] : ListSegments(dir_)) {
+    std::error_code ec;
+    fs::remove(seg_path, ec);
+  }
 
   {
     std::error_code ec;
     const auto size = std::filesystem::file_size(path_, ec);
-    if (!ec) {
-      stats.bytes_after = size;
-      valid_bytes_ = static_cast<size_t>(size);
-    }
+    valid_bytes_ = ec ? 0 : static_cast<size_t>(size);
   }
   dropped_tail_bytes_ = 0;
   ends_with_newline_ = true;
   file_exists_ = true;
-  log_records_ = cells_.size();
+  log_records_ = cells.size();
+  claims_.clear();
+  peers_.clear();
+  append_path_.clear();
+  append_path_bytes_ = 0;
+  // Sole writer: the rewritten base is ours now, whoever owned it before.
+  // If ownership actually changed hands, publish it in the lease
+  // immediately (still under the caller's lease-dir flock) — a window
+  // where the base looks unowned would let a fresh acquirer claim it and
+  // interleave appends with ours.
+  if (!owns_base_.exchange(true)) {
+    std::lock_guard<std::mutex> hb(heartbeat_mu_);
+    lease::LeaseInfo info;
+    info.writer = writer_id_;
+    info.pid = OwnPid();
+    info.heartbeat = heartbeat_;
+    info.ttl_seconds = options_.lease_ttl_seconds;
+    info.owns_base = true;
+    try {
+      lease::WriteLease(dir_, info);
+    } catch (...) {
+      // Renewal recreates it within ttl/4; until then no acquirer can
+      // run anyway — the caller still holds the lease-dir flock.
+    }
+  }
+}
+
+CompactStats ResultStore::Compact() {
+  TRACE_SPAN(span, "store_compact");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.read_only) {
+    throw IoError("result store: " + path_ +
+                  " was opened read-only (snapshot)");
+  }
+  CompactStats stats;
+  stats.records_before = log_records_;
+  stats.records_after = cells_.size();
+  {
+    std::error_code ec;
+    if (file_exists_) {
+      const auto size = std::filesystem::file_size(path_, ec);
+      if (!ec) stats.bytes_before = size;
+    }
+    for (const auto& [key, seg_path] : ListSegments(dir_)) {
+      const auto size = std::filesystem::file_size(seg_path, ec);
+      if (!ec) stats.bytes_before += size;
+    }
+  }
+
+  // The whole commit happens under the lease-dir flock: acquisition of a
+  // new writer serializes against the sole-writer check AND the rewrite,
+  // so a worker can neither slip in mid-rewrite nor replay a half-
+  // committed view.
+  lease::LeaseDirLock dir_lock(dir_);
+  RequireSoleWriter("compact");
+  CloseWriterLocked();
+  RewriteLogLocked(cells_,
+                   path_ + ".compact.tmp." + std::to_string(OwnPid()),
+                   "store.compact.write", "store.compact.rename");
+
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec) stats.bytes_after = size;
+  }
 
   static obs::Counter& compactions = obs::GetCounter("store.compactions");
   compactions.Add();
   return stats;
+}
+
+void ResultStore::ReplaceWithMerged(std::vector<StoredCell> cells) {
+  TRACE_SPAN(span, "store_merge_commit");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.read_only) {
+    throw IoError("result store: " + path_ +
+                  " was opened read-only (snapshot)");
+  }
+  lease::LeaseDirLock dir_lock(dir_);
+  RequireSoleWriter("merge");
+  CloseWriterLocked();
+
+  // Swap in the merged view first so the rewrite and the in-memory index
+  // can never disagree.
+  cells_ = std::move(cells);
+  index_.clear();
+  error_cells_ = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    index_.emplace(cells_[i].key.Canonical(), i);
+    if (cells_[i].is_error) ++error_cells_;
+  }
+  RewriteLogLocked(cells_, path_ + ".merge.tmp." + std::to_string(OwnPid()),
+                   "store.merge.write", "store.merge.rename");
+
+  static obs::Counter& merges = obs::GetCounter("store.merge_commits");
+  merges.Add();
 }
 
 void ResultStore::SetFsyncPolicy(FsyncPolicy policy) {

@@ -1,29 +1,48 @@
-// Append-only persistent store of completed experiment cells.
+// Append-only persistent store of completed experiment cells, shared by
+// cooperating writer processes.
 //
-// One JSONL file: a self-describing header line followed by one flat JSON
-// object per completed grid cell. Records are appended and flushed one at a
-// time, so after a crash the log is a valid prefix plus at most one
-// truncated tail line; replay detects and drops that tail (it is not
-// fatal), while corruption anywhere before the tail is. Format version 2
-// adds a CRC-32C to every record (interior bit-rot is detected, not
-// silently replayed) and an error-record kind (a unit that failed is
-// recorded under its CellKey so a resumed sweep knows to resubmit it).
-// Version-1 logs are still replayed (their records carry no CRC). See
-// README.md in this directory for the format and the crash-recovery
+// The log is a base file (`results.jsonl`) plus zero or more per-writer
+// segments (`log.<writer-id>.<n>.jsonl`), every file a self-describing
+// header line followed by one flat JSON object per record. Records are
+// appended and flushed one at a time, so after a crash each file is a
+// valid prefix plus at most one truncated tail line; replay detects and
+// drops that tail (it is not fatal), while corruption anywhere before the
+// tail is. Format version 2 adds a CRC-32C to every record (interior
+// bit-rot is detected, not silently replayed) and an error-record kind (a
+// unit that failed is recorded under its CellKey so a resumed sweep knows
+// to resubmit it). Version-1 logs are still replayed (their records carry
+// no CRC).
+//
+// Multi-writer coordination is lease-based, not lock-based: each open
+// writable store holds a heartbeat-renewed lease file (see util/lease.h)
+// and appends only to its OWN segment chain, so concurrent processes
+// never interleave writes in one file. Stale leases (dead pid or stopped
+// heartbeat) are reaped at open: their torn segment tails are sealed and
+// empty leftovers removed. Replay folds every file last-write-wins by
+// CellKey; records from OTHER writers additionally never downgrade a
+// success to an error (concurrent workers compute bit-identical values,
+// so any surviving success is THE value). See README.md in this directory
+// for the format, the lease state machine, and the crash-recovery
 // contract.
 #ifndef SPARSIFY_STORE_RESULT_STORE_H_
 #define SPARSIFY_STORE_RESULT_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/store/cell_key.h"
+#include "src/util/lease.h"
 
 namespace sparsify {
 
@@ -39,6 +58,17 @@ struct StoredCell {
   std::string error_class;    // "transient" | "permanent" (empty for results)
   std::string error_message;  // sanitized what() of the failure
   int attempts = 0;           // tries consumed before giving up (errors only)
+};
+
+/// One shard-scheduler claim record: `writer` announced it is computing
+/// chunk `chunk` of the work partition identified by `scope` (a hash of
+/// the grid, so claims from incompatible grids are ignored). Claims live
+/// in the claimant's own segment — no cross-process write contention —
+/// and are dropped by Compact(): they only matter while a sweep runs.
+struct StoredClaim {
+  std::string writer;
+  std::string scope;
+  uint64_t chunk = 0;
 };
 
 /// What Compact() did: how many log lines and bytes the rewrite removed.
@@ -58,16 +88,30 @@ enum class FsyncPolicy {
   kAlways,  // fsync every append (torture-harness mode)
 };
 
-/// Durable map from CellKey to results, backed by an append-only JSONL log.
+/// Open-time knobs. Environment overrides are applied on top at open:
+/// SPARSIFY_LEASE_TTL (seconds) and SPARSIFY_STORE_SEGMENT_BYTES.
+struct ResultStoreOptions {
+  /// Heartbeat staleness horizon: a writer whose lease counter has not
+  /// advanced for longer than this (or whose pid is dead) is stale, and
+  /// its claims become stealable. Renewals happen every ttl/4.
+  double lease_ttl_seconds = 30.0;
+  /// Segment rotation threshold: the writer rotates to a fresh segment
+  /// once the current file grows past this many bytes.
+  uint64_t segment_bytes = 64ull << 20;
+  /// Snapshot open for `export` / `ls` / `merge` inputs: no lease is
+  /// taken, nothing in the directory is mutated, a live sweep's store can
+  /// be inspected mid-run. Append/Compact throw on a read-only store.
+  bool read_only = false;
+};
+
+/// Durable map from CellKey to results, backed by append-only JSONL logs.
 ///
 /// Thread-safety: all methods are internally synchronized; Append is safe
-/// to call from engine worker threads (the store is the single writer of
-/// its file and serializes appends internally). Cross-process (and
-/// cross-instance) exclusivity is ENFORCED: the constructor takes an
-/// flock-based exclusive lock on `path`.lock before replaying and holds
-/// it for the store's lifetime, so a second CLI invocation pointed at the
-/// same --store directory fails fast with "store is locked by another
-/// process" instead of interleaving JSONL appends.
+/// to call from engine worker threads. Cross-process coordination is
+/// COOPERATIVE: any number of writers may hold the same store directory
+/// open, each appending to its own segment under a heartbeat lease.
+/// Whole-store rewrites (Compact, ReplaceWithMerged) still demand
+/// exclusivity and throw StoreLockHeldError while other writers are live.
 class ResultStore {
  public:
   /// Current write version. Version 2 = CRC'd records + error kind;
@@ -77,17 +121,17 @@ class ResultStore {
   /// Conventional file name inside a store directory.
   static std::string DefaultFileName() { return "results.jsonl"; }
 
-  /// Opens (and replays) the log at `path`. A missing file is an empty
-  /// store; the header is written on the first Append. Throws
-  /// StoreCorruptError when the file exists but is not a result-store log
-  /// (bad header), has a corrupt or checksum-failing record before the
-  /// final line, or has an unsupported version; StoreLockHeldError when
-  /// another ResultStore instance or process holds the lock; IoError on
-  /// filesystem failures. (All derive from std::runtime_error.)
-  explicit ResultStore(std::string path);
+  /// Opens (and replays) the log at `path` (the BASE file; its directory
+  /// is scanned for peer segments). A missing file is an empty store; the
+  /// header is written on the first Append. Throws StoreCorruptError when
+  /// a log file exists but is not a result-store log (bad header), has a
+  /// corrupt or checksum-failing record before the final line, or has an
+  /// unsupported version; IoError on filesystem failures. (All derive
+  /// from std::runtime_error.)
+  explicit ResultStore(std::string path, ResultStoreOptions options = {});
 
-  /// Flushes (per the fsync policy, best-effort) and releases the
-  /// inter-process lock.
+  /// Flushes (per the fsync policy, best-effort), stops the heartbeat,
+  /// and releases the lease.
   ~ResultStore();
 
   /// Creates `dir` if needed and returns the conventional log path inside
@@ -95,13 +139,22 @@ class ResultStore {
   static std::string PathInDir(const std::string& dir);
 
   /// Creates `dir` if needed and opens `dir`/results.jsonl.
-  static ResultStore OpenInDir(const std::string& dir);
+  static ResultStore OpenInDir(const std::string& dir,
+                               ResultStoreOptions options = {});
 
   // Not movable (internal mutex); OpenInDir relies on guaranteed elision.
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
 
   const std::string& Path() const { return path_; }
+
+  /// This instance's unique writer id (empty on a read-only open).
+  const std::string& WriterId() const { return writer_id_; }
+
+  bool read_only() const { return options_.read_only; }
+
+  /// Effective lease TTL (after the env override).
+  double lease_ttl_seconds() const { return options_.lease_ttl_seconds; }
 
   /// Number of distinct keys currently stored (results AND error records).
   size_t Size() const;
@@ -117,8 +170,16 @@ class ResultStore {
   /// position with the latest values (last write wins on replay too).
   std::vector<StoredCell> Cells() const;
 
+  /// All claim records seen so far (replayed + own + refreshed), in
+  /// observation order. Duplicates (re-claims, steals) are all kept: the
+  /// scheduler judges liveness per claimant.
+  std::vector<StoredClaim> Claims() const;
+
   /// Bytes of truncated tail dropped during replay (0 for a clean log).
   size_t DroppedTailBytes() const { return dropped_tail_bytes_; }
+
+  /// Log files replayed at open (base + segments present).
+  size_t SegmentCount() const { return replayed_files_; }
 
   /// Durably appends one record: the line is written and flushed before
   /// returning, and the in-memory index is updated. On the first append
@@ -135,42 +196,124 @@ class ResultStore {
   void AppendError(const CellKey& key, const std::string& error_class,
                    const std::string& error_message, int attempts);
 
-  /// Rewrites the log to one record per live key (dropping superseded
-  /// duplicates; keys whose latest record is still an error are kept as
-  /// error records). Atomic: writes a temp file beside the log, fsyncs it,
-  /// and renames over the original — a crash at any point leaves either
-  /// the old or the new complete log. Also upgrades version-1 logs to the
-  /// current format. Returns what was reclaimed.
+  /// Appends a claim record (this writer claims `chunk` of `scope`) to
+  /// this writer's own segment, durably like Append.
+  void AppendClaim(const std::string& scope, uint64_t chunk);
+
+  /// Incrementally absorbs newly TERMINATED lines from peers' log files
+  /// (other writers' segments, and the base file when this writer does
+  /// not own it). A partially flushed final line stays pending — the peer
+  /// may still be writing it. Corruption inside a peer file poisons that
+  /// file (its remaining lines are ignored, a counter records it) instead
+  /// of failing the live sweep. Returns the number of cell records
+  /// absorbed.
+  size_t RefreshPeers();
+
+  /// True when `writer` should be treated as alive: it is this writer, or
+  /// its lease file exists and its pid/heartbeat pass the staleness check
+  /// (see util/lease.h). A released or reaped lease reads as dead.
+  bool WriterAlive(const std::string& writer) const;
+
+  /// Rewrites the store to one record per live key (dropping superseded
+  /// duplicates and all claim records; keys whose latest record is still
+  /// an error are kept as error records), folding every segment back into
+  /// the base file. Requires this to be the ONLY live writer — throws
+  /// StoreLockHeldError otherwise, so a running sweep can never have the
+  /// log rewritten under it. Atomic: writes a temp file beside the log,
+  /// fsyncs it, renames over the base, then unlinks the folded segments —
+  /// a crash at any point replays to the same contents. Also upgrades
+  /// version-1 logs to the current format. Returns what was reclaimed.
   CompactStats Compact();
+
+  /// Atomically replaces the whole store with `cells` (the `merge`
+  /// subcommand's commit step). Same exclusivity, atomicity, and
+  /// segment-folding rules as Compact(); the temp file is
+  /// `results.jsonl.merge.tmp.<pid>` so a killed merge leaves a
+  /// recognizable orphan for the open-time sweep.
+  void ReplaceWithMerged(std::vector<StoredCell> cells);
 
   /// Overrides the fsync policy (normally from SPARSIFY_STORE_FSYNC).
   void SetFsyncPolicy(FsyncPolicy policy);
   FsyncPolicy fsync_policy() const;
 
  private:
+  // Per peer-file incremental replay state (RefreshPeers).
+  struct PeerFile {
+    size_t consumed = 0;   // offset one past the last absorbed line
+    size_t line_no = 0;    // lines absorbed (0 = header not yet seen)
+    bool poisoned = false; // corrupt record seen: file ignored from here
+  };
+
+  void AcquireLease();            // + reap stale writers (under dir flock)
+  void ReapStaleWritersLocked();  // caller holds the lease-dir flock
+  void RequireSoleWriter(const char* op);
+  void StartHeartbeat();
+  void StopHeartbeat();
+
   void Replay();
+  // Replays one whole file. `own_base` = the base file this writer owns
+  // (tail is recorded for repair); otherwise the tail stays pending in
+  // `peers_`. Peer records obey the success-beats-error rule.
+  void ReplayFile(const std::string& file, bool own_base, bool peer);
+  // Parses `view` — the peer file's bytes from state.consumed on —
+  // absorbing terminated lines only. `strict` (open-time) makes a corrupt
+  // line fatal; otherwise (mid-run refresh) it poisons the file. Returns
+  // cell records absorbed.
+  size_t AbsorbPeerLines(const std::string& file, PeerFile& state,
+                         const std::string& view, bool strict);
+
   void EnsureWritable();  // opens out_, repairing the tail if needed
+  void RotateLocked();    // seals the current segment, opens the next
+  std::string SegmentPath(uint64_t n) const;
+  void AppendRecordLocked(const std::string& line);
   void AppendLocked(StoredCell cell);
   void SyncLocked(bool closing);  // fsync per policy; throws IoError
   void CloseWriterLocked();       // flush + final sync + close fds
 
-  void InsertLocked(StoredCell cell);
+  void InsertLocked(StoredCell cell, bool peer);
+  // Shared commit step of Compact/ReplaceWithMerged: writes header +
+  // `cells` to `tmp`, fsyncs, renames over the base, unlinks segments.
+  void RewriteLogLocked(const std::vector<StoredCell>& cells,
+                        const std::string& tmp, const char* fp_write,
+                        const char* fp_rename);
 
   mutable std::mutex mu_;
-  std::string path_;
+  std::string path_;  // base log file; segments live beside it
+  std::string dir_;   // parent directory of path_
+  ResultStoreOptions options_;
+  std::string writer_id_;  // empty on read-only opens
+  // Atomic: the heartbeat thread copies it into renewals while Compact()
+  // may be taking ownership under mu_.
+  std::atomic<bool> owns_base_{false};
   std::ofstream out_;
+  std::string append_path_;         // file out_ appends to (base or segment)
+  uint64_t append_path_bytes_ = 0;  // its size (rotation threshold check)
+  uint64_t next_segment_ = 0;       // suffix of this writer's next segment
   std::vector<StoredCell> cells_;
   std::unordered_map<std::string, size_t> index_;  // Canonical() -> cells_ idx
-  size_t valid_bytes_ = 0;         // replayed prefix length incl. header
-  size_t dropped_tail_bytes_ = 0;  // garbage after the valid prefix
+  std::vector<StoredClaim> claims_;
+  std::map<std::string, PeerFile> peers_;  // peer log path -> replay state
+  size_t replayed_files_ = 0;
+  size_t valid_bytes_ = 0;         // replayed base prefix incl. header
+  size_t dropped_tail_bytes_ = 0;  // garbage after a valid prefix
   size_t log_records_ = 0;         // record lines in the log (incl. dupes)
   size_t error_cells_ = 0;         // keys whose latest record is an error
-  bool file_exists_ = false;
-  bool ends_with_newline_ = true;  // valid prefix ends in '\n'
-  int lock_fd_ = -1;  // flock'd `path_`.lock descriptor (-1 off-POSIX)
+  bool file_exists_ = false;       // base file existed at open
+  bool ends_with_newline_ = true;  // base valid prefix ends in '\n'
   int sync_fd_ = -1;  // fsync descriptor for the log (ofstream hides its fd)
   FsyncPolicy fsync_policy_ = FsyncPolicy::kBatch;
   uint64_t appends_since_sync_ = 0;
+
+  // Lease heartbeat machinery. The prober is mutable state shared by
+  // WriterAlive callers; renew failures are absorbed (the next renewal
+  // recreates the lease file — worst case a peer steals our claims and
+  // recomputes bit-identical values).
+  mutable lease::LivenessProber prober_;
+  uint64_t heartbeat_ = 0;
+  std::thread heartbeat_thread_;
+  std::mutex heartbeat_mu_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_stop_ = false;
 };
 
 }  // namespace sparsify

